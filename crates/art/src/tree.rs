@@ -1,0 +1,1095 @@
+//! Concurrent ART with optimistic lock coupling (paper §6.2).
+//!
+//! All nodes carry the same lock type `L` (unlike the B+-tree, ART cannot
+//! split lock types by level because a node's role — inner vs. last-level —
+//! is only known after reading it). The write paths adapt to `L::STRATEGY`:
+//!
+//! * Optimistic locks (`OptLock`, `OptiQL*`) use the **upgrade** interface:
+//!   a reader that located its target CASes the version it observed into an
+//!   exclusive acquisition. For OptiQL the upgrade leaves the queue intact,
+//!   so later writers still line up instead of hammering the word (§6.2).
+//! * With a `DirectLock` strategy, updates that provably target the last
+//!   level (all 8 key bytes consumed) acquire the lock directly — the
+//!   queue-based path of Algorithm 4.
+//! * **Contention expansion**: upgrade-acquired exclusive locks
+//!   probabilistically bump a per-node contention counter; past a threshold
+//!   the lazily-expanded leaf is materialized into a real last-level node so
+//!   subsequent updates can use the direct path (§6.2, Figure 5).
+//! * Pessimistic locks use lock coupling: shared on the way down for reads,
+//!   exclusive coupling for writes.
+//!
+//! The root is a `Node256` that is never replaced, removing root-swap races.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use optiql::{IndexLock, WriteStrategy};
+use optiql_reclaim::{Collector, Guard};
+
+use crate::node::{
+    as_kv, is_kv, key_bytes, kv_raw, ArtNode, KvLeaf, NodeType, KEY_LEN,
+};
+
+/// Default contention-expansion threshold (paper: 1024).
+pub const DEFAULT_EXPANSION_THRESHOLD: u32 = 1024;
+/// Default sampling denominator: the counter is bumped with probability
+/// 1/10 (paper: 0.1).
+pub const DEFAULT_SAMPLE_INV: u32 = 10;
+
+/// Internal atomic counters; snapshotted into [`ArtStats`].
+#[derive(Default)]
+struct StatsInner {
+    restarts: AtomicU64,
+    grows: AtomicU64,
+    prefix_splits: AtomicU64,
+    lazy_expansions: AtomicU64,
+    contention_expansions: AtomicU64,
+    collapses: AtomicU64,
+}
+
+/// Snapshot of an ART's structural-event counters (relaxed, monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtStats {
+    /// Operation restarts (failed validation / upgrade / admission).
+    pub restarts: u64,
+    /// Node growths (N4→N16→N48→N256).
+    pub grows: u64,
+    /// Compressed-path splits on prefix mismatch.
+    pub prefix_splits: u64,
+    /// Lazy-expansion splits (two keys pushed below a fresh Node4).
+    pub lazy_expansions: u64,
+    /// Contention expansions (§6.2 materializations).
+    pub contention_expansions: u64,
+    /// Path collapses after deletes.
+    pub collapses: u64,
+}
+
+struct Restart<'a> {
+    attempts: u32,
+    stats: &'a StatsInner,
+}
+
+impl<'a> Restart<'a> {
+    fn new(stats: &'a StatsInner) -> Self {
+        Restart { attempts: 0, stats }
+    }
+    #[inline]
+    fn pause(&mut self) {
+        self.attempts += 1;
+        if self.attempts > 1 {
+            self.stats.restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.attempts > 3 {
+            std::thread::yield_now();
+        } else if self.attempts > 1 {
+            for _ in 0..(1 << self.attempts.min(8)) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+thread_local! {
+    static RNG: Cell<u64> = const { Cell::new(0x9E3779B97F4A7C15) };
+}
+
+/// Cheap thread-local xorshift for contention sampling.
+#[inline]
+fn sample(denominator: u32) -> bool {
+    if denominator <= 1 {
+        return true;
+    }
+    RNG.with(|c| {
+        let mut x = c.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        (x % denominator as u64) == 0
+    })
+}
+
+/// Adaptive radix tree keyed by `u64` with `u64` payloads.
+pub struct ArtTree<L: IndexLock> {
+    root: *mut ArtNode<L>,
+    size: AtomicUsize,
+    collector: Collector,
+    stats: StatsInner,
+    expansion_threshold: u32,
+    sample_inv: u32,
+}
+
+unsafe impl<L: IndexLock> Send for ArtTree<L> {}
+unsafe impl<L: IndexLock> Sync for ArtTree<L> {}
+
+impl<L: IndexLock> Default for ArtTree<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: IndexLock> ArtTree<L> {
+    /// Create an empty tree with default contention-expansion parameters.
+    pub fn new() -> Self {
+        Self::with_expansion(DEFAULT_EXPANSION_THRESHOLD, DEFAULT_SAMPLE_INV)
+    }
+
+    /// Create an empty tree with explicit contention-expansion parameters:
+    /// the counter is sampled with probability `1 / sample_inv` and an
+    /// expansion happens once it exceeds `threshold`. `threshold = 0`
+    /// disables expansion.
+    pub fn with_expansion(threshold: u32, sample_inv: u32) -> Self {
+        ArtTree {
+            root: ArtNode::alloc(NodeType::N256),
+            size: AtomicUsize::new(0),
+            collector: Collector::new(),
+            stats: StatsInner::default(),
+            expansion_threshold: threshold,
+            sample_inv,
+        }
+    }
+
+    /// Number of entries (maintained counter; exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drive deferred reclamation (quiescent points only).
+    pub fn flush_reclamation(&self) {
+        self.collector.flush();
+    }
+
+    /// Snapshot the structural-event counters.
+    pub fn stats(&self) -> ArtStats {
+        ArtStats {
+            restarts: self.stats.restarts.load(Ordering::Relaxed),
+            grows: self.stats.grows.load(Ordering::Relaxed),
+            prefix_splits: self.stats.prefix_splits.load(Ordering::Relaxed),
+            lazy_expansions: self.stats.lazy_expansions.load(Ordering::Relaxed),
+            contention_expansions: self.stats.contention_expansions.load(Ordering::Relaxed),
+            collapses: self.stats.collapses.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn count_stat(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn root(&self) -> &ArtNode<L> {
+        unsafe { &*self.root }
+    }
+
+    #[inline]
+    fn abandon(&self, n: &ArtNode<L>, v: u64) {
+        if L::PESSIMISTIC {
+            n.lock.r_unlock(v);
+        }
+    }
+
+    /// Retire an inner node through the epoch collector.
+    fn retire_inner(&self, g: &Guard, p: *mut ArtNode<L>) {
+        debug_assert!(!is_kv(p));
+        let addr = p as usize;
+        g.defer(move || unsafe { ArtNode::<L>::free(addr as *mut ArtNode<L>) });
+    }
+
+    /// Retire a KV leaf through the epoch collector.
+    fn retire_kv(&self, g: &Guard, p: *mut ArtNode<L>) {
+        debug_assert!(is_kv(p));
+        let raw = kv_raw(p) as usize;
+        g.defer(move || unsafe { drop(Box::from_raw(raw as *mut KvLeaf)) });
+    }
+
+    // --- lookup -----------------------------------------------------------
+
+    /// Point lookup.
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        let kb = key_bytes(key);
+        let _g = self.collector.pin();
+        let mut rs = Restart::new(&self.stats);
+        'restart: loop {
+            rs.pause();
+            let mut node = self.root();
+            let Some(mut v) = node.lock.r_lock() else {
+                continue 'restart;
+            };
+            let mut depth = 0usize;
+            loop {
+                let pl = node.prefix_len();
+                if pl > 0 {
+                    let m = node.prefix_match_len(&kb, depth);
+                    if m < pl {
+                        if !node.lock.r_unlock(v) {
+                            continue 'restart;
+                        }
+                        return None;
+                    }
+                    depth += pl;
+                }
+                debug_assert!(depth < KEY_LEN);
+                let b = kb[depth];
+                let child = node.find_child(b);
+                if !node.lock.recheck(v) {
+                    continue 'restart;
+                }
+                if child.is_null() {
+                    if !node.lock.r_unlock(v) {
+                        continue 'restart;
+                    }
+                    return None;
+                }
+                if is_kv(child) {
+                    let kv = unsafe { as_kv(child) };
+                    let (k, val) = (kv.key, kv.value());
+                    if !node.lock.r_unlock(v) {
+                        continue 'restart;
+                    }
+                    return (k == key).then_some(val);
+                }
+                let ci = unsafe { &*child };
+                let Some(cv) = ci.lock.r_lock() else {
+                    self.abandon(node, v);
+                    continue 'restart;
+                };
+                if !node.lock.r_unlock(v) {
+                    self.abandon(ci, cv);
+                    continue 'restart;
+                }
+                node = ci;
+                v = cv;
+                depth += 1;
+            }
+        }
+    }
+
+    // --- update -----------------------------------------------------------
+
+    /// Replace the value of an existing key; `None` if absent.
+    pub fn update(&self, key: u64, val: u64) -> Option<u64> {
+        if L::PESSIMISTIC {
+            return self.update_pessimistic(key, val);
+        }
+        let kb = key_bytes(key);
+        let g = self.collector.pin();
+        let mut rs = Restart::new(&self.stats);
+        let direct = matches!(
+            L::STRATEGY,
+            WriteStrategy::DirectLock | WriteStrategy::DirectLockAor
+        );
+        'restart: loop {
+            rs.pause();
+            let mut parent: Option<(&ArtNode<L>, u64)> = None;
+            let mut node = self.root();
+            let Some(mut v) = node.lock.r_lock() else {
+                continue 'restart;
+            };
+            let mut depth = 0usize;
+            loop {
+                let pl = node.prefix_len();
+                if pl > 0 {
+                    let m = node.prefix_match_len(&kb, depth);
+                    if m < pl {
+                        if !node.lock.r_unlock(v) {
+                            continue 'restart;
+                        }
+                        return None;
+                    }
+                    depth += pl;
+                }
+                debug_assert!(depth < KEY_LEN);
+
+                if direct && depth == KEY_LEN - 1 {
+                    // Known last level: every child is a leaf, so acquire
+                    // the queue-based lock directly (Algorithm 4 adapted to
+                    // ART) and validate the parent afterwards.
+                    let t = node.lock.x_lock_adjustable();
+                    if let Some((p, pv)) = parent {
+                        if !p.lock.recheck(pv) {
+                            node.lock.x_unlock(t);
+                            continue 'restart;
+                        }
+                    }
+                    let child = node.find_child(kb[depth]);
+                    let out = if !child.is_null() && is_kv(child) {
+                        let kv = unsafe { as_kv(child) };
+                        if kv.key == key {
+                            node.lock.x_finish_adjustable(t);
+                            Some(kv.set_value(val))
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    };
+                    node.lock.x_unlock(t);
+                    return out;
+                }
+
+                let b = kb[depth];
+                let child = node.find_child(b);
+                if !node.lock.recheck(v) {
+                    continue 'restart;
+                }
+                if child.is_null() {
+                    if !node.lock.r_unlock(v) {
+                        continue 'restart;
+                    }
+                    return None;
+                }
+                if is_kv(child) {
+                    let kv = unsafe { as_kv(child) };
+                    if kv.key != key {
+                        if !node.lock.r_unlock(v) {
+                            continue 'restart;
+                        }
+                        return None;
+                    }
+                    // Upgrade-based exclusive acquisition.
+                    let Some(t) = node.lock.try_upgrade(v) else {
+                        continue 'restart;
+                    };
+                    let old = kv.set_value(val);
+                    // Contention expansion (§6.2): this write used an
+                    // upgrade because the node is lazily expanded or sits
+                    // at the end of a compressed path. Under contention,
+                    // materialize the last level so future updates can
+                    // lock directly.
+                    if direct
+                        && self.expansion_threshold > 0
+                        && depth < KEY_LEN - 1
+                        && sample(self.sample_inv)
+                        && node.bump_contention() > self.expansion_threshold
+                    {
+                        self.count_stat(&self.stats.contention_expansions);
+                        self.materialize_leaf(&g, node, b, child, depth);
+                        node.reset_contention();
+                    }
+                    node.lock.x_unlock(t);
+                    return Some(old);
+                }
+                let ci = unsafe { &*child };
+                let Some(cv) = ci.lock.r_lock() else {
+                    continue 'restart;
+                };
+                parent = Some((node, v));
+                node = ci;
+                v = cv;
+                depth += 1;
+            }
+        }
+    }
+
+    /// Replace a lazily-expanded leaf with a materialized last-level node
+    /// (caller holds `node` exclusively; `child` is the KV at byte `b`).
+    fn materialize_leaf(
+        &self,
+        _g: &Guard,
+        node: &ArtNode<L>,
+        b: u8,
+        child: *mut ArtNode<L>,
+        depth: usize,
+    ) {
+        let kv = unsafe { as_kv(child) };
+        let okb = key_bytes(kv.key);
+        // New node spans bytes (depth+1 .. KEY_LEN-1) as its compressed
+        // path and discriminates on the final byte.
+        let chain = ArtNode::<L>::alloc(NodeType::N4);
+        let cn = unsafe { &*chain };
+        cn.set_prefix(&okb[depth + 1..KEY_LEN - 1]);
+        cn.insert_child(okb[KEY_LEN - 1], child);
+        node.replace_child(b, chain);
+    }
+
+    fn update_pessimistic(&self, key: u64, val: u64) -> Option<u64> {
+        let kb = key_bytes(key);
+        let _g = self.collector.pin();
+        let mut node = self.root();
+        let mut t = node.lock.x_lock();
+        let mut depth = 0usize;
+        loop {
+            let pl = node.prefix_len();
+            if pl > 0 {
+                let m = node.prefix_match_len(&kb, depth);
+                if m < pl {
+                    node.lock.x_unlock(t);
+                    return None;
+                }
+                depth += pl;
+            }
+            let child = node.find_child(kb[depth]);
+            if child.is_null() {
+                node.lock.x_unlock(t);
+                return None;
+            }
+            if is_kv(child) {
+                let kv = unsafe { as_kv(child) };
+                let out = (kv.key == key).then(|| kv.set_value(val));
+                node.lock.x_unlock(t);
+                return out;
+            }
+            let ci = unsafe { &*child };
+            let ct = ci.lock.x_lock();
+            node.lock.x_unlock(t);
+            node = ci;
+            t = ct;
+            depth += 1;
+        }
+    }
+
+    // --- insert -----------------------------------------------------------
+
+    /// Insert or overwrite; returns the previous value if the key existed.
+    pub fn insert(&self, key: u64, val: u64) -> Option<u64> {
+        let old = if L::PESSIMISTIC {
+            self.insert_pessimistic(key, val)
+        } else {
+            self.insert_optimistic(key, val)
+        };
+        if old.is_none() {
+            self.size.fetch_add(1, Ordering::Relaxed);
+        }
+        old
+    }
+
+    fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
+        let kb = key_bytes(key);
+        let g = self.collector.pin();
+        let mut rs = Restart::new(&self.stats);
+        'restart: loop {
+            rs.pause();
+            let mut parent: Option<(&ArtNode<L>, u64, u8)> = None;
+            let mut node = self.root();
+            let Some(mut v) = node.lock.r_lock() else {
+                continue 'restart;
+            };
+            let mut depth = 0usize;
+            loop {
+                let pl = node.prefix_len();
+                if pl > 0 {
+                    let m = node.prefix_match_len(&kb, depth);
+                    if m < pl {
+                        // Prefix mismatch: split the compressed path
+                        // (Figure 5). Requires parent + node exclusively.
+                        let (p, pv, pb) =
+                            parent.expect("root has an empty prefix, mismatch implies parent");
+                        let Some(pt) = p.lock.try_upgrade(pv) else {
+                            continue 'restart;
+                        };
+                        let Some(nt) = node.lock.try_upgrade(v) else {
+                            p.lock.x_unlock(pt);
+                            continue 'restart;
+                        };
+                        // Collect the old path bytes before overwriting.
+                        self.count_stat(&self.stats.prefix_splits);
+                        let full: Vec<u8> = (0..pl).map(|i| node.prefix_byte(i)).collect();
+                        let new4p = ArtNode::<L>::alloc(NodeType::N4);
+                        let new4 = unsafe { &*new4p };
+                        new4.set_prefix(&full[..m]);
+                        new4.insert_child(
+                            full[m],
+                            node as *const ArtNode<L> as *mut ArtNode<L>,
+                        );
+                        new4.insert_child(kb[depth + m], KvLeaf::alloc::<L>(key, val));
+                        node.set_prefix(&full[m + 1..]);
+                        p.replace_child(pb, new4p);
+                        node.lock.x_unlock(nt);
+                        p.lock.x_unlock(pt);
+                        return None;
+                    }
+                    depth += pl;
+                }
+                debug_assert!(depth < KEY_LEN);
+                let b = kb[depth];
+                let child = node.find_child(b);
+                if !node.lock.recheck(v) {
+                    continue 'restart;
+                }
+
+                if child.is_null() {
+                    if node.is_full() {
+                        // Grow into the next node size (replaces the node
+                        // in its parent; the root Node256 is never full).
+                        let (p, pv, pb) = parent.expect("root Node256 never grows");
+                        let Some(pt) = p.lock.try_upgrade(pv) else {
+                            continue 'restart;
+                        };
+                        let Some(nt) = node.lock.try_upgrade(v) else {
+                            p.lock.x_unlock(pt);
+                            continue 'restart;
+                        };
+                        self.count_stat(&self.stats.grows);
+                        let bigger = node.grow();
+                        unsafe { &*bigger }.insert_child(b, KvLeaf::alloc::<L>(key, val));
+                        p.replace_child(pb, bigger);
+                        node.lock.x_unlock(nt);
+                        p.lock.x_unlock(pt);
+                        self.retire_inner(&g, node as *const ArtNode<L> as *mut ArtNode<L>);
+                        return None;
+                    }
+                    let Some(nt) = node.lock.try_upgrade(v) else {
+                        continue 'restart;
+                    };
+                    node.insert_child(b, KvLeaf::alloc::<L>(key, val));
+                    node.lock.x_unlock(nt);
+                    return None;
+                }
+
+                if is_kv(child) {
+                    let kv = unsafe { as_kv(child) };
+                    if kv.key == key {
+                        let Some(nt) = node.lock.try_upgrade(v) else {
+                            continue 'restart;
+                        };
+                        let old = kv.set_value(val);
+                        node.lock.x_unlock(nt);
+                        return Some(old);
+                    }
+                    // Lazy-expansion split: push both keys one (or more)
+                    // levels down under a fresh Node4.
+                    let okb = key_bytes(kv.key);
+                    let mut d = depth + 1;
+                    while d < KEY_LEN && okb[d] == kb[d] {
+                        d += 1;
+                    }
+                    debug_assert!(d < KEY_LEN, "distinct keys must diverge");
+                    let Some(nt) = node.lock.try_upgrade(v) else {
+                        continue 'restart;
+                    };
+                    self.count_stat(&self.stats.lazy_expansions);
+                    let new4p = ArtNode::<L>::alloc(NodeType::N4);
+                    let new4 = unsafe { &*new4p };
+                    new4.set_prefix(&kb[depth + 1..d]);
+                    new4.insert_child(okb[d], child);
+                    new4.insert_child(kb[d], KvLeaf::alloc::<L>(key, val));
+                    node.replace_child(b, new4p);
+                    node.lock.x_unlock(nt);
+                    return None;
+                }
+
+                let ci = unsafe { &*child };
+                let Some(cv) = ci.lock.r_lock() else {
+                    continue 'restart;
+                };
+                parent = Some((node, v, b));
+                node = ci;
+                v = cv;
+                depth += 1;
+            }
+        }
+    }
+
+    fn insert_pessimistic(&self, key: u64, val: u64) -> Option<u64> {
+        let kb = key_bytes(key);
+        let g = self.collector.pin();
+        // Couple exclusively, holding (parent, node) so any SMO has both.
+        let mut pstate: Option<(&ArtNode<L>, optiql::WriteToken, u8)> = None;
+        let mut node = self.root();
+        let mut t = node.lock.x_lock();
+        let mut depth = 0usize;
+        loop {
+            let pl = node.prefix_len();
+            if pl > 0 {
+                let m = node.prefix_match_len(&kb, depth);
+                if m < pl {
+                    let (p, pt, pb) = pstate.expect("root prefix is empty");
+                    self.count_stat(&self.stats.prefix_splits);
+                    let full: Vec<u8> = (0..pl).map(|i| node.prefix_byte(i)).collect();
+                    let new4p = ArtNode::<L>::alloc(NodeType::N4);
+                    let new4 = unsafe { &*new4p };
+                    new4.set_prefix(&full[..m]);
+                    new4.insert_child(full[m], node as *const ArtNode<L> as *mut ArtNode<L>);
+                    new4.insert_child(kb[depth + m], KvLeaf::alloc::<L>(key, val));
+                    node.set_prefix(&full[m + 1..]);
+                    p.replace_child(pb, new4p);
+                    node.lock.x_unlock(t);
+                    p.lock.x_unlock(pt);
+                    return None;
+                }
+                depth += pl;
+            }
+            let b = kb[depth];
+            let child = node.find_child(b);
+
+            if child.is_null() {
+                if node.is_full() {
+                    let (p, pt, pb) = pstate.expect("root Node256 never grows");
+                    self.count_stat(&self.stats.grows);
+                    let bigger = node.grow();
+                    unsafe { &*bigger }.insert_child(b, KvLeaf::alloc::<L>(key, val));
+                    p.replace_child(pb, bigger);
+                    node.lock.x_unlock(t);
+                    p.lock.x_unlock(pt);
+                    self.retire_inner(&g, node as *const ArtNode<L> as *mut ArtNode<L>);
+                    return None;
+                }
+                node.insert_child(b, KvLeaf::alloc::<L>(key, val));
+                node.lock.x_unlock(t);
+                if let Some((p, pt, _)) = pstate {
+                    p.lock.x_unlock(pt);
+                }
+                return None;
+            }
+
+            if is_kv(child) {
+                let kv = unsafe { as_kv(child) };
+                let out = if kv.key == key {
+                    Some(kv.set_value(val))
+                } else {
+                    let okb = key_bytes(kv.key);
+                    let mut d = depth + 1;
+                    while d < KEY_LEN && okb[d] == kb[d] {
+                        d += 1;
+                    }
+                    self.count_stat(&self.stats.lazy_expansions);
+                    let new4p = ArtNode::<L>::alloc(NodeType::N4);
+                    let new4 = unsafe { &*new4p };
+                    new4.set_prefix(&kb[depth + 1..d]);
+                    new4.insert_child(okb[d], child);
+                    new4.insert_child(kb[d], KvLeaf::alloc::<L>(key, val));
+                    node.replace_child(b, new4p);
+                    None
+                };
+                node.lock.x_unlock(t);
+                if let Some((p, pt, _)) = pstate {
+                    p.lock.x_unlock(pt);
+                }
+                return out;
+            }
+
+            // Descend: release the grandparent, keep (node, child) locked.
+            if let Some((p, pt, _)) = pstate.take() {
+                p.lock.x_unlock(pt);
+            }
+            let ci = unsafe { &*child };
+            let ct = ci.lock.x_lock();
+            pstate = Some((node, t, b));
+            node = ci;
+            t = ct;
+            depth += 1;
+        }
+    }
+
+    // --- remove -----------------------------------------------------------
+
+    /// Remove a key; returns the removed value.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let old = if L::PESSIMISTIC {
+            self.remove_pessimistic(key)
+        } else {
+            self.remove_optimistic(key)
+        };
+        if old.is_some() {
+            self.size.fetch_sub(1, Ordering::Relaxed);
+        }
+        old
+    }
+
+    fn remove_optimistic(&self, key: u64) -> Option<u64> {
+        let kb = key_bytes(key);
+        let g = self.collector.pin();
+        let mut rs = Restart::new(&self.stats);
+        'restart: loop {
+            rs.pause();
+            let mut parent: Option<(&ArtNode<L>, u64, u8)> = None;
+            let mut node = self.root();
+            let Some(mut v) = node.lock.r_lock() else {
+                continue 'restart;
+            };
+            let mut depth = 0usize;
+            loop {
+                let pl = node.prefix_len();
+                if pl > 0 {
+                    let m = node.prefix_match_len(&kb, depth);
+                    if m < pl {
+                        if !node.lock.r_unlock(v) {
+                            continue 'restart;
+                        }
+                        return None;
+                    }
+                    depth += pl;
+                }
+                let b = kb[depth];
+                let child = node.find_child(b);
+                if !node.lock.recheck(v) {
+                    continue 'restart;
+                }
+                if child.is_null() {
+                    if !node.lock.r_unlock(v) {
+                        continue 'restart;
+                    }
+                    return None;
+                }
+                if is_kv(child) {
+                    let kv = unsafe { as_kv(child) };
+                    if kv.key != key {
+                        if !node.lock.r_unlock(v) {
+                            continue 'restart;
+                        }
+                        return None;
+                    }
+                    let Some(nt) = node.lock.try_upgrade(v) else {
+                        continue 'restart;
+                    };
+                    let old = kv.value();
+                    node.remove_child(b);
+                    self.retire_kv(&g, child);
+                    // Opportunistic path collapse: a Node4 left with a
+                    // single KV child is replaced by that child in the
+                    // parent (undoing lazy expansion).
+                    if node.node_type() == NodeType::N4 && node.count() <= 1 {
+                        if let Some((p, pv, pb)) = parent {
+                            if let Some(pt) = p.lock.try_upgrade(pv) {
+                                if node.count() == 1 {
+                                    let (_, rc) = node.only_child();
+                                    if is_kv(rc) {
+                                        self.count_stat(&self.stats.collapses);
+                                        p.replace_child(pb, rc);
+                                        self.retire_inner(
+                                            &g,
+                                            node as *const ArtNode<L> as *mut ArtNode<L>,
+                                        );
+                                    }
+                                } else {
+                                    // Node drained entirely: unlink it.
+                                    self.count_stat(&self.stats.collapses);
+                                    p.remove_child(pb);
+                                    self.retire_inner(
+                                        &g,
+                                        node as *const ArtNode<L> as *mut ArtNode<L>,
+                                    );
+                                }
+                                p.lock.x_unlock(pt);
+                            }
+                        }
+                    }
+                    node.lock.x_unlock(nt);
+                    return Some(old);
+                }
+                let ci = unsafe { &*child };
+                let Some(cv) = ci.lock.r_lock() else {
+                    continue 'restart;
+                };
+                parent = Some((node, v, b));
+                node = ci;
+                v = cv;
+                depth += 1;
+            }
+        }
+    }
+
+    fn remove_pessimistic(&self, key: u64) -> Option<u64> {
+        let kb = key_bytes(key);
+        let g = self.collector.pin();
+        let mut pstate: Option<(&ArtNode<L>, optiql::WriteToken, u8)> = None;
+        let mut node = self.root();
+        let mut t = node.lock.x_lock();
+        let mut depth = 0usize;
+        loop {
+            let pl = node.prefix_len();
+            if pl > 0 {
+                let m = node.prefix_match_len(&kb, depth);
+                if m < pl {
+                    node.lock.x_unlock(t);
+                    if let Some((p, pt, _)) = pstate {
+                        p.lock.x_unlock(pt);
+                    }
+                    return None;
+                }
+                depth += pl;
+            }
+            let b = kb[depth];
+            let child = node.find_child(b);
+            if child.is_null() {
+                node.lock.x_unlock(t);
+                if let Some((p, pt, _)) = pstate {
+                    p.lock.x_unlock(pt);
+                }
+                return None;
+            }
+            if is_kv(child) {
+                let kv = unsafe { as_kv(child) };
+                let out = if kv.key == key {
+                    let old = kv.value();
+                    node.remove_child(b);
+                    self.retire_kv(&g, child);
+                    if node.node_type() == NodeType::N4 && node.count() <= 1 {
+                        if let Some((p, _, pb)) = pstate {
+                            if node.count() == 1 {
+                                let (_, rc) = node.only_child();
+                                if is_kv(rc) {
+                                    self.count_stat(&self.stats.collapses);
+                                    p.replace_child(pb, rc);
+                                    self.retire_inner(
+                                        &g,
+                                        node as *const ArtNode<L> as *mut ArtNode<L>,
+                                    );
+                                }
+                            } else {
+                                self.count_stat(&self.stats.collapses);
+                                p.remove_child(pb);
+                                self.retire_inner(
+                                    &g,
+                                    node as *const ArtNode<L> as *mut ArtNode<L>,
+                                );
+                            }
+                        }
+                    }
+                    Some(old)
+                } else {
+                    None
+                };
+                node.lock.x_unlock(t);
+                if let Some((p, pt, _)) = pstate {
+                    p.lock.x_unlock(pt);
+                }
+                return out;
+            }
+            if let Some((p, pt, _)) = pstate.take() {
+                p.lock.x_unlock(pt);
+            }
+            let ci = unsafe { &*child };
+            let ct = ci.lock.x_lock();
+            pstate = Some((node, t, b));
+            node = ci;
+            t = ct;
+            depth += 1;
+        }
+    }
+
+    // --- range scan -----------------------------------------------------------
+
+    /// Collect up to `limit` entries with keys ≥ `start` in ascending key
+    /// order.
+    ///
+    /// Each node's children are snapshotted under version validation, so
+    /// every returned pair existed in the tree at some point during the
+    /// scan; like other optimistically-synchronized range scans, the scan
+    /// as a whole is not a serializable snapshot (matching the range-query
+    /// semantics index benchmarks such as YCSB-E assume).
+    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        let _g = self.collector.pin();
+        let sb = key_bytes(start);
+        let mut rs = Restart::new(&self.stats);
+        loop {
+            out.clear();
+            if self.scan_node(self.root, &sb, 0, true, limit, &mut out, None) {
+                return out;
+            }
+            rs.pause();
+        }
+    }
+
+    /// DFS collector; `bounded` is true while the subtree may still contain
+    /// keys below `start` (i.e. we are on the lower-bound path). The scan
+    /// couples: after locking a node, the parent's version is re-validated
+    /// so a concurrent prefix split (which shifts the child's effective
+    /// depth) forces a restart instead of misinterpreting bounds. Returns
+    /// false when validation failed and the whole scan should restart.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_node(
+        &self,
+        p: *mut ArtNode<L>,
+        sb: &[u8; KEY_LEN],
+        depth: usize,
+        bounded: bool,
+        limit: usize,
+        out: &mut Vec<(u64, u64)>,
+        parent: Option<(&ArtNode<L>, u64)>,
+    ) -> bool {
+        if is_kv(p) {
+            let kv = unsafe { as_kv(p) };
+            let (k, v) = (kv.key, kv.value());
+            // The pointer snapshot was validated by the caller; re-validate
+            // the parent so the value read pairs with a live membership.
+            if let Some((pn, pv)) = parent {
+                if !pn.lock.recheck(pv) {
+                    return false;
+                }
+            }
+            if !bounded || k >= u64::from_be_bytes(*sb) {
+                out.push((k, v));
+            }
+            return true;
+        }
+        let node = unsafe { &*p };
+        // Snapshot prefix + children under version validation; retry this
+        // node a few times before restarting the whole scan.
+        for _ in 0..8 {
+            let Some(ver) = node.lock.r_lock() else {
+                std::thread::yield_now();
+                continue;
+            };
+            // Couple with the parent: if it changed since its children were
+            // snapshotted, this node may have been relocated (prefix split
+            // or growth) and `depth` is no longer its effective depth.
+            if let Some((pn, pv)) = parent {
+                if !pn.lock.recheck(pv) {
+                    return false;
+                }
+            }
+            let pl = node.prefix_len();
+            let mut prefix_cmp = std::cmp::Ordering::Equal;
+            if bounded {
+                for i in 0..pl {
+                    if depth + i >= KEY_LEN {
+                        break;
+                    }
+                    match node.prefix_byte(i).cmp(&sb[depth + i]) {
+                        std::cmp::Ordering::Equal => continue,
+                        other => {
+                            prefix_cmp = other;
+                            break;
+                        }
+                    }
+                }
+            }
+            let mut kids = Vec::with_capacity(node.count());
+            node.for_each_child(|b, c| kids.push((b, c)));
+            if !node.lock.recheck(ver) {
+                continue;
+            }
+            match (bounded, prefix_cmp) {
+                (true, std::cmp::Ordering::Less) => return true, // whole subtree < start
+                (true, std::cmp::Ordering::Greater) => {
+                    // Whole subtree > start: collect unbounded.
+                    return self.scan_children(&kids, sb, depth + pl, false, limit, out, (node, ver));
+                }
+                _ => {
+                    let next_depth = depth + pl;
+                    let pivot = if bounded && next_depth < KEY_LEN {
+                        sb[next_depth]
+                    } else {
+                        0
+                    };
+                    let mut ok = true;
+                    for &(b, c) in &kids {
+                        if out.len() >= limit {
+                            break;
+                        }
+                        if bounded && b < pivot {
+                            continue;
+                        }
+                        let child_bounded = bounded && b == pivot;
+                        ok = self.scan_node(
+                            c,
+                            sb,
+                            next_depth + 1,
+                            child_bounded,
+                            limit,
+                            out,
+                            Some((node, ver)),
+                        );
+                        if !ok {
+                            break;
+                        }
+                    }
+                    return ok;
+                }
+            }
+        }
+        false
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_children(
+        &self,
+        kids: &[(u8, *mut ArtNode<L>)],
+        sb: &[u8; KEY_LEN],
+        depth: usize,
+        bounded: bool,
+        limit: usize,
+        out: &mut Vec<(u64, u64)>,
+        parent: (&ArtNode<L>, u64),
+    ) -> bool {
+        for &(_, c) in kids {
+            if out.len() >= limit {
+                break;
+            }
+            if !self.scan_node(c, sb, depth + 1, bounded, limit, out, Some(parent)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // --- validation (test support) -----------------------------------------
+
+    /// Single-threaded structural check; returns the entry count.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<L: IndexLock>(p: *mut ArtNode<L>, path: &mut Vec<u8>) -> usize {
+            if is_kv(p) {
+                let kv = unsafe { as_kv(p) };
+                let kb = key_bytes(kv.key);
+                assert!(
+                    kb.starts_with(path),
+                    "leaf key {:x} does not match its path {:?}",
+                    kv.key,
+                    path
+                );
+                return 1;
+            }
+            let n = unsafe { &*p };
+            let cap_ok = match n.node_type() {
+                NodeType::N4 => n.count() <= 4,
+                NodeType::N16 => n.count() <= 16,
+                NodeType::N48 => n.count() <= 48,
+                NodeType::N256 => n.count() <= 256,
+            };
+            assert!(cap_ok, "count exceeds node capacity");
+            for i in 0..n.prefix_len() {
+                path.push(n.prefix_byte(i));
+            }
+            let mut total = 0;
+            let mut kids = Vec::new();
+            n.for_each_child(|b, c| kids.push((b, c)));
+            assert_eq!(kids.len(), n.count(), "child iteration disagrees with count");
+            let mut prev: Option<u8> = None;
+            for (b, c) in kids {
+                if let Some(pb) = prev {
+                    assert!(pb < b, "child bytes out of order");
+                }
+                prev = Some(b);
+                path.push(b);
+                total += walk::<L>(c, path);
+                path.pop();
+            }
+            for _ in 0..n.prefix_len() {
+                path.pop();
+            }
+            total
+        }
+        let mut path = Vec::new();
+        walk::<L>(self.root, &mut path)
+    }
+}
+
+impl<L: IndexLock> Drop for ArtTree<L> {
+    fn drop(&mut self) {
+        fn free<L: IndexLock>(p: *mut ArtNode<L>) {
+            if is_kv(p) {
+                drop(unsafe { Box::from_raw(kv_raw(p)) });
+                return;
+            }
+            let n = unsafe { &*p };
+            let mut kids = Vec::new();
+            n.for_each_child(|_, c| kids.push(c));
+            for c in kids {
+                free::<L>(c);
+            }
+            unsafe { ArtNode::<L>::free(p) };
+        }
+        free::<L>(self.root);
+        self.collector.flush();
+    }
+}

@@ -1,0 +1,164 @@
+//! Functional tests for every ART lock configuration.
+
+use optiql_art::{ArtMcsRw, ArtOptLock, ArtOptiQL, ArtOptiQLNor, ArtPthread, ArtTree};
+
+macro_rules! for_each_config {
+    ($name:ident, $body:expr) => {
+        mod $name {
+            use super::*;
+            #[test]
+            fn optlock() {
+                $body(&ArtOptLock::new());
+            }
+            #[test]
+            fn optiql() {
+                $body(&ArtOptiQL::new());
+            }
+            #[test]
+            fn optiql_nor() {
+                $body(&ArtOptiQLNor::new());
+            }
+            #[test]
+            fn mcs_rw() {
+                $body(&ArtMcsRw::new());
+            }
+            #[test]
+            fn pthread() {
+                $body(&ArtPthread::new());
+            }
+        }
+    };
+}
+
+fn basic_crud<L: optiql::IndexLock>(t: &ArtTree<L>) {
+    assert!(t.is_empty());
+    assert_eq!(t.lookup(5), None);
+    assert_eq!(t.insert(5, 50), None);
+    assert_eq!(t.insert(6, 60), None);
+    assert_eq!(t.lookup(5), Some(50));
+    assert_eq!(t.lookup(6), Some(60));
+    assert_eq!(t.lookup(7), None);
+    assert_eq!(t.update(5, 51), Some(50));
+    assert_eq!(t.update(7, 70), None);
+    assert_eq!(t.insert(6, 61), Some(60), "insert overwrites");
+    assert_eq!(t.remove(6), Some(61));
+    assert_eq!(t.remove(6), None);
+    assert_eq!(t.len(), 1);
+    t.check_invariants();
+}
+
+fn dense_keys<L: optiql::IndexLock>(t: &ArtTree<L>) {
+    // Dense keys share long prefixes: exercises lazy expansion splits at
+    // the deepest byte and node growth N4→N16→N48→N256.
+    const N: u64 = 30_000;
+    for k in 0..N {
+        assert_eq!(t.insert(k, k + 1), None);
+    }
+    assert_eq!(t.len(), N as usize);
+    assert_eq!(t.check_invariants(), N as usize);
+    for k in 0..N {
+        assert_eq!(t.lookup(k), Some(k + 1), "key {k}");
+    }
+    assert_eq!(t.lookup(N), None);
+}
+
+fn sparse_keys<L: optiql::IndexLock>(t: &ArtTree<L>) {
+    // Sparse keys exercise path compression + prefix splits.
+    let mut x = 0x243F6A8885A308D3u64;
+    let mut keys = Vec::new();
+    for _ in 0..10_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        keys.push(x);
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(t.insert(*k, i as u64), None, "insert {k:#x}");
+    }
+    assert_eq!(t.check_invariants(), keys.len());
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(t.lookup(*k), Some(i as u64), "lookup {k:#x}");
+    }
+    // Near-miss probes (key ± 1) must not produce false positives.
+    for k in keys.iter().take(2_000) {
+        let probe = k.wrapping_add(1);
+        if keys.binary_search(&probe).is_err() {
+            assert_eq!(t.lookup(probe), None, "false positive at {probe:#x}");
+        }
+    }
+}
+
+fn boundary_keys<L: optiql::IndexLock>(t: &ArtTree<L>) {
+    let keys = [
+        0u64,
+        1,
+        0xFF,
+        0x100,
+        0xFFFF_FFFF,
+        0x1_0000_0000,
+        u64::MAX - 1,
+        u64::MAX,
+    ];
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(t.insert(*k, i as u64), None);
+    }
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(t.lookup(*k), Some(i as u64));
+    }
+    assert_eq!(t.check_invariants(), keys.len());
+    for k in keys {
+        assert!(t.remove(k).is_some());
+    }
+    assert!(t.is_empty());
+    t.check_invariants();
+}
+
+fn delete_and_collapse<L: optiql::IndexLock>(t: &ArtTree<L>) {
+    const N: u64 = 4_000;
+    // Sparse enough that deep Node4 chains appear and later collapse.
+    let keys: Vec<u64> = (0..N).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    for k in &keys {
+        t.insert(*k, *k ^ 0xFF);
+    }
+    assert_eq!(t.check_invariants(), keys.len());
+    for k in &keys {
+        assert_eq!(t.remove(*k), Some(*k ^ 0xFF), "remove {k:#x}");
+    }
+    assert_eq!(t.len(), 0);
+    t.check_invariants();
+    // Reusable after draining.
+    for k in keys.iter().take(100) {
+        assert_eq!(t.insert(*k, 1), None);
+    }
+    assert_eq!(t.check_invariants(), 100);
+}
+
+for_each_config!(crud, basic_crud);
+for_each_config!(dense, dense_keys);
+for_each_config!(sparse, sparse_keys);
+for_each_config!(boundaries, boundary_keys);
+for_each_config!(drain, delete_and_collapse);
+
+#[test]
+fn contention_expansion_materializes_last_level() {
+    // Force expansion fast: threshold 4, sample every time.
+    let t: ArtTree<optiql::OptiQL> = ArtTree::with_expansion(4, 1);
+    // A sparse key: lazily expanded leaf directly under the root.
+    let key = 0xAB_00_00_00_00_00_00_01u64;
+    t.insert(key, 0);
+    // Hammer updates: each goes through the upgrade path (depth 0 child is
+    // a leaf) and bumps the counter until materialization.
+    for i in 0..64 {
+        assert_eq!(t.update(key, i + 1), Some(i));
+    }
+    assert_eq!(t.lookup(key), Some(64));
+    assert_eq!(t.check_invariants(), 1);
+    // After expansion the leaf sits under a materialized last-level node;
+    // updates (now direct-locking) still work.
+    for i in 64..80 {
+        assert_eq!(t.update(key, i + 1), Some(i));
+    }
+    assert_eq!(t.lookup(key), Some(80));
+}

@@ -1,0 +1,82 @@
+//! Property-based model checking for the ART against `BTreeMap`.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use optiql_art::{ArtOptLock, ArtOptiQL, ArtTree};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Update(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+}
+
+/// Key generator biased toward shared prefixes (dense low keys), sparse
+/// spread-out keys, and boundary values — the regimes where path
+/// compression, lazy expansion and prefix splits all fire.
+fn key_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => 0u64..512,
+        3 => (0u64..64).prop_map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)),
+        2 => any::<u64>(),
+        1 => prop_oneof![Just(0u64), Just(u64::MAX), Just(1u64 << 63), Just(0xFFu64)],
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+        key_strategy().prop_map(Op::Remove),
+        key_strategy().prop_map(Op::Lookup),
+    ]
+}
+
+fn run_model<L: optiql::IndexLock>(tree: &ArtTree<L>, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                assert_eq!(tree.insert(k, v), model.insert(k, v), "insert {k:#x}");
+            }
+            Op::Update(k, v) => {
+                let expect = model.get_mut(&k).map(|s| std::mem::replace(s, v));
+                assert_eq!(tree.update(k, v), expect, "update {k:#x}");
+            }
+            Op::Remove(k) => {
+                assert_eq!(tree.remove(k), model.remove(&k), "remove {k:#x}");
+            }
+            Op::Lookup(k) => {
+                assert_eq!(tree.lookup(k), model.get(&k).copied(), "lookup {k:#x}");
+            }
+        }
+    }
+    assert_eq!(tree.len(), model.len());
+    assert_eq!(tree.check_invariants(), model.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn art_optiql_matches_model(ops in prop::collection::vec(op_strategy(), 1..600)) {
+        run_model(&ArtOptiQL::new(), &ops);
+    }
+
+    #[test]
+    fn art_optlock_matches_model(ops in prop::collection::vec(op_strategy(), 1..600)) {
+        run_model(&ArtOptLock::new(), &ops);
+    }
+
+    #[test]
+    fn art_with_aggressive_expansion_matches_model(
+        ops in prop::collection::vec(op_strategy(), 1..400)
+    ) {
+        // Expansion fires constantly: materialized nodes must stay
+        // semantically invisible.
+        run_model(&ArtTree::<optiql::OptiQL>::with_expansion(2, 1), &ops);
+    }
+}

@@ -1,0 +1,131 @@
+//! Criterion micro-measurements of single-threaded lock operation costs:
+//! the §5.4 discussion quantified — OptiQL's uncontended writer release
+//! pays a CAS, opportunistic read adds two atomics per handover, and the
+//! reader path costs exactly as much as a centralized optimistic lock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use optiql::{
+    ExclusiveLock, IndexLock, McsLock, McsRwLock, OptLock, OptiQL, OptiQLNor, PthreadRwLock,
+    TicketLock, TtsLock,
+};
+
+fn exclusive_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_x_lock_cycle");
+    macro_rules! case {
+        ($ty:ty) => {
+            g.bench_function(<$ty as ExclusiveLock>::NAME, |b| {
+                let lock = <$ty>::default();
+                b.iter(|| {
+                    let t = lock.x_lock();
+                    black_box(&lock);
+                    lock.x_unlock(t);
+                });
+            });
+        };
+    }
+    case!(TtsLock);
+    case!(TicketLock);
+    case!(McsLock);
+    case!(OptLock);
+    case!(OptiQLNor);
+    case!(OptiQL);
+    case!(McsRwLock);
+    case!(PthreadRwLock);
+    g.finish();
+}
+
+fn reader_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_reader_cycle");
+    macro_rules! case {
+        ($ty:ty) => {
+            g.bench_function(<$ty as ExclusiveLock>::NAME, |b| {
+                let lock = <$ty>::default();
+                b.iter(|| {
+                    let v = lock.r_lock().unwrap();
+                    black_box(&lock);
+                    black_box(lock.r_unlock(v));
+                });
+            });
+        };
+    }
+    case!(OptLock);
+    case!(OptiQLNor);
+    case!(OptiQL);
+    case!(McsRwLock);
+    case!(PthreadRwLock);
+    g.finish();
+}
+
+fn upgrade_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_upgrade_cycle");
+    macro_rules! case {
+        ($ty:ty) => {
+            g.bench_function(<$ty as ExclusiveLock>::NAME, |b| {
+                let lock = <$ty>::default();
+                b.iter(|| {
+                    let v = lock.r_lock().unwrap();
+                    let t = lock.try_upgrade(v).unwrap();
+                    lock.x_unlock(t);
+                });
+            });
+        };
+    }
+    case!(OptLock);
+    case!(OptiQLNor);
+    case!(OptiQL);
+    g.finish();
+}
+
+fn index_point_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_point_ops");
+    let btree: optiql_btree::BTreeOptiQL = optiql_btree::BTreeOptiQL::new();
+    let art: optiql_art::ArtOptiQL = optiql_art::ArtOptiQL::new();
+    for k in 0..100_000u64 {
+        btree.insert(k, k);
+        art.insert(k, k);
+    }
+    let mut k = 0u64;
+    g.bench_function("btree_optiql_lookup", |b| {
+        b.iter(|| {
+            k = (k + 7) % 100_000;
+            black_box(btree.lookup(black_box(k)))
+        })
+    });
+    g.bench_function("btree_optiql_update", |b| {
+        b.iter(|| {
+            k = (k + 7) % 100_000;
+            black_box(btree.update(black_box(k), 1))
+        })
+    });
+    g.bench_function("art_optiql_lookup", |b| {
+        b.iter(|| {
+            k = (k + 7) % 100_000;
+            black_box(art.lookup(black_box(k)))
+        })
+    });
+    g.bench_function("art_optiql_update", |b| {
+        b.iter(|| {
+            k = (k + 7) % 100_000;
+            black_box(art.update(black_box(k), 1))
+        })
+    });
+    g.finish();
+}
+
+/// Short measurement windows: single-threaded op costs are stable, and the
+/// whole workspace bench suite should finish in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = exclusive_cycle, reader_cycle, upgrade_cycle, index_point_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 1: update-only B+-tree throughput, centralized optimistic lock
+//! vs OptiQL, under (a) low contention (uniform keys) and (b) high
+//! contention (self-similar, skew 0.2).
+//!
+//! Expected shape (paper): both locks scale identically under low
+//! contention; under high contention OptLock's throughput collapses as
+//! threads are added while OptiQL plateaus.
+
+use optiql::IndexLock;
+use optiql_bench::{banner, header, mops, r2, row};
+use optiql_btree::{BTreeOptLock, BTreeOptiQL};
+use optiql_harness::{env, preload, run, KeyDist, Mix, WorkloadConfig};
+
+fn sweep<I: optiql_harness::ConcurrentIndex>(
+    index: &I,
+    lock_name: &str,
+    panel: &str,
+    dist: KeyDist,
+    threads: &[usize],
+    keys: u64,
+) {
+    for &t in threads {
+        let mut cfg = WorkloadConfig::new(t, Mix::UPDATE_ONLY, dist.clone(), keys);
+        cfg.duration = env::duration();
+        cfg.sample_every = 0;
+        let (r, _) = run(index, &cfg);
+        row(
+            "fig01",
+            &format!("{panel}/{lock_name}"),
+            t,
+            r2(mops(r.throughput())),
+        );
+    }
+}
+
+fn run_config<IL: IndexLock, LL: IndexLock>(lock_name: &str, threads: &[usize], keys: u64) {
+    let tree: optiql_btree::BPlusTree<IL, LL, { optiql_btree::DEFAULT_IC }, { optiql_btree::DEFAULT_LC }> =
+        optiql_btree::BPlusTree::new();
+    let cfg = WorkloadConfig::new(1, Mix::UPDATE_ONLY, KeyDist::Uniform, keys);
+    preload(&tree, &cfg);
+    sweep(&tree, lock_name, "low", KeyDist::Uniform, threads, keys);
+    sweep(
+        &tree,
+        lock_name,
+        "high",
+        KeyDist::self_similar_02(),
+        threads,
+        keys,
+    );
+}
+
+fn main() {
+    banner(
+        "fig01",
+        "B+-tree update-only throughput: OptLock vs OptiQL, low vs high contention",
+    );
+    header(&["figure", "panel/lock", "threads", "Mops/s"]);
+    let threads = env::thread_counts();
+    let keys = env::preload_keys();
+    // Type aliases pin the lock configurations the figure compares.
+    let _ = BTreeOptLock::<15, 15>::new; // documentation anchor
+    let _ = BTreeOptiQL::<15, 15>::new;
+    run_config::<optiql::OptLock, optiql::OptLock>("OptLock", &threads, keys);
+    run_config::<optiql::OptLock, optiql::OptiQL>("OptiQL", &threads, keys);
+}

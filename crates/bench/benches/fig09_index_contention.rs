@@ -1,0 +1,78 @@
+//! Figure 9: B+-tree (top) and ART (bottom) throughput under the skewed
+//! workload (self-similar, skew 0.2, dense keys) for the five §7.3
+//! workload mixes, sweeping the thread count across all five lock
+//! configurations.
+//!
+//! Expected shape (paper): read-only — all optimistic variants equal,
+//! pessimistic locks trail; with more writers OptLock collapses with
+//! thread count while OptiQL holds; opportunistic read keeps OptiQL ahead
+//! of OptiQL-NOR whenever reads are present; the two-atomic overhead shows
+//! only marginally in update-only.
+
+use optiql::IndexLock;
+use optiql_bench::{banner, header, mops, r2, row};
+use optiql_harness::{env, preload, run, ConcurrentIndex, KeyDist, Mix, WorkloadConfig};
+
+fn sweep<I: ConcurrentIndex>(
+    index: &I,
+    index_name: &str,
+    lock_name: &str,
+    threads: &[usize],
+    keys: u64,
+) {
+    for (mix_name, mix) in Mix::paper_suite() {
+        for &t in threads {
+            let mut cfg = WorkloadConfig::new(t, mix, KeyDist::self_similar_02(), keys);
+            cfg.duration = env::duration();
+            cfg.sample_every = 0;
+            let (r, _) = run(index, &cfg);
+            row(
+                "fig09",
+                &format!("{index_name}/{mix_name}/{lock_name}"),
+                t,
+                r2(mops(r.throughput())),
+            );
+        }
+    }
+}
+
+fn btree_config<IL: IndexLock, LL: IndexLock>(name: &str, threads: &[usize], keys: u64) {
+    let tree: optiql_btree::BPlusTree<
+        IL,
+        LL,
+        { optiql_btree::DEFAULT_IC },
+        { optiql_btree::DEFAULT_LC },
+    > = optiql_btree::BPlusTree::new();
+    let cfg = WorkloadConfig::new(1, Mix::UPDATE_ONLY, KeyDist::Uniform, keys);
+    preload(&tree, &cfg);
+    sweep(&tree, "B+-tree", name, threads, keys);
+}
+
+fn art_config<L: IndexLock>(name: &str, threads: &[usize], keys: u64) {
+    let art: optiql_art::ArtTree<L> = optiql_art::ArtTree::new();
+    let cfg = WorkloadConfig::new(1, Mix::UPDATE_ONLY, KeyDist::Uniform, keys);
+    preload(&art, &cfg);
+    sweep(&art, "ART", name, threads, keys);
+}
+
+fn main() {
+    banner(
+        "fig09",
+        "Index throughput, skewed workload (self-similar 0.2, dense keys)",
+    );
+    header(&["figure", "index/workload/lock", "threads", "Mops/s"]);
+    let threads = env::thread_counts();
+    let keys = env::preload_keys();
+
+    btree_config::<optiql::OptLock, optiql::OptLock>("OptLock", &threads, keys);
+    btree_config::<optiql::OptLock, optiql::OptiQLNor>("OptiQL-NOR", &threads, keys);
+    btree_config::<optiql::OptLock, optiql::OptiQL>("OptiQL", &threads, keys);
+    btree_config::<optiql::PthreadRwLock, optiql::PthreadRwLock>("pthread", &threads, keys);
+    btree_config::<optiql::McsRwLock, optiql::McsRwLock>("MCS-RW", &threads, keys);
+
+    art_config::<optiql::OptLock>("OptLock", &threads, keys);
+    art_config::<optiql::OptiQLNor>("OptiQL-NOR", &threads, keys);
+    art_config::<optiql::OptiQL>("OptiQL", &threads, keys);
+    art_config::<optiql::PthreadRwLock>("pthread", &threads, keys);
+    art_config::<optiql::McsRwLock>("MCS-RW", &threads, keys);
+}

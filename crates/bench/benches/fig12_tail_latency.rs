@@ -1,0 +1,89 @@
+//! Figure 12: operation latency percentiles (min … p99.999) for B+-tree
+//! and ART under the self-similar (0.2) distribution, at two thread
+//! counts, for read-only / balanced / update-only workloads.
+//!
+//! Expected shape (paper): OptLock's update tails blow up at the high
+//! percentiles (unfair CAS retries), while OptiQL and OptiQL-NOR stay
+//! flat thanks to FIFO queuing; OptiQL-NOR spikes on the balanced
+//! workload where its starved readers retry many times.
+
+use optiql::IndexLock;
+use optiql_bench::{banner, header};
+use optiql_harness::{env, preload, run, ConcurrentIndex, KeyDist, Mix, WorkloadConfig};
+
+const WORKLOADS: [(&str, Mix); 3] = [
+    ("Read-only", Mix::READ_ONLY),
+    ("Balanced", Mix::BALANCED),
+    ("Update-only", Mix::UPDATE_ONLY),
+];
+
+fn sweep<I: ConcurrentIndex>(
+    index: &I,
+    index_name: &str,
+    lock_name: &str,
+    thread_points: &[usize],
+    keys: u64,
+) {
+    for &t in thread_points {
+        for (mix_name, mix) in WORKLOADS {
+            let mut cfg = WorkloadConfig::new(t, mix, KeyDist::self_similar_02(), keys);
+            cfg.duration = env::duration();
+            cfg.sample_every = 16; // dense sampling for stable tails
+            let (_, hist) = run(index, &cfg);
+            for (pct, ns) in hist.paper_percentiles() {
+                println!(
+                    "fig12\t{index_name}/{mix_name}/{t}t/{lock_name}\t{pct}\t{:.2}",
+                    ns as f64 / 1_000.0 // µs, as in the paper's y-axis
+                );
+            }
+        }
+    }
+}
+
+fn btree_config<IL: IndexLock, LL: IndexLock>(name: &str, points: &[usize], keys: u64) {
+    let tree: optiql_btree::BPlusTree<
+        IL,
+        LL,
+        { optiql_btree::DEFAULT_IC },
+        { optiql_btree::DEFAULT_LC },
+    > = optiql_btree::BPlusTree::new();
+    preload(
+        &tree,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    sweep(&tree, "B+-tree", name, points, keys);
+}
+
+fn art_config<L: IndexLock>(name: &str, points: &[usize], keys: u64) {
+    let art: optiql_art::ArtTree<L> = optiql_art::ArtTree::new();
+    preload(
+        &art,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    sweep(&art, "ART", name, points, keys);
+}
+
+fn main() {
+    banner(
+        "fig12",
+        "Latency percentiles (µs), self-similar 0.2 (paper: 20 and 40 threads)",
+    );
+    header(&["figure", "index/workload/threads/lock", "percentile", "µs"]);
+    let all = env::thread_counts();
+    // The paper uses one-socket (20) and two-socket (40) points; scale to
+    // the host by taking the middle and the maximum of the sweep.
+    let points = if all.len() >= 2 {
+        vec![all[all.len() / 2], *all.last().unwrap()]
+    } else {
+        all.clone()
+    };
+    let keys = env::preload_keys();
+
+    btree_config::<optiql::OptLock, optiql::OptLock>("OptLock", &points, keys);
+    btree_config::<optiql::OptLock, optiql::OptiQLNor>("OptiQL-NOR", &points, keys);
+    btree_config::<optiql::OptLock, optiql::OptiQL>("OptiQL", &points, keys);
+
+    art_config::<optiql::OptLock>("OptLock", &points, keys);
+    art_config::<optiql::OptiQLNor>("OptiQL-NOR", &points, keys);
+    art_config::<optiql::OptiQL>("OptiQL", &points, keys);
+}

@@ -1,0 +1,48 @@
+//! Table 1: reader success rate of OptiQL-NOR vs OptiQL under varying
+//! read/write ratios and high contention, at the maximum thread count.
+//!
+//! Expected shape (paper): OptiQL-NOR starves readers (< 2% success — the
+//! queue keeps the word locked through handover), while OptiQL's
+//! opportunistic read admits a substantial fraction (~26–32%).
+
+use optiql::{IndexLock, OptiQL, OptiQLNor};
+use optiql_bench::{banner, header, r2};
+use optiql_harness::{env, run_mixed, Contention, MicroConfig};
+
+const RATIOS: [(u32, &str); 4] = [(20, "20%/80%"), (50, "50%/50%"), (80, "80%/20%"), (90, "90%/10%")];
+
+fn success_rates<L: IndexLock>(threads: usize) -> Vec<f64> {
+    RATIOS
+        .iter()
+        .map(|&(read_pct, _)| {
+            let cfg = MicroConfig {
+                threads,
+                contention: Contention::High,
+                read_pct,
+                cs_len: 50,
+                duration: env::duration(),
+            };
+            let r = run_mixed::<L>(&cfg);
+            r.read_success_rate() * 100.0
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "table1",
+        "Reader success rate under high contention (percent)",
+    );
+    header(&["lock", "20%/80%", "50%/50%", "80%/20%", "90%/10%"]);
+    let threads = *env::thread_counts().last().unwrap();
+    let nor = success_rates::<OptiQLNor>(threads);
+    let yes = success_rates::<OptiQL>(threads);
+    let fmt = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{}%", r2(*x)))
+            .collect::<Vec<_>>()
+            .join("\t")
+    };
+    println!("OptiQL-NOR\t{}", fmt(&nor));
+    println!("OptiQL\t{}", fmt(&yes));
+}

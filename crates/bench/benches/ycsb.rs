@@ -1,0 +1,61 @@
+//! Extension: YCSB core workloads (A–F) on both indexes across the lock
+//! matrix. Not a paper figure, but the de-facto standard way downstream
+//! users will evaluate these indexes; YCSB-E additionally exercises the
+//! range-scan paths (B+-tree leaf scans, ART ordered DFS).
+
+use optiql::IndexLock;
+use optiql_bench::{banner, header, mops, r2, row_extra};
+use optiql_harness::{env, preload, run, ConcurrentIndex, KeyDist, Mix, WorkloadConfig};
+
+fn sweep<I: ConcurrentIndex>(index: &I, index_name: &str, lock_name: &str, keys: u64) {
+    let threads = *env::thread_counts().last().unwrap();
+    for (name, mix) in Mix::ycsb_suite() {
+        let mut cfg = WorkloadConfig::new(threads, mix, KeyDist::Zipfian { theta: 0.99 }, keys);
+        cfg.duration = env::duration();
+        cfg.sample_every = 0;
+        let (r, _) = run(index, &cfg);
+        row_extra(
+            "ycsb",
+            &format!("{index_name}/{lock_name}"),
+            name,
+            r2(mops(r.throughput())),
+            r.scanned_entries,
+        );
+    }
+}
+
+fn btree_config<IL: IndexLock, LL: IndexLock>(name: &str, keys: u64) {
+    let tree: optiql_btree::BPlusTree<
+        IL,
+        LL,
+        { optiql_btree::DEFAULT_IC },
+        { optiql_btree::DEFAULT_LC },
+    > = optiql_btree::BPlusTree::new();
+    preload(
+        &tree,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    sweep(&tree, "B+-tree", name, keys);
+}
+
+fn art_config<L: IndexLock>(name: &str, keys: u64) {
+    let art: optiql_art::ArtTree<L> = optiql_art::ArtTree::new();
+    preload(
+        &art,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    sweep(&art, "ART", name, keys);
+}
+
+fn main() {
+    banner("ycsb", "YCSB A-F, Zipfian(0.99), max threads");
+    header(&["figure", "index/lock", "workload", "Mops/s", "scanned_entries"]);
+    let keys = env::preload_keys().min(2_000_000);
+
+    btree_config::<optiql::OptLock, optiql::OptLock>("OptLock", keys);
+    btree_config::<optiql::OptLock, optiql::OptiQL>("OptiQL", keys);
+    btree_config::<optiql::OptLock, optiql::OptiCLH>("OptiCLH", keys);
+
+    art_config::<optiql::OptLock>("OptLock", keys);
+    art_config::<optiql::OptiQL>("OptiQL", keys);
+}

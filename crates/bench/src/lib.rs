@@ -1,0 +1,64 @@
+//! # optiql-bench — shared plumbing for the figure/table bench targets
+//!
+//! Every `benches/figNN_*.rs` target is a `harness = false` binary that
+//! prints the same rows/series the paper's corresponding figure or table
+//! reports, in a uniform tab-separated format:
+//!
+//! ```text
+//! figNN <TAB> <series> <TAB> <x> <TAB> <value> [<TAB> extra…]
+//! ```
+//!
+//! Output scale is controlled by the environment knobs in
+//! [`optiql_harness::env`]; see EXPERIMENTS.md for the mapping from each
+//! target to the paper's figure.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+
+/// Print a run banner with the active scaling knobs.
+pub fn banner(fig: &str, title: &str) {
+    let threads = optiql_harness::env::thread_counts();
+    let dur = optiql_harness::env::duration();
+    println!("# ===================================================================");
+    println!("# {fig}: {title}");
+    println!(
+        "# host_cpus={} threads={threads:?} secs_per_point={:.2} full={}",
+        optiql_harness::pin::num_cpus(),
+        dur.as_secs_f64(),
+        optiql_harness::env::full(),
+    );
+    println!("# ===================================================================");
+}
+
+/// Print a column header comment.
+pub fn header(cols: &[&str]) {
+    println!("# {}", cols.join("\t"));
+}
+
+/// Print one data row.
+pub fn row(fig: &str, series: &str, x: impl Display, value: impl Display) {
+    println!("{fig}\t{series}\t{x}\t{value}");
+}
+
+/// Print one data row with an extra column.
+pub fn row_extra(
+    fig: &str,
+    series: &str,
+    x: impl Display,
+    value: impl Display,
+    extra: impl Display,
+) {
+    println!("{fig}\t{series}\t{x}\t{value}\t{extra}");
+}
+
+/// Million operations per second.
+pub fn mops(ops_per_sec: f64) -> f64 {
+    ops_per_sec / 1e6
+}
+
+/// Round to two decimals for stable-looking output.
+pub fn r2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}

@@ -1,0 +1,593 @@
+//! B+-tree node layout.
+//!
+//! Memory-optimized B+-trees use small nodes (256 bytes by default, paper
+//! §6.1/§7.1) with the lock embedded in the node header. Because optimistic
+//! readers scan node contents *concurrently with writers*, every mutable
+//! cell is an atomic accessed with `Relaxed` ordering: that compiles to
+//! plain loads/stores (no fences on x86/ARM for relaxed), is free of UB,
+//! and any torn/inconsistent combination a reader may assemble is discarded
+//! by lock-version validation.
+//!
+//! Layout conventions:
+//!
+//! * A leaf holds up to `LC` sorted `(key, value)` pairs.
+//! * An inner node holds `count` sorted separator keys and `count + 1`
+//!   children; capacity is `IC - 1` keys / `IC` children. `children[i]`
+//!   covers keys `< keys[i]`; `children[count]` covers the rest. Separator
+//!   `keys[i]` is the smallest key reachable through `children[i + 1]`.
+//! * `NodeBase::leaf` is immutable after construction, so a traversal may
+//!   read it through a not-yet-validated pointer (the pointee is kept
+//!   alive by epoch reclamation).
+
+use std::sync::atomic::{AtomicPtr, AtomicU16, AtomicU64, Ordering};
+
+use optiql::IndexLock;
+
+/// Relaxed ordering shorthand: all node payload accesses go through this.
+const R: Ordering = Ordering::Relaxed;
+
+/// Common first-field header of every node; enables leaf/inner dispatch
+/// through a type-erased pointer (`repr(C)` prefix cast).
+#[repr(C)]
+pub struct NodeBase {
+    /// True iff this node is a leaf. Immutable after construction.
+    pub leaf: bool,
+}
+
+/// Inner node: `lock` is the *inner* lock type `IL` (the paper keeps
+/// centralized optimistic locks on inner nodes even in the OptiQL
+/// configuration, §6.1).
+#[repr(C)]
+pub struct Inner<IL: IndexLock, const IC: usize> {
+    /// Common header (leaf tag).
+    pub base: NodeBase,
+    /// Inner-node lock.
+    pub lock: IL,
+    count: AtomicU16,
+    keys: [AtomicU64; IC],
+    children: [AtomicPtr<NodeBase>; IC],
+}
+
+/// Leaf node: `lock` is the *leaf* lock type `LL`.
+#[repr(C)]
+pub struct Leaf<LL: IndexLock, const LC: usize> {
+    /// Common header (leaf tag).
+    pub base: NodeBase,
+    /// Leaf lock (where index contention concentrates).
+    pub lock: LL,
+    count: AtomicU16,
+    keys: [AtomicU64; LC],
+    vals: [AtomicU64; LC],
+}
+
+// --- casting helpers ------------------------------------------------------
+
+/// Read the immutable leaf tag of a (possibly not yet validated) node.
+///
+/// # Safety
+/// `p` must point to a live or epoch-retired node of this tree.
+#[inline]
+pub unsafe fn is_leaf(p: *const NodeBase) -> bool {
+    unsafe { (*p).leaf }
+}
+
+/// Cast to an inner node reference.
+///
+/// # Safety
+/// `p` must point to a live or epoch-retired `Inner<IL, IC>`.
+#[inline]
+pub unsafe fn as_inner<'a, IL: IndexLock, const IC: usize>(
+    p: *mut NodeBase,
+) -> &'a Inner<IL, IC> {
+    debug_assert!(!unsafe { is_leaf(p) });
+    unsafe { &*(p as *const Inner<IL, IC>) }
+}
+
+/// Cast to a leaf node reference.
+///
+/// # Safety
+/// `p` must point to a live or epoch-retired `Leaf<LL, LC>`.
+#[inline]
+pub unsafe fn as_leaf<'a, LL: IndexLock, const LC: usize>(p: *mut NodeBase) -> &'a Leaf<LL, LC> {
+    debug_assert!(unsafe { is_leaf(p) });
+    unsafe { &*(p as *const Leaf<LL, LC>) }
+}
+
+// --- inner node -----------------------------------------------------------
+
+impl<IL: IndexLock, const IC: usize> Inner<IL, IC> {
+    /// Maximum number of separator keys.
+    pub const MAX_KEYS: usize = IC - 1;
+
+    /// Allocate an empty inner node and leak it to a raw pointer.
+    pub fn alloc() -> *mut NodeBase {
+        let node = Box::new(Inner::<IL, IC> {
+            base: NodeBase { leaf: false },
+            lock: IL::default(),
+            count: AtomicU16::new(0),
+            keys: [const { AtomicU64::new(0) }; IC],
+            children: [const { AtomicPtr::new(std::ptr::null_mut()) }; IC],
+        });
+        Box::into_raw(node) as *mut NodeBase
+    }
+
+    /// Number of separator keys, clamped to capacity (a concurrent reader
+    /// may observe a transient value; clamping keeps indexing in bounds and
+    /// validation rejects the result).
+    #[inline]
+    pub fn count(&self) -> usize {
+        (self.count.load(R) as usize).min(Self::MAX_KEYS)
+    }
+
+    /// True iff no separator key fits anymore (eager-split trigger).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.count.load(R) as usize >= Self::MAX_KEYS
+    }
+
+    /// Separator key at `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> u64 {
+        self.keys[i].load(R)
+    }
+
+    /// Child pointer at `i`.
+    #[inline]
+    pub fn child(&self, i: usize) -> *mut NodeBase {
+        self.children[i].load(R)
+    }
+
+    /// Index of the child covering `key`: first `i` with `key < keys[i]`,
+    /// else `count`.
+    #[inline]
+    pub fn child_index(&self, key: u64) -> usize {
+        let n = self.count();
+        // Branchless-ish binary search over atomic cells.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if key < self.keys[mid].load(R) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Child pointer covering `key` together with the separator bounding
+    /// its key range from above (`None` when it is the rightmost child).
+    #[inline]
+    pub fn find_child(&self, key: u64) -> (*mut NodeBase, Option<u64>) {
+        let n = self.count();
+        let idx = self.child_index(key);
+        let upper = if idx < n {
+            Some(self.keys[idx].load(R))
+        } else {
+            None
+        };
+        (self.children[idx].load(R), upper)
+    }
+
+    /// Insert a separator + right child (holder of the exclusive lock only).
+    /// The caller guarantees the node is not full.
+    pub fn insert_child(&self, sep: u64, right: *mut NodeBase) {
+        let n = self.count.load(R) as usize;
+        debug_assert!(n < Self::MAX_KEYS);
+        let pos = self.child_index(sep);
+        let mut i = n;
+        while i > pos {
+            self.keys[i].store(self.keys[i - 1].load(R), R);
+            self.children[i + 1].store(self.children[i].load(R), R);
+            i -= 1;
+        }
+        self.keys[pos].store(sep, R);
+        self.children[pos + 1].store(right, R);
+        self.count.store((n + 1) as u16, R);
+    }
+
+    /// Set the two initial children of a fresh root (exclusive access).
+    pub fn init_root(&self, sep: u64, left: *mut NodeBase, right: *mut NodeBase) {
+        self.keys[0].store(sep, R);
+        self.children[0].store(left, R);
+        self.children[1].store(right, R);
+        self.count.store(1, R);
+    }
+
+    /// Split in half (holder of the exclusive lock only). Returns
+    /// `(separator-to-push-up, new-right-node)`.
+    pub fn split(&self) -> (u64, *mut NodeBase) {
+        let n = self.count.load(R) as usize;
+        debug_assert!(n >= 3, "splitting a near-empty inner node");
+        let mid = n / 2;
+        let sep = self.keys[mid].load(R);
+        let right_ptr = Self::alloc();
+        let right = unsafe { as_inner::<IL, IC>(right_ptr) };
+        let right_keys = n - mid - 1;
+        for i in 0..right_keys {
+            right.keys[i].store(self.keys[mid + 1 + i].load(R), R);
+            right.children[i].store(self.children[mid + 1 + i].load(R), R);
+        }
+        right.children[right_keys].store(self.children[n].load(R), R);
+        right.count.store(right_keys as u16, R);
+        self.count.store(mid as u16, R);
+        (sep, right_ptr)
+    }
+
+    /// Remove the child at `idx` and its adjacent separator (exclusive
+    /// access; `count` must be ≥ 1).
+    pub fn remove_child(&self, idx: usize) {
+        let n = self.count.load(R) as usize;
+        debug_assert!(n >= 1 && idx <= n);
+        // Removing children[idx]: drop separator keys[idx - 1] (or keys[0]
+        // when idx == 0) and close the gaps.
+        let key_gone = idx.saturating_sub(1);
+        for i in key_gone..n - 1 {
+            self.keys[i].store(self.keys[i + 1].load(R), R);
+        }
+        for i in idx..n {
+            self.children[i].store(self.children[i + 1].load(R), R);
+        }
+        self.count.store((n - 1) as u16, R);
+    }
+
+    /// Position of a child pointer, if present (exclusive access).
+    pub fn position_of(&self, child: *mut NodeBase) -> Option<usize> {
+        let n = self.count.load(R) as usize;
+        (0..=n).find(|&i| self.children[i].load(R) == child)
+    }
+}
+
+// --- leaf node -------------------------------------------------------------
+
+impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
+    /// Maximum number of entries.
+    pub const MAX_ENTRIES: usize = LC;
+
+    /// Allocate an empty leaf and leak it to a raw pointer.
+    pub fn alloc() -> *mut NodeBase {
+        let node = Box::new(Leaf::<LL, LC> {
+            base: NodeBase { leaf: true },
+            lock: LL::default(),
+            count: AtomicU16::new(0),
+            keys: [const { AtomicU64::new(0) }; LC],
+            vals: [const { AtomicU64::new(0) }; LC],
+        });
+        Box::into_raw(node) as *mut NodeBase
+    }
+
+    /// Entry count, clamped to capacity (see [`Inner::count`]).
+    #[inline]
+    pub fn count(&self) -> usize {
+        (self.count.load(R) as usize).min(LC)
+    }
+
+    /// True iff no entry fits anymore (split trigger).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.count.load(R) as usize >= LC
+    }
+
+    /// Key at slot `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> u64 {
+        self.keys[i].load(R)
+    }
+
+    /// Value at slot `i`.
+    #[inline]
+    pub fn val(&self, i: usize) -> u64 {
+        self.vals[i].load(R)
+    }
+
+    /// First index with `keys[idx] >= key` (lower bound).
+    #[inline]
+    pub fn lower_bound(&self, key: u64) -> usize {
+        let n = self.count();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.keys[mid].load(R) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Position of `key`, if present.
+    #[inline]
+    pub fn search(&self, key: u64) -> Option<usize> {
+        let idx = self.lower_bound(key);
+        if idx < self.count() && self.keys[idx].load(R) == key {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Value for `key`, if present (readers call this between `r_lock` and
+    /// `r_unlock`; the result is meaningful only if validation passes).
+    #[inline]
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.search(key).map(|i| self.vals[i].load(R))
+    }
+
+    /// Store `val` at the slot of `key` (exclusive access). Returns the old
+    /// value, or `None` if the key is absent.
+    pub fn update(&self, key: u64, val: u64) -> Option<u64> {
+        let i = self.search(key)?;
+        let old = self.vals[i].load(R);
+        self.vals[i].store(val, R);
+        Some(old)
+    }
+
+    /// Insert or overwrite (exclusive access; must not be full unless the
+    /// key already exists). Returns the previous value if the key existed.
+    pub fn insert(&self, key: u64, val: u64) -> Option<u64> {
+        let n = self.count.load(R) as usize;
+        let pos = self.lower_bound(key);
+        if pos < n && self.keys[pos].load(R) == key {
+            let old = self.vals[pos].load(R);
+            self.vals[pos].store(val, R);
+            return Some(old);
+        }
+        debug_assert!(n < LC, "insert into full leaf");
+        let mut i = n;
+        while i > pos {
+            self.keys[i].store(self.keys[i - 1].load(R), R);
+            self.vals[i].store(self.vals[i - 1].load(R), R);
+            i -= 1;
+        }
+        self.keys[pos].store(key, R);
+        self.vals[pos].store(val, R);
+        self.count.store((n + 1) as u16, R);
+        None
+    }
+
+    /// Remove `key` (exclusive access). Returns the removed value.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let n = self.count.load(R) as usize;
+        let pos = self.search(key)?;
+        let old = self.vals[pos].load(R);
+        for i in pos..n - 1 {
+            self.keys[i].store(self.keys[i + 1].load(R), R);
+            self.vals[i].store(self.vals[i + 1].load(R), R);
+        }
+        self.count.store((n - 1) as u16, R);
+        Some(old)
+    }
+
+    /// Split in half (exclusive access). Returns `(separator, right node)`;
+    /// the separator is the smallest key of the new right leaf.
+    pub fn split(&self) -> (u64, *mut NodeBase) {
+        let n = self.count.load(R) as usize;
+        debug_assert!(n >= 2);
+        let mid = n / 2;
+        let right_ptr = Self::alloc();
+        let right = unsafe { as_leaf::<LL, LC>(right_ptr) };
+        for i in mid..n {
+            right.keys[i - mid].store(self.keys[i].load(R), R);
+            right.vals[i - mid].store(self.vals[i].load(R), R);
+        }
+        right.count.store((n - mid) as u16, R);
+        self.count.store(mid as u16, R);
+        (right.keys[0].load(R), right_ptr)
+    }
+
+    /// Append every entry of `right` (exclusive access to both; combined
+    /// count must fit).
+    pub fn absorb(&self, right: &Self) {
+        let n = self.count.load(R) as usize;
+        let m = right.count.load(R) as usize;
+        debug_assert!(n + m <= LC);
+        for i in 0..m {
+            self.keys[n + i].store(right.keys[i].load(R), R);
+            self.vals[n + i].store(right.vals[i].load(R), R);
+        }
+        self.count.store((n + m) as u16, R);
+    }
+
+    /// Copy entries with key ≥ `from` into `out`, up to `limit` items.
+    pub fn collect_from(&self, from: u64, limit: usize, out: &mut Vec<(u64, u64)>) {
+        let n = self.count();
+        let start = self.lower_bound(from);
+        for i in start..n {
+            if out.len() >= limit {
+                break;
+            }
+            out.push((self.keys[i].load(R), self.vals[i].load(R)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optiql::OptLock;
+
+    type L = Leaf<OptLock, 8>;
+    type I = Inner<OptLock, 8>;
+
+    fn leaf<'a>() -> (&'a L, *mut NodeBase) {
+        let p = L::alloc();
+        (unsafe { as_leaf::<OptLock, 8>(p) }, p)
+    }
+
+    fn free_leaf(p: *mut NodeBase) {
+        drop(unsafe { Box::from_raw(p as *mut L) });
+    }
+
+    fn free_inner(p: *mut NodeBase) {
+        drop(unsafe { Box::from_raw(p as *mut I) });
+    }
+
+    #[test]
+    fn leaf_insert_sorted_and_lookup() {
+        let (l, p) = leaf();
+        for k in [5u64, 1, 9, 3] {
+            assert!(l.insert(k, k * 10).is_none());
+        }
+        assert_eq!(l.count(), 4);
+        let keys: Vec<u64> = (0..4).map(|i| l.key(i)).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        assert_eq!(l.lookup(5), Some(50));
+        assert_eq!(l.lookup(4), None);
+        free_leaf(p);
+    }
+
+    #[test]
+    fn leaf_insert_duplicate_overwrites() {
+        let (l, p) = leaf();
+        assert!(l.insert(7, 1).is_none());
+        assert_eq!(l.insert(7, 2), Some(1));
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.lookup(7), Some(2));
+        free_leaf(p);
+    }
+
+    #[test]
+    fn leaf_update_and_remove() {
+        let (l, p) = leaf();
+        l.insert(1, 10);
+        l.insert(2, 20);
+        l.insert(3, 30);
+        assert_eq!(l.update(2, 21), Some(20));
+        assert_eq!(l.update(4, 40), None);
+        assert_eq!(l.remove(2), Some(21));
+        assert_eq!(l.remove(2), None);
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.lookup(1), Some(10));
+        assert_eq!(l.lookup(3), Some(30));
+        free_leaf(p);
+    }
+
+    #[test]
+    fn leaf_split_moves_upper_half() {
+        let (l, p) = leaf();
+        for k in 0..8u64 {
+            l.insert(k, k);
+        }
+        assert!(l.is_full());
+        let (sep, rp) = l.split();
+        let r = unsafe { as_leaf::<OptLock, 8>(rp) };
+        assert_eq!(sep, 4);
+        assert_eq!(l.count(), 4);
+        assert_eq!(r.count(), 4);
+        assert_eq!(l.lookup(3), Some(3));
+        assert_eq!(l.lookup(4), None);
+        assert_eq!(r.lookup(4), Some(4));
+        free_leaf(p);
+        free_leaf(rp);
+    }
+
+    #[test]
+    fn leaf_absorb_concatenates() {
+        let (l, p) = leaf();
+        let (r, rp) = leaf();
+        l.insert(1, 1);
+        l.insert(2, 2);
+        r.insert(10, 10);
+        r.insert(11, 11);
+        l.absorb(r);
+        assert_eq!(l.count(), 4);
+        assert_eq!(l.lookup(11), Some(11));
+        free_leaf(p);
+        free_leaf(rp);
+    }
+
+    #[test]
+    fn leaf_collect_from_respects_bounds() {
+        let (l, p) = leaf();
+        for k in [2u64, 4, 6, 8] {
+            l.insert(k, k);
+        }
+        let mut out = Vec::new();
+        l.collect_from(4, 2, &mut out);
+        assert_eq!(out, vec![(4, 4), (6, 6)]);
+        free_leaf(p);
+    }
+
+    #[test]
+    fn inner_child_routing() {
+        let ip = I::alloc();
+        let inner = unsafe { as_inner::<OptLock, 8>(ip) };
+        let (c0, c1, c2) = (L::alloc(), L::alloc(), L::alloc());
+        inner.init_root(10, c0, c1);
+        inner.insert_child(20, c2);
+        assert_eq!(inner.count(), 2);
+        assert_eq!(inner.find_child(5).0, c0);
+        assert_eq!(inner.find_child(5).1, Some(10));
+        assert_eq!(inner.find_child(10).0, c1);
+        assert_eq!(inner.find_child(15).1, Some(20));
+        assert_eq!(inner.find_child(20).0, c2);
+        assert_eq!(inner.find_child(99).1, None);
+        free_leaf(c0);
+        free_leaf(c1);
+        free_leaf(c2);
+        free_inner(ip);
+    }
+
+    #[test]
+    fn inner_split_pushes_middle_separator_up() {
+        let ip = I::alloc();
+        let inner = unsafe { as_inner::<OptLock, 8>(ip) };
+        let kids: Vec<*mut NodeBase> = (0..8).map(|_| L::alloc()).collect();
+        inner.init_root(10, kids[0], kids[1]);
+        for (i, sep) in [20u64, 30, 40, 50, 60].iter().enumerate() {
+            inner.insert_child(*sep, kids[i + 2]);
+        }
+        assert!(inner.is_full() || inner.count() == 6);
+        let n = inner.count();
+        let (sep, rp) = inner.split();
+        let right = unsafe { as_inner::<OptLock, 8>(rp) };
+        assert_eq!(inner.count() + right.count() + 1, n);
+        // Separator strictly partitions the two halves.
+        for i in 0..inner.count() {
+            assert!(inner.key(i) < sep);
+        }
+        for i in 0..right.count() {
+            assert!(right.key(i) > sep);
+        }
+        for k in kids {
+            free_leaf(k);
+        }
+        free_inner(ip);
+        free_inner(rp);
+    }
+
+    #[test]
+    fn inner_remove_child_closes_gaps() {
+        let ip = I::alloc();
+        let inner = unsafe { as_inner::<OptLock, 8>(ip) };
+        let (c0, c1, c2) = (L::alloc(), L::alloc(), L::alloc());
+        inner.init_root(10, c0, c1);
+        inner.insert_child(20, c2);
+        // Remove middle child c1 (covers [10,20)): separator 10 goes away.
+        let pos = inner.position_of(c1).unwrap();
+        inner.remove_child(pos);
+        assert_eq!(inner.count(), 1);
+        assert_eq!(inner.find_child(5).0, c0);
+        assert_eq!(inner.find_child(25).0, c2);
+        // Remove leftmost child.
+        inner.remove_child(0);
+        assert_eq!(inner.count(), 0);
+        assert_eq!(inner.find_child(0).0, c2);
+        free_leaf(c0);
+        free_leaf(c1);
+        free_leaf(c2);
+        free_inner(ip);
+    }
+
+    #[test]
+    fn lower_bound_on_empty_leaf() {
+        let (l, p) = leaf();
+        assert_eq!(l.lower_bound(42), 0);
+        assert_eq!(l.search(42), None);
+        assert_eq!(l.lookup(42), None);
+        free_leaf(p);
+    }
+}

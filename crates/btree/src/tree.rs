@@ -1,0 +1,984 @@
+//! Concurrent B+-tree with optimistic lock coupling (paper §6.1).
+//!
+//! The tree is generic over two lock types:
+//!
+//! * `IL` — the lock on **inner** nodes. The paper keeps centralized
+//!   optimistic locks on inner nodes even in the OptiQL configuration,
+//!   because inner nodes see little contention and queue-based release is
+//!   more expensive when uncontended (§6.1).
+//! * `LL` — the lock on **leaf** nodes, where contention concentrates.
+//!
+//! The write paths dispatch on `LL::STRATEGY`:
+//!
+//! * [`WriteStrategy::Upgrade`] — classic OLC (Figure 2c): validate the
+//!   leaf version, then CAS-upgrade it; restart from the root on failure.
+//! * [`WriteStrategy::DirectLock`] — the paper's Algorithm 4: acquire the
+//!   leaf lock directly (blocking, FIFO-queued), then validate the parent;
+//!   avoids the retry-and-re-search of a failed upgrade.
+//! * [`WriteStrategy::DirectLockAor`] — Algorithm 4 plus adjustable
+//!   opportunistic read: readers keep being admitted while the writer
+//!   locates its target slot (§5.3, §7.4).
+//! * [`WriteStrategy::Pessimistic`] — traditional lock coupling: shared
+//!   locks on the descent, exclusive at the write target; inserts take
+//!   exclusive locks top-down and split eagerly.
+//!
+//! Structural modifications are eager (BTreeOLC \[29\] style): a full node is
+//! split while descending, which guarantees the parent always has room for
+//! one more separator. Deletions unlink empty leaves and merge
+//! under-quarter-full leaves with their right sibling best-effort (this is
+//! the "two queue nodes per thread" case of §6.1); inner nodes shrink only
+//! via root collapse.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use optiql::{IndexLock, WriteStrategy};
+use optiql_reclaim::{Collector, Guard};
+
+use crate::node::{as_inner, as_leaf, is_leaf, Inner, Leaf, NodeBase};
+
+/// Internal atomic counters; snapshotted into [`TreeStats`].
+#[derive(Default)]
+struct StatsInner {
+    restarts: AtomicU64,
+    leaf_splits: AtomicU64,
+    inner_splits: AtomicU64,
+    root_splits: AtomicU64,
+    leaf_merges: AtomicU64,
+    leaf_unlinks: AtomicU64,
+    root_collapses: AtomicU64,
+}
+
+/// Snapshot of a tree's structural-event counters. Counters are updated
+/// with relaxed atomics; under concurrency a snapshot is approximate but
+/// monotone. Useful for analyzing restart behaviour (e.g. OptLock's
+/// upgrade retries vs OptiQL's queued waits) and SMO frequency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Operation restarts (failed validation / upgrade / admission).
+    pub restarts: u64,
+    /// Leaf splits.
+    pub leaf_splits: u64,
+    /// Inner-node splits.
+    pub inner_splits: u64,
+    /// Root splits (tree grew one level).
+    pub root_splits: u64,
+    /// Leaf merges into the right sibling.
+    pub leaf_merges: u64,
+    /// Empty-leaf unlinks.
+    pub leaf_unlinks: u64,
+    /// Root collapses (tree shrank one level).
+    pub root_collapses: u64,
+}
+
+/// Restart pacing: back off to the scheduler after a burst of restarts so
+/// oversubscribed hosts make progress. Also feeds the restart counter.
+struct Restart<'a> {
+    attempts: u32,
+    stats: &'a StatsInner,
+}
+
+impl<'a> Restart<'a> {
+    fn new(stats: &'a StatsInner) -> Self {
+        Restart { attempts: 0, stats }
+    }
+
+    #[inline]
+    fn pause(&mut self) {
+        self.attempts += 1;
+        if self.attempts > 1 {
+            self.stats.restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.attempts > 3 {
+            std::thread::yield_now();
+        } else if self.attempts > 1 {
+            for _ in 0..(1 << self.attempts.min(8)) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Concurrent B+-tree keyed by `u64` with `u64` payloads (the paper's
+/// 8-byte-key / 8-byte-value configuration).
+///
+/// `IC` is the inner-node child capacity, `LC` the leaf entry capacity; see
+/// [`crate::node_size`] for byte-size presets.
+pub struct BPlusTree<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> {
+    root: AtomicPtr<NodeBase>,
+    size: AtomicUsize,
+    collector: Collector,
+    stats: StatsInner,
+    _locks: std::marker::PhantomData<(IL, LL)>,
+}
+
+unsafe impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Send
+    for BPlusTree<IL, LL, IC, LC>
+{
+}
+unsafe impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Sync
+    for BPlusTree<IL, LL, IC, LC>
+{
+}
+
+impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Default
+    for BPlusTree<IL, LL, IC, LC>
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<IL, LL, IC, LC> {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        assert!(LC >= 2, "leaf capacity must be at least 2");
+        assert!(IC >= 4, "inner capacity must be at least 4");
+        assert_eq!(
+            IL::PESSIMISTIC,
+            LL::PESSIMISTIC,
+            "inner and leaf locks must agree on coupling style"
+        );
+        BPlusTree {
+            root: AtomicPtr::new(Leaf::<LL, LC>::alloc()),
+            size: AtomicUsize::new(0),
+            collector: Collector::new(),
+            stats: StatsInner::default(),
+            _locks: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of entries (maintained counter; exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// True iff the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drive deferred node reclamation forward (call from quiescent points;
+    /// tests and benchmarks use this between phases).
+    pub fn flush_reclamation(&self) {
+        self.collector.flush();
+    }
+
+    /// Snapshot the structural-event counters.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            restarts: self.stats.restarts.load(Ordering::Relaxed),
+            leaf_splits: self.stats.leaf_splits.load(Ordering::Relaxed),
+            inner_splits: self.stats.inner_splits.load(Ordering::Relaxed),
+            root_splits: self.stats.root_splits.load(Ordering::Relaxed),
+            leaf_merges: self.stats.leaf_merges.load(Ordering::Relaxed),
+            leaf_unlinks: self.stats.leaf_unlinks.load(Ordering::Relaxed),
+            root_collapses: self.stats.root_collapses.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn count_stat(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // --- lock-type dispatch on type-erased node pointers -----------------
+
+    #[inline]
+    unsafe fn node_r_lock(&self, p: *mut NodeBase) -> Option<u64> {
+        unsafe {
+            if is_leaf(p) {
+                as_leaf::<LL, LC>(p).lock.r_lock()
+            } else {
+                as_inner::<IL, IC>(p).lock.r_lock()
+            }
+        }
+    }
+
+    #[inline]
+    unsafe fn node_r_unlock(&self, p: *mut NodeBase, v: u64) -> bool {
+        unsafe {
+            if is_leaf(p) {
+                as_leaf::<LL, LC>(p).lock.r_unlock(v)
+            } else {
+                as_inner::<IL, IC>(p).lock.r_unlock(v)
+            }
+        }
+    }
+
+    /// Release an abandoned read on a restart path. Free for optimistic
+    /// locks; releases the shared lock for pessimistic ones.
+    #[inline]
+    unsafe fn node_abandon(&self, p: *mut NodeBase, v: u64) {
+        if IL::PESSIMISTIC {
+            unsafe {
+                self.node_r_unlock(p, v);
+            }
+        }
+    }
+
+    /// Read-lock the current root, restarting internally until the locked
+    /// node is still the root. Returns `(node, version)`.
+    #[inline]
+    unsafe fn lock_root_shared(&self, rs: &mut Restart<'_>) -> (*mut NodeBase, u64) {
+        loop {
+            let node = self.root.load(Ordering::Acquire);
+            if let Some(v) = unsafe { self.node_r_lock(node) } {
+                if self.root.load(Ordering::Acquire) == node {
+                    return (node, v);
+                }
+                unsafe { self.node_abandon(node, v) };
+            }
+            rs.pause();
+        }
+    }
+
+    // --- lookup -----------------------------------------------------------
+
+    /// Point lookup.
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        let mut rs = Restart::new(&self.stats);
+        let _g = self.collector.pin();
+        'restart: loop {
+            rs.pause();
+            let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
+            loop {
+                if unsafe { is_leaf(node) } {
+                    let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                    let res = leaf.lookup(key);
+                    if !leaf.lock.r_unlock(v) {
+                        continue 'restart;
+                    }
+                    return res;
+                }
+                let inner = unsafe { as_inner::<IL, IC>(node) };
+                let (child, _) = inner.find_child(key);
+                if child.is_null() {
+                    unsafe { self.node_abandon(node, v) };
+                    continue 'restart;
+                }
+                if !inner.lock.recheck(v) {
+                    continue 'restart;
+                }
+                let Some(cv) = (unsafe { self.node_r_lock(child) }) else {
+                    unsafe { self.node_abandon(node, v) };
+                    continue 'restart;
+                };
+                if !inner.lock.r_unlock(v) {
+                    unsafe { self.node_abandon(child, cv) };
+                    continue 'restart;
+                }
+                node = child;
+                v = cv;
+            }
+        }
+    }
+
+    // --- update (paper Algorithm 4) ----------------------------------------
+
+    /// Replace the value of an existing key; returns the previous value or
+    /// `None` if the key is absent.
+    pub fn update(&self, key: u64, val: u64) -> Option<u64> {
+        self.write_existing(key, Some(val))
+    }
+
+    /// Remove a key; returns the removed value.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let old = self.write_existing(key, None);
+        if old.is_some() {
+            self.size.fetch_sub(1, Ordering::Relaxed);
+        }
+        old
+    }
+
+    /// Shared descent for update (`val = Some`) and remove (`val = None`).
+    fn write_existing(&self, key: u64, val: Option<u64>) -> Option<u64> {
+        let mut rs = Restart::new(&self.stats);
+        let g = self.collector.pin();
+        'restart: loop {
+            rs.pause();
+            let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
+
+            // Root is a leaf: lock it directly, re-verifying root identity.
+            if unsafe { is_leaf(node) } {
+                let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                match LL::STRATEGY {
+                    WriteStrategy::Upgrade => {
+                        let Some(t) = leaf.lock.try_upgrade(v) else {
+                            continue 'restart;
+                        };
+                        // Upgrade success ⇒ unchanged since `v` ⇒ still root.
+                        let old = apply_leaf(leaf, key, val);
+                        leaf.lock.x_unlock(t);
+                        return old;
+                    }
+                    WriteStrategy::DirectLock | WriteStrategy::DirectLockAor => {
+                        let t = leaf.lock.x_lock_adjustable();
+                        if self.root.load(Ordering::Acquire) != node {
+                            leaf.lock.x_unlock(t);
+                            continue 'restart;
+                        }
+                        leaf.lock.x_finish_adjustable(t);
+                        let old = apply_leaf(leaf, key, val);
+                        leaf.lock.x_unlock(t);
+                        return old;
+                    }
+                    WriteStrategy::Pessimistic => {
+                        // Trade the shared lock for an exclusive one.
+                        leaf.lock.r_unlock(v);
+                        let t = leaf.lock.x_lock();
+                        if self.root.load(Ordering::Acquire) != node {
+                            leaf.lock.x_unlock(t);
+                            continue 'restart;
+                        }
+                        let old = apply_leaf(leaf, key, val);
+                        leaf.lock.x_unlock(t);
+                        return old;
+                    }
+                }
+            }
+
+            // Drill down until the child is a leaf (Alg 4 lines 9-26).
+            loop {
+                let inner = unsafe { as_inner::<IL, IC>(node) };
+                let (child, _) = inner.find_child(key);
+                if child.is_null() {
+                    unsafe { self.node_abandon(node, v) };
+                    continue 'restart;
+                }
+                if !inner.lock.recheck(v) {
+                    continue 'restart;
+                }
+                if unsafe { is_leaf(child) } {
+                    let leaf = unsafe { as_leaf::<LL, LC>(child) };
+                    let (token, searched) = match LL::STRATEGY {
+                        WriteStrategy::Upgrade => {
+                            // Original OLC: read leaf version, validate
+                            // parent, search optimistically, then upgrade.
+                            let Some(lv) = leaf.lock.r_lock() else {
+                                continue 'restart;
+                            };
+                            if !inner.lock.r_unlock(v) {
+                                continue 'restart;
+                            }
+                            let idx = leaf.search(key);
+                            let Some(t) = leaf.lock.try_upgrade(lv) else {
+                                continue 'restart;
+                            };
+                            (t, Some(idx))
+                        }
+                        WriteStrategy::DirectLock => {
+                            // Alg 4: lock the leaf directly, then validate
+                            // the parent (its release_sh is pure validation).
+                            let t = leaf.lock.x_lock();
+                            if !inner.lock.recheck(v) {
+                                leaf.lock.x_unlock(t);
+                                continue 'restart;
+                            }
+                            (t, None)
+                        }
+                        WriteStrategy::DirectLockAor => {
+                            // Keep admitting readers while we search.
+                            let t = leaf.lock.x_lock_adjustable();
+                            if !inner.lock.recheck(v) {
+                                leaf.lock.x_unlock(t);
+                                continue 'restart;
+                            }
+                            let idx = leaf.search(key);
+                            leaf.lock.x_finish_adjustable(t);
+                            (t, Some(idx))
+                        }
+                        WriteStrategy::Pessimistic => {
+                            // We hold the parent shared: the leaf cannot
+                            // change identity. Couple: leaf X, release parent.
+                            let t = leaf.lock.x_lock();
+                            inner.lock.r_unlock(v);
+                            (t, None)
+                        }
+                    };
+
+                    let old = match searched {
+                        Some(idx) => apply_leaf_at(leaf, idx, key, val),
+                        None => apply_leaf(leaf, key, val),
+                    };
+
+                    // Deletion SMOs: unlink an emptied leaf / merge an
+                    // under-quarter leaf into its right sibling.
+                    if val.is_none() && old.is_some() && !LL::PESSIMISTIC {
+                        self.try_shrink(inner, v, child, leaf, &g);
+                    }
+                    leaf.lock.x_unlock(token);
+                    return old;
+                }
+                // Child is an inner node: couple downwards.
+                let ci = unsafe { as_inner::<IL, IC>(child) };
+                let Some(cv) = ci.lock.r_lock() else {
+                    unsafe { self.node_abandon(node, v) };
+                    continue 'restart;
+                };
+                if !inner.lock.r_unlock(v) {
+                    unsafe { self.node_abandon(child, cv) };
+                    continue 'restart;
+                }
+                node = child;
+                v = cv;
+            }
+        }
+    }
+
+    /// Best-effort structural shrinking after a delete. Caller holds the
+    /// leaf exclusively; `pv` is the optimistic parent version observed
+    /// when the leaf was located.
+    fn try_shrink(
+        &self,
+        parent: &Inner<IL, IC>,
+        pv: u64,
+        leaf_ptr: *mut NodeBase,
+        leaf: &Leaf<LL, LC>,
+        g: &Guard,
+    ) {
+        let n = leaf.count();
+        if n >= LC / 4 && n != 0 {
+            return;
+        }
+        // Exclusive on the parent via upgrade; abandoning on failure keeps
+        // the delete itself correct (the shrink is opportunistic).
+        let Some(pt) = parent.lock.try_upgrade(pv) else {
+            return;
+        };
+        let Some(idx) = parent.position_of(leaf_ptr) else {
+            parent.lock.x_unlock(pt);
+            return;
+        };
+        if n == 0 && parent.count() >= 1 {
+            // Unlink the empty leaf entirely.
+            self.count_stat(&self.stats.leaf_unlinks);
+            parent.remove_child(idx);
+            unsafe { g.retire_ptr(leaf_ptr as *mut Leaf<LL, LC>) };
+            // The caller still unlocks through its token; the node stays
+            // alive until the epoch advances past every reader & the holder.
+            parent.lock.x_unlock(pt);
+            return;
+        }
+        if idx < parent.count() {
+            // Merge with the right sibling if the union fits.
+            let sib_ptr = parent.child(idx + 1);
+            debug_assert!(unsafe { is_leaf(sib_ptr) });
+            let sib = unsafe { as_leaf::<LL, LC>(sib_ptr) };
+            let st = sib.lock.x_lock();
+            if leaf.count() + sib.count() <= LC {
+                self.count_stat(&self.stats.leaf_merges);
+                leaf.absorb(sib);
+                parent.remove_child(idx + 1);
+                sib.lock.x_unlock(st);
+                unsafe { g.retire_ptr(sib_ptr as *mut Leaf<LL, LC>) };
+            } else {
+                sib.lock.x_unlock(st);
+            }
+        }
+        parent.lock.x_unlock(pt);
+        self.maybe_collapse_root(g);
+    }
+
+    /// Replace an inner root that has no separator left with its only child.
+    fn maybe_collapse_root(&self, g: &Guard) {
+        let root = self.root.load(Ordering::Acquire);
+        if unsafe { is_leaf(root) } {
+            return;
+        }
+        let inner = unsafe { as_inner::<IL, IC>(root) };
+        let Some(v) = inner.lock.r_lock() else { return };
+        if self.root.load(Ordering::Acquire) != root || inner.count() != 0 {
+            return;
+        }
+        let Some(t) = inner.lock.try_upgrade(v) else {
+            return;
+        };
+        if self.root.load(Ordering::Acquire) == root {
+            self.count_stat(&self.stats.root_collapses);
+            let child = inner.child(0);
+            self.root.store(child, Ordering::Release);
+            inner.lock.x_unlock(t);
+            unsafe { g.retire_ptr(root as *mut Inner<IL, IC>) };
+        } else {
+            inner.lock.x_unlock(t);
+        }
+    }
+
+    // --- insert -------------------------------------------------------------
+
+    /// Insert or overwrite; returns the previous value if the key existed.
+    pub fn insert(&self, key: u64, val: u64) -> Option<u64> {
+        let old = if LL::PESSIMISTIC {
+            self.insert_pessimistic(key, val)
+        } else {
+            self.insert_optimistic(key, val)
+        };
+        if old.is_none() {
+            self.size.fetch_add(1, Ordering::Relaxed);
+        }
+        old
+    }
+
+    fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
+        let mut rs = Restart::new(&self.stats);
+        let _g = self.collector.pin();
+        'restart: loop {
+            rs.pause();
+            let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
+            let mut parent: Option<(*mut NodeBase, u64)> = None;
+
+            loop {
+                if unsafe { is_leaf(node) } {
+                    // Only reachable when the root itself is a leaf.
+                    debug_assert!(parent.is_none());
+                    let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                    let Some(t) = leaf.lock.try_upgrade(v) else {
+                        continue 'restart;
+                    };
+                    // Upgrade ⇒ unchanged ⇒ still root.
+                    if leaf.is_full() {
+                        self.count_stat(&self.stats.root_splits);
+                        let (sep, right) = leaf.split();
+                        let new_root = Inner::<IL, IC>::alloc();
+                        unsafe { as_inner::<IL, IC>(new_root) }.init_root(sep, node, right);
+                        // Insert into the proper half before publishing.
+                        let old = if key >= sep {
+                            unsafe { as_leaf::<LL, LC>(right) }.insert(key, val)
+                        } else {
+                            leaf.insert(key, val)
+                        };
+                        self.root.store(new_root, Ordering::Release);
+                        leaf.lock.x_unlock(t);
+                        return old;
+                    }
+                    let old = leaf.insert(key, val);
+                    leaf.lock.x_unlock(t);
+                    return old;
+                }
+
+                let inner = unsafe { as_inner::<IL, IC>(node) };
+                if inner.is_full() {
+                    // Eager split (BTreeOLC): lock parent then node.
+                    match parent {
+                        Some((p, pv)) => {
+                            let pi = unsafe { as_inner::<IL, IC>(p) };
+                            let Some(pt) = pi.lock.try_upgrade(pv) else {
+                                continue 'restart;
+                            };
+                            let Some(nt) = inner.lock.try_upgrade(v) else {
+                                pi.lock.x_unlock(pt);
+                                continue 'restart;
+                            };
+                            self.count_stat(&self.stats.inner_splits);
+                            let (sep, right) = inner.split();
+                            pi.insert_child(sep, right);
+                            inner.lock.x_unlock(nt);
+                            pi.lock.x_unlock(pt);
+                        }
+                        None => {
+                            let Some(nt) = inner.lock.try_upgrade(v) else {
+                                continue 'restart;
+                            };
+                            // Upgrade ⇒ still root (root replacement bumps
+                            // the old root's version first).
+                            self.count_stat(&self.stats.root_splits);
+                            let (sep, right) = inner.split();
+                            let new_root = Inner::<IL, IC>::alloc();
+                            unsafe { as_inner::<IL, IC>(new_root) }.init_root(sep, node, right);
+                            self.root.store(new_root, Ordering::Release);
+                            inner.lock.x_unlock(nt);
+                        }
+                    }
+                    continue 'restart;
+                }
+
+                // Release the grandparent before descending further.
+                if let Some((p, pv)) = parent.take() {
+                    let pi = unsafe { as_inner::<IL, IC>(p) };
+                    if !pi.lock.r_unlock(pv) {
+                        continue 'restart;
+                    }
+                }
+
+                let (child, _) = inner.find_child(key);
+                if child.is_null() {
+                    continue 'restart;
+                }
+                if !inner.lock.recheck(v) {
+                    continue 'restart;
+                }
+
+                if unsafe { is_leaf(child) } {
+                    let leaf = unsafe { as_leaf::<LL, LC>(child) };
+                    match LL::STRATEGY {
+                        WriteStrategy::Upgrade => {
+                            let Some(lv) = leaf.lock.r_lock() else {
+                                continue 'restart;
+                            };
+                            if leaf.is_full() {
+                                // Split: parent then leaf.
+                                let Some(pt) = inner.lock.try_upgrade(v) else {
+                                    continue 'restart;
+                                };
+                                let Some(lt) = leaf.lock.try_upgrade(lv) else {
+                                    inner.lock.x_unlock(pt);
+                                    continue 'restart;
+                                };
+                                self.count_stat(&self.stats.leaf_splits);
+                                let (sep, right) = leaf.split();
+                                inner.insert_child(sep, right);
+                                let old = if key >= sep {
+                                    unsafe { as_leaf::<LL, LC>(right) }.insert(key, val)
+                                } else {
+                                    leaf.insert(key, val)
+                                };
+                                leaf.lock.x_unlock(lt);
+                                inner.lock.x_unlock(pt);
+                                return old;
+                            }
+                            if !inner.lock.r_unlock(v) {
+                                continue 'restart;
+                            }
+                            let Some(lt) = leaf.lock.try_upgrade(lv) else {
+                                continue 'restart;
+                            };
+                            let old = leaf.insert(key, val);
+                            leaf.lock.x_unlock(lt);
+                            return old;
+                        }
+                        WriteStrategy::DirectLock | WriteStrategy::DirectLockAor => {
+                            // Alg 4 adapted for inserts: lock the leaf
+                            // directly, validate the parent, split in place
+                            // if needed (parent upgrade subsumes recheck).
+                            let lt = leaf.lock.x_lock_adjustable();
+                            if !inner.lock.recheck(v) {
+                                leaf.lock.x_unlock(lt);
+                                continue 'restart;
+                            }
+                            if leaf.is_full() {
+                                let Some(pt) = inner.lock.try_upgrade(v) else {
+                                    leaf.lock.x_unlock(lt);
+                                    continue 'restart;
+                                };
+                                leaf.lock.x_finish_adjustable(lt);
+                                self.count_stat(&self.stats.leaf_splits);
+                                let (sep, right) = leaf.split();
+                                inner.insert_child(sep, right);
+                                let old = if key >= sep {
+                                    unsafe { as_leaf::<LL, LC>(right) }.insert(key, val)
+                                } else {
+                                    leaf.insert(key, val)
+                                };
+                                leaf.lock.x_unlock(lt);
+                                inner.lock.x_unlock(pt);
+                                return old;
+                            }
+                            leaf.lock.x_finish_adjustable(lt);
+                            let old = leaf.insert(key, val);
+                            leaf.lock.x_unlock(lt);
+                            return old;
+                        }
+                        WriteStrategy::Pessimistic => unreachable!("dispatched earlier"),
+                    }
+                }
+
+                // Child is inner: continue coupling.
+                let ci = unsafe { as_inner::<IL, IC>(child) };
+                let Some(cv) = ci.lock.r_lock() else {
+                    continue 'restart;
+                };
+                parent = Some((node, v));
+                node = child;
+                v = cv;
+            }
+        }
+    }
+
+    fn insert_pessimistic(&self, key: u64, val: u64) -> Option<u64> {
+        let mut rs = Restart::new(&self.stats);
+        let _g = self.collector.pin();
+        'restart: loop {
+            rs.pause();
+            // Lock the root exclusively (type-dispatched), re-verifying.
+            let node = self.root.load(Ordering::Acquire);
+            if unsafe { is_leaf(node) } {
+                let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                let t = leaf.lock.x_lock();
+                if self.root.load(Ordering::Acquire) != node {
+                    leaf.lock.x_unlock(t);
+                    continue 'restart;
+                }
+                if leaf.is_full() {
+                    self.count_stat(&self.stats.root_splits);
+                    let (sep, right) = leaf.split();
+                    let new_root = Inner::<IL, IC>::alloc();
+                    unsafe { as_inner::<IL, IC>(new_root) }.init_root(sep, node, right);
+                    let old = if key >= sep {
+                        unsafe { as_leaf::<LL, LC>(right) }.insert(key, val)
+                    } else {
+                        leaf.insert(key, val)
+                    };
+                    self.root.store(new_root, Ordering::Release);
+                    leaf.lock.x_unlock(t);
+                    return old;
+                }
+                let old = leaf.insert(key, val);
+                leaf.lock.x_unlock(t);
+                return old;
+            }
+
+            let inner = unsafe { as_inner::<IL, IC>(node) };
+            let t = inner.lock.x_lock();
+            if self.root.load(Ordering::Acquire) != node {
+                inner.lock.x_unlock(t);
+                continue 'restart;
+            }
+            if inner.is_full() {
+                self.count_stat(&self.stats.root_splits);
+                let (sep, right) = inner.split();
+                let new_root = Inner::<IL, IC>::alloc();
+                unsafe { as_inner::<IL, IC>(new_root) }.init_root(sep, node, right);
+                self.root.store(new_root, Ordering::Release);
+                inner.lock.x_unlock(t);
+                continue 'restart;
+            }
+
+            // X-couple down; the parent is released once the child is safe
+            // (i.e. not full).
+            let mut parent = inner;
+            let mut ptoken = t;
+            loop {
+                let (mut child, _) = parent.find_child(key);
+                debug_assert!(!child.is_null());
+                if unsafe { is_leaf(child) } {
+                    let mut leaf = unsafe { as_leaf::<LL, LC>(child) };
+                    let mut lt = leaf.lock.x_lock();
+                    if leaf.is_full() {
+                        self.count_stat(&self.stats.leaf_splits);
+                        let (sep, right) = leaf.split();
+                        parent.insert_child(sep, right);
+                        if key >= sep {
+                            let rl = unsafe { as_leaf::<LL, LC>(right) };
+                            let rt = rl.lock.x_lock();
+                            leaf.lock.x_unlock(lt);
+                            leaf = rl;
+                            lt = rt;
+                        }
+                        parent.lock.x_unlock(ptoken);
+                        let old = leaf.insert(key, val);
+                        leaf.lock.x_unlock(lt);
+                        return old;
+                    }
+                    parent.lock.x_unlock(ptoken);
+                    let old = leaf.insert(key, val);
+                    leaf.lock.x_unlock(lt);
+                    return old;
+                }
+
+                let mut ci = unsafe { as_inner::<IL, IC>(child) };
+                let mut ct = ci.lock.x_lock();
+                if ci.is_full() {
+                    self.count_stat(&self.stats.inner_splits);
+                    let (sep, right) = ci.split();
+                    parent.insert_child(sep, right);
+                    if key >= sep {
+                        let ri = unsafe { as_inner::<IL, IC>(right) };
+                        let rt = ri.lock.x_lock();
+                        ci.lock.x_unlock(ct);
+                        ci = ri;
+                        ct = rt;
+                        child = right;
+                    }
+                }
+                let _ = child;
+                parent.lock.x_unlock(ptoken);
+                parent = ci;
+                ptoken = ct;
+            }
+        }
+    }
+
+    // --- range scan -----------------------------------------------------------
+
+    /// Collect up to `limit` entries with keys in `[start, u64::MAX]`, in
+    /// ascending key order.
+    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        let mut from = start;
+        let _g = self.collector.pin();
+        while out.len() < limit {
+            let mut rs = Restart::new(&self.stats);
+            let mut batch = Vec::new();
+            // Descend to the leaf containing `from`, remembering the
+            // tightest upper separator on the path.
+            let upper = 'restart: loop {
+                rs.pause();
+                batch.clear();
+                let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
+                let mut upper: Option<u64> = None;
+                loop {
+                    if unsafe { is_leaf(node) } {
+                        let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                        leaf.collect_from(from, limit - out.len(), &mut batch);
+                        if !leaf.lock.r_unlock(v) {
+                            continue 'restart;
+                        }
+                        break 'restart upper;
+                    }
+                    let inner = unsafe { as_inner::<IL, IC>(node) };
+                    let (child, up) = inner.find_child(from);
+                    if child.is_null() {
+                        unsafe { self.node_abandon(node, v) };
+                        continue 'restart;
+                    }
+                    if !inner.lock.recheck(v) {
+                        continue 'restart;
+                    }
+                    if let Some(u) = up {
+                        upper = Some(u);
+                    }
+                    let Some(cv) = (unsafe { self.node_r_lock(child) }) else {
+                        unsafe { self.node_abandon(node, v) };
+                        continue 'restart;
+                    };
+                    if !inner.lock.r_unlock(v) {
+                        unsafe { self.node_abandon(child, cv) };
+                        continue 'restart;
+                    }
+                    node = child;
+                    v = cv;
+                }
+            };
+            out.append(&mut batch);
+            match upper {
+                Some(u) if out.len() < limit => from = u,
+                _ => break,
+            }
+        }
+        out
+    }
+
+    // --- validation (test support) ---------------------------------------------
+
+    /// Walk the tree single-threadedly and assert every structural
+    /// invariant; returns the entry count. Panics on violation.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize>(
+            p: *mut NodeBase,
+            lo: Option<u64>,
+            hi: Option<u64>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> usize {
+            unsafe {
+                if is_leaf(p) {
+                    match leaf_depth {
+                        Some(d) => assert_eq!(*d, depth, "leaves at unequal depth"),
+                        None => *leaf_depth = Some(depth),
+                    }
+                    let l = as_leaf::<LL, LC>(p);
+                    let n = l.count();
+                    for i in 0..n {
+                        let k = l.key(i);
+                        if i > 0 {
+                            assert!(l.key(i - 1) < k, "leaf keys out of order");
+                        }
+                        if let Some(lo) = lo {
+                            assert!(k >= lo, "leaf key below lower fence");
+                        }
+                        if let Some(hi) = hi {
+                            assert!(k < hi, "leaf key above upper fence");
+                        }
+                    }
+                    n
+                } else {
+                    let node = as_inner::<IL, IC>(p);
+                    let n = node.count();
+                    let mut total = 0;
+                    for i in 0..n {
+                        let k = node.key(i);
+                        if i > 0 {
+                            assert!(node.key(i - 1) < k, "separators out of order");
+                        }
+                        if let Some(lo) = lo {
+                            assert!(k >= lo, "separator below lower fence");
+                        }
+                        if let Some(hi) = hi {
+                            assert!(k < hi, "separator above upper fence");
+                        }
+                    }
+                    for i in 0..=n {
+                        let c_lo = if i == 0 { lo } else { Some(node.key(i - 1)) };
+                        let c_hi = if i == n { hi } else { Some(node.key(i)) };
+                        let child = node.child(i);
+                        assert!(!child.is_null(), "null child in inner node");
+                        total +=
+                            walk::<IL, LL, IC, LC>(child, c_lo, c_hi, depth + 1, leaf_depth);
+                    }
+                    total
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk::<IL, LL, IC, LC>(
+            self.root.load(Ordering::Acquire),
+            None,
+            None,
+            0,
+            &mut leaf_depth,
+        )
+    }
+}
+
+/// Apply an update (`Some(val)`) or removal (`None`) to a locked leaf.
+#[inline]
+fn apply_leaf<LL: IndexLock, const LC: usize>(
+    leaf: &Leaf<LL, LC>,
+    key: u64,
+    val: Option<u64>,
+) -> Option<u64> {
+    match val {
+        Some(v) => leaf.update(key, v),
+        None => leaf.remove(key),
+    }
+}
+
+/// As [`apply_leaf`], but with a pre-computed search result (the slot was
+/// located while readers were still admitted — Upgrade / AOR paths).
+#[inline]
+fn apply_leaf_at<LL: IndexLock, const LC: usize>(
+    leaf: &Leaf<LL, LC>,
+    idx: Option<usize>,
+    key: u64,
+    val: Option<u64>,
+) -> Option<u64> {
+    match idx {
+        None => None,
+        Some(_) => apply_leaf(leaf, key, val),
+    }
+}
+
+impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Drop
+    for BPlusTree<IL, LL, IC, LC>
+{
+    fn drop(&mut self) {
+        fn free<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize>(
+            p: *mut NodeBase,
+        ) {
+            unsafe {
+                if is_leaf(p) {
+                    drop(Box::from_raw(p as *mut Leaf<LL, LC>));
+                } else {
+                    let inner = as_inner::<IL, IC>(p);
+                    let n = inner.count();
+                    for i in 0..=n {
+                        free::<IL, LL, IC, LC>(inner.child(i));
+                    }
+                    drop(Box::from_raw(p as *mut Inner<IL, IC>));
+                }
+            }
+        }
+        free::<IL, LL, IC, LC>(self.root.load(Ordering::Acquire));
+        self.collector.flush();
+    }
+}

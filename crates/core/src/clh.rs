@@ -1,0 +1,395 @@
+//! CLH queue lock and **OptiCLH** — the paper's stated future work
+//! (§8: "Other queue-based locks, such as CLH \[9, 35\], could also be
+//! adapted with optimistic reads, which we leave for future work").
+//!
+//! CLH differs from MCS in how the queue is maintained: a requester spins
+//! on its *predecessor's* node (which it learned from the swap on the lock
+//! word) instead of its own, so the releaser never has to wait for a
+//! successor to link itself — release is wait-free. The price is that a
+//! node's ownership migrates: the successor retires the predecessor's node
+//! once granted, and a holder releasing with no successor retires its own.
+//!
+//! Classic CLH needs a pre-allocated dummy node per lock; this
+//! implementation uses the free-word encoding (`LOCKED` bit unset ⇒ no
+//! queue) to avoid that, so the per-lock footprint stays a single 8-byte
+//! word and the global queue-node pool (§6.3) is shared exactly as for
+//! OptiQL.
+//!
+//! [`OptiCLH`] extends CLH with the same optimistic-read word layout and
+//! opportunistic-read handover window as OptiQL (§5), demonstrating that
+//! the technique is not MCS-specific.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::qnode::{self, QNode};
+use crate::spin::Spinner;
+use crate::traits::{ExclusiveLock, IndexLock, WriteStrategy, WriteToken};
+use crate::word::{
+    bump_version, is_locked, locked_word, readable, word_id, word_version, INVALID_VERSION,
+    OPREAD, STATUS_MASK, VERSION_MASK,
+};
+
+/// Store the holder's release-version in the queue node's spare fields
+/// (`state` = low 32 bits, `class` = high 32 bits). Only the owner accesses
+/// these, so relaxed ordering suffices.
+#[inline]
+fn stash_version(qn: &QNode, v: u64) {
+    qn.state.store(v as u32, Ordering::Relaxed);
+    qn.class.store((v >> 32) as u32, Ordering::Relaxed);
+}
+
+#[inline]
+fn unstash_version(qn: &QNode) -> u64 {
+    (qn.state.load(Ordering::Relaxed) as u64)
+        | ((qn.class.load(Ordering::Relaxed) as u64) << 32)
+}
+
+/// CLH-style queue lock with optimistic readers; `OPPORTUNISTIC` toggles
+/// the reader-admission window during handover.
+pub struct OptiClhCore<const OPPORTUNISTIC: bool> {
+    word: AtomicU64,
+}
+
+/// Optimistic CLH lock with opportunistic read.
+pub type OptiCLH = OptiClhCore<true>;
+/// Optimistic CLH lock without opportunistic read.
+pub type OptiCLHNor = OptiClhCore<false>;
+
+impl<const OPPORTUNISTIC: bool> Default for OptiClhCore<OPPORTUNISTIC> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const OPPORTUNISTIC: bool> OptiClhCore<OPPORTUNISTIC> {
+    /// New, unlocked, version 0.
+    pub const fn new() -> Self {
+        OptiClhCore {
+            word: AtomicU64::new(0),
+        }
+    }
+
+    /// Current raw word (diagnostic).
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Acquire exclusively with a pool node. Returns the node ID that the
+    /// caller must pass to [`Self::release_ex_id`] — note that under CLH
+    /// this is always the ID the caller enqueued with, but the *pred*
+    /// node is retired here as soon as the grant is observed.
+    fn acquire_ex_id(&self) -> u16 {
+        let id = qnode::alloc();
+        let qn = qnode::to_ptr(id);
+        qn.reset();
+        let prev = self.word.swap(locked_word(id), Ordering::AcqRel);
+        if !is_locked(prev) {
+            // Free word: versions live on the word while unlocked.
+            stash_version(qn, bump_version(word_version(prev)));
+        } else {
+            // Spin on the *predecessor's* node until it publishes its
+            // release version, then retire it — CLH ownership migration.
+            let pred_id = word_id(prev);
+            let pred = qnode::to_ptr(pred_id);
+            let mut s = Spinner::new();
+            let mut pv = pred.version.load(Ordering::Acquire);
+            while pv == INVALID_VERSION {
+                s.spin();
+                pv = pred.version.load(Ordering::Acquire);
+            }
+            qnode::free(pred_id);
+            stash_version(qn, bump_version(pv));
+            if OPPORTUNISTIC {
+                // Close the reader-admission window the predecessor opened.
+                self.word
+                    .fetch_and(!(OPREAD | VERSION_MASK), Ordering::AcqRel);
+            }
+        }
+        id
+    }
+
+    fn release_ex_id(&self, id: u16) {
+        let qn = qnode::to_ptr(id);
+        let my_version = unstash_version(qn);
+        // No successor: publish the version and clear the queue in one CAS;
+        // nobody can ever spin on our node, so retire it ourselves.
+        if self
+            .word
+            .compare_exchange(
+                locked_word(id),
+                my_version,
+                Ordering::Release,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            qnode::free(id);
+            return;
+        }
+        // A successor swapped itself in and is spinning on our node.
+        if OPPORTUNISTIC {
+            // Opportunistic read window (§5.3): readers may sneak in until
+            // the successor closes the window.
+            self.word.fetch_or(OPREAD | my_version, Ordering::Release);
+        }
+        // Grant: publish our version on our node; the successor bumps it,
+        // and retires this node. Release is wait-free — the CLH advantage.
+        qn.version.store(my_version, Ordering::Release);
+    }
+}
+
+impl<const OPPORTUNISTIC: bool> ExclusiveLock for OptiClhCore<OPPORTUNISTIC> {
+    const NAME: &'static str = if OPPORTUNISTIC { "OptiCLH" } else { "OptiCLH-NOR" };
+
+    #[inline]
+    fn x_lock(&self) -> WriteToken {
+        WriteToken::from_qnode(self.acquire_ex_id())
+    }
+
+    #[inline]
+    fn x_unlock(&self, t: WriteToken) {
+        self.release_ex_id(t.qnode_id());
+    }
+}
+
+impl<const OPPORTUNISTIC: bool> IndexLock for OptiClhCore<OPPORTUNISTIC> {
+    const PESSIMISTIC: bool = false;
+    const STRATEGY: WriteStrategy = WriteStrategy::DirectLock;
+
+    #[inline]
+    fn r_lock(&self) -> Option<u64> {
+        let v = self.word.load(Ordering::Acquire);
+        if readable(v) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn r_unlock(&self, v: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.word.load(Ordering::Relaxed) == v
+    }
+
+    #[inline]
+    fn recheck(&self, v: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.word.load(Ordering::Relaxed) == v
+    }
+
+    #[inline]
+    fn try_upgrade(&self, v: u64) -> Option<WriteToken> {
+        if v & STATUS_MASK != 0 {
+            return None;
+        }
+        let id = qnode::alloc();
+        let qn = qnode::to_ptr(id);
+        qn.reset();
+        stash_version(qn, bump_version(v));
+        if self
+            .word
+            .compare_exchange(v, locked_word(id), Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(WriteToken::from_qnode(id))
+        } else {
+            qnode::free(id);
+            None
+        }
+    }
+
+    #[inline]
+    fn is_locked_ex(&self) -> bool {
+        is_locked(self.word.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_cycle_bumps_version() {
+        let l = OptiCLH::new();
+        assert_eq!(l.r_lock().unwrap(), 0);
+        let t = l.x_lock();
+        assert!(l.is_locked_ex());
+        assert!(l.r_lock().is_none());
+        l.x_unlock(t);
+        assert_eq!(l.r_lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn stale_snapshot_fails_validation() {
+        let l = OptiCLH::new();
+        let v = l.r_lock().unwrap();
+        let t = l.x_lock();
+        l.x_unlock(t);
+        assert!(!l.r_unlock(v));
+    }
+
+    #[test]
+    fn upgrade_roundtrip() {
+        let l = OptiCLH::new();
+        let v = l.r_lock().unwrap();
+        let t = l.try_upgrade(v).expect("upgrade");
+        assert!(l.try_upgrade(v).is_none());
+        l.x_unlock(t);
+        assert_eq!(l.r_lock().unwrap(), v + 1);
+    }
+
+    #[test]
+    fn writers_serialize_and_version_counts_rounds() {
+        let l = Arc::new(OptiCLH::new());
+        let c = Arc::new(Counter::new(0));
+        const THREADS: u64 = 8;
+        const ITERS: u64 = 5_000;
+        let hs: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        let t = l.x_lock();
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed);
+                        l.x_unlock(t);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), THREADS * ITERS);
+        assert_eq!(word_version(l.raw()), THREADS * ITERS);
+        assert!(!l.is_locked_ex());
+    }
+
+    #[test]
+    fn fifo_handover() {
+        let l = Arc::new(OptiCLH::new());
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let t0 = l.x_lock();
+        let hs: Vec<_> = (0..4)
+            .map(|i| {
+                let l = Arc::clone(&l);
+                let order = Arc::clone(&order);
+                let h = std::thread::spawn(move || {
+                    let t = l.x_lock();
+                    order.lock().push(i);
+                    l.x_unlock(t);
+                });
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                h
+            })
+            .collect();
+        l.x_unlock(t0);
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(&*order.lock(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn qnodes_are_recycled_not_leaked() {
+        // Ownership migrates in CLH; after heavy churn the pool must not
+        // shrink (allowing for thread-local caches).
+        let before = qnode::global_free_len();
+        let l = Arc::new(OptiCLH::new());
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        let t = l.x_lock();
+                        l.x_unlock(t);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let after = qnode::global_free_len();
+        assert!(
+            after >= before.saturating_sub(64),
+            "CLH leaked queue nodes: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn opportunistic_window_opens_during_handover() {
+        // T1 holds; T2 queues. After T1's release, until T2 closes the
+        // window, readers must be admitted and validate.
+        let l = Arc::new(OptiCLH::new());
+        let admitted = Arc::new(Counter::new(0));
+        let t0 = l.x_lock();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let (l, admitted, stop) = (Arc::clone(&l), Arc::clone(&admitted), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(v) = l.r_lock() {
+                        if l.r_unlock(v) {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        };
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        let t = l.x_lock();
+                        l.x_unlock(t);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        l.x_unlock(t0);
+        for h in writers {
+            h.join().unwrap();
+        }
+        // With the writers done the lock is free; give the reader time to
+        // validate at least once before stopping (single-CPU hosts may not
+        // have scheduled it at all during the contended phase).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while admitted.load(Ordering::Relaxed) == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        // Readers validated at least sometimes (free windows + handover
+        // windows both count; exact counts are host-dependent).
+        assert!(admitted.load(Ordering::Relaxed) > 0);
+        assert!(!l.is_locked_ex());
+    }
+
+    #[test]
+    fn nor_variant_has_same_exclusive_semantics() {
+        let l = OptiCLHNor::new();
+        let t = l.x_lock();
+        assert!(l.r_lock().is_none());
+        l.x_unlock(t);
+        assert_eq!(l.r_lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn version_stash_roundtrips_52_bits() {
+        let id = qnode::alloc();
+        let qn = qnode::to_ptr(id);
+        for v in [0u64, 1, 0xFFFF_FFFF, VERSION_MASK, VERSION_MASK - 1] {
+            stash_version(qn, v);
+            assert_eq!(unstash_version(qn), v);
+        }
+        qnode::free(id);
+    }
+}

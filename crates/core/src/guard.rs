@@ -1,0 +1,167 @@
+//! RAII and closure-based ergonomics on top of the raw lock protocols.
+//!
+//! The raw `IndexLock` interface mirrors the paper's C-style API (explicit
+//! tokens and version snapshots) because that is what the index
+//! lock-coupling protocols need. For application code, this module adds:
+//!
+//! * [`XGuard`] — RAII exclusive guard (unlocks on drop, panic-safe);
+//! * [`read_critical`] — run a closure under optimistic read, retrying
+//!   until it validates (the "read critical section" idiom of OLC \[26\]);
+//! * [`try_read_critical`] — single-attempt variant.
+//!
+//! The closure passed to [`read_critical`] may observe torn intermediate
+//! state (that is the nature of optimistic reads); its *return value* is
+//! only surfaced once validation passes, and it must not perform side
+//! effects that depend on consistency.
+
+use crate::spin::Spinner;
+use crate::traits::{IndexLock, WriteToken};
+
+/// RAII exclusive guard: releases the lock when dropped.
+pub struct XGuard<'a, L: IndexLock> {
+    lock: &'a L,
+    token: Option<WriteToken>,
+}
+
+impl<'a, L: IndexLock> XGuard<'a, L> {
+    /// Blockingly acquire `lock` in exclusive mode.
+    pub fn lock(lock: &'a L) -> Self {
+        let token = lock.x_lock();
+        XGuard {
+            lock,
+            token: Some(token),
+        }
+    }
+
+    /// Try to upgrade a validated read snapshot into a guard.
+    pub fn upgrade(lock: &'a L, snapshot: u64) -> Option<Self> {
+        lock.try_upgrade(snapshot).map(|token| XGuard {
+            lock,
+            token: Some(token),
+        })
+    }
+
+    /// Release explicitly (equivalent to drop, but reads naturally at call
+    /// sites that want a visible unlock point).
+    pub fn unlock(mut self) {
+        if let Some(t) = self.token.take() {
+            self.lock.x_unlock(t);
+        }
+    }
+
+    /// The raw token (e.g. to inspect the queue node ID in tests).
+    pub fn token(&self) -> WriteToken {
+        self.token.expect("guard already released")
+    }
+}
+
+impl<L: IndexLock> Drop for XGuard<'_, L> {
+    fn drop(&mut self) {
+        if let Some(t) = self.token.take() {
+            self.lock.x_unlock(t);
+        }
+    }
+}
+
+/// Run `f` under an optimistic read of `lock`, retrying until the snapshot
+/// validates. Returns `f`'s result from the first validated execution.
+pub fn read_critical<L: IndexLock, T>(lock: &L, mut f: impl FnMut() -> T) -> T {
+    let mut s = Spinner::new();
+    loop {
+        if let Some(out) = try_read_critical(lock, &mut f) {
+            return out;
+        }
+        s.spin();
+    }
+}
+
+/// Single-attempt optimistic read: `None` when the lock was held (without
+/// an opportunistic-read window) or validation failed.
+pub fn try_read_critical<L: IndexLock, T>(lock: &L, f: &mut impl FnMut() -> T) -> Option<T> {
+    let v = lock.r_lock()?;
+    let out = f();
+    lock.r_unlock(v).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optiql::OptiQL;
+    use crate::optlock::OptLock;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn guard_unlocks_on_drop() {
+        let l = OptiQL::new();
+        {
+            let _g = XGuard::lock(&l);
+            assert!(l.is_locked_ex());
+        }
+        assert!(!l.is_locked_ex());
+    }
+
+    #[test]
+    fn guard_unlocks_on_panic() {
+        let l = Arc::new(OptiQL::new());
+        let l2 = Arc::clone(&l);
+        let r = std::thread::spawn(move || {
+            let _g = XGuard::lock(&*l2);
+            panic!("boom");
+        })
+        .join();
+        assert!(r.is_err());
+        assert!(!l.is_locked_ex(), "panic must not leak the lock");
+        // And the lock is still usable.
+        XGuard::lock(&*l).unlock();
+    }
+
+    #[test]
+    fn upgrade_guard_from_snapshot() {
+        let l = OptLock::new();
+        let v = l.r_lock().unwrap();
+        let g = XGuard::upgrade(&l, v).expect("fresh snapshot upgrades");
+        assert!(l.is_locked_ex());
+        g.unlock();
+        assert!(!l.is_locked_ex());
+        assert!(XGuard::upgrade(&l, v).is_none(), "stale snapshot refused");
+    }
+
+    #[test]
+    fn read_critical_returns_consistent_pairs() {
+        let l = Arc::new(OptiQL::new());
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let (l, a, b, stop) = (Arc::clone(&l), Arc::clone(&a), Arc::clone(&b), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let g = XGuard::lock(&*l);
+                    let v = a.load(Ordering::Relaxed) + 1;
+                    a.store(v, Ordering::Relaxed);
+                    b.store(v, Ordering::Relaxed);
+                    g.unlock();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for _ in 0..2_000 {
+            let (x, y) = read_critical(&*l, || {
+                (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed))
+            });
+            assert_eq!(x, y, "validated read saw torn pair");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn try_read_critical_fails_while_locked() {
+        let l = OptiQL::new();
+        let g = XGuard::lock(&l);
+        assert!(try_read_critical(&l, &mut || 0).is_none());
+        g.unlock();
+        assert_eq!(try_read_critical(&l, &mut || 7), Some(7));
+    }
+}

@@ -1,0 +1,263 @@
+//! Queue node pool with ID ↔ pointer translation (paper §6.3).
+//!
+//! OptiQL stores a compact queue node *ID* in the lock word instead of a
+//! 64-bit pointer, which is what lets the word carry a version number at the
+//! same time. The application must therefore provide a globally accessible
+//! translation between IDs and addresses. Following the paper (and FOEDUS
+//! \[24\]), all queue nodes are pre-allocated in one contiguous static array so
+//! an ID is simply the array index; `to_ptr` is a single indexed load.
+//!
+//! Nodes are handed out through a global free list fronted by small
+//! per-thread caches, so steady-state allocation is a thread-local pop.
+//! Database workloads need very few live nodes per thread (at most two for
+//! B+-tree merges, see paper §6.1), so the 1024-node pool bounds hundreds of
+//! worker threads.
+
+use std::cell::RefCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::word::{INVALID_VERSION, MAX_QNODES};
+
+/// A writer requester's queue node (paper Figure 3b).
+///
+/// Compared to an MCS queue node, the `granted` boolean is replaced by a
+/// `version` field: the predecessor grants the lock by storing the (already
+/// incremented) version number, which the new holder later publishes on
+/// release. The two extra packed fields (`state`, `class`) are used only by
+/// the fair reader-writer MCS variant (`McsRwLock`), which shares this pool.
+///
+/// Cache-line aligned (two lines on x86 to defeat adjacent-line prefetching)
+/// so local spinning on one node never contends with its neighbours.
+#[repr(C, align(128))]
+pub struct QNode {
+    /// Pointer to the successor's queue node, written by the successor.
+    pub(crate) next: AtomicPtr<QNode>,
+    /// `INVALID_VERSION` while waiting; the granted version afterwards.
+    pub(crate) version: AtomicU64,
+    /// McsRwLock: bit 0 = blocked, bits 1-2 = successor class.
+    pub(crate) state: AtomicU32,
+    /// McsRwLock: requester class (reader / writer).
+    pub(crate) class: AtomicU32,
+}
+
+impl QNode {
+    const fn new() -> Self {
+        QNode {
+            next: AtomicPtr::new(ptr::null_mut()),
+            version: AtomicU64::new(INVALID_VERSION),
+            state: AtomicU32::new(0),
+            class: AtomicU32::new(0),
+        }
+    }
+
+    /// Re-initialize before joining a queue.
+    #[inline]
+    pub fn reset(&self) {
+        self.next.store(ptr::null_mut(), Ordering::Relaxed);
+        self.version.store(INVALID_VERSION, Ordering::Relaxed);
+        self.state.store(0, Ordering::Relaxed);
+        self.class.store(0, Ordering::Relaxed);
+    }
+
+    /// Successor pointer (Acquire).
+    #[inline]
+    pub fn next(&self) -> *mut QNode {
+        self.next.load(Ordering::Acquire)
+    }
+
+    /// Version field (Acquire) — `INVALID_VERSION` while still waiting.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+struct Pool {
+    nodes: Box<[QNode]>,
+    free: Mutex<Vec<u16>>,
+}
+
+impl Pool {
+    fn new() -> Self {
+        let mut nodes = Vec::with_capacity(MAX_QNODES);
+        nodes.resize_with(MAX_QNODES, QNode::new);
+        // Hand out low IDs first: makes tests deterministic and keeps the
+        // hot nodes in a compact region.
+        let free: Vec<u16> = (0..MAX_QNODES as u16).rev().collect();
+        Pool {
+            nodes: nodes.into_boxed_slice(),
+            free: Mutex::new(free),
+        }
+    }
+}
+
+fn pool() -> &'static Pool {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(Pool::new)
+}
+
+/// How many IDs a thread grabs from the global free list at a time.
+const LOCAL_BATCH: usize = 8;
+
+struct LocalCache {
+    ids: Vec<u16>,
+}
+
+impl Drop for LocalCache {
+    fn drop(&mut self) {
+        if !self.ids.is_empty() {
+            pool().free.lock().append(&mut self.ids);
+        }
+    }
+}
+
+thread_local! {
+    static CACHE: RefCell<LocalCache> = const { RefCell::new(LocalCache { ids: Vec::new() }) };
+}
+
+/// Translate a queue node ID to its address (paper's `to_ptr`).
+#[inline]
+pub fn to_ptr(id: u16) -> &'static QNode {
+    &pool().nodes[id as usize]
+}
+
+/// Allocate a queue node ID, or `None` if the pool is exhausted.
+pub fn try_alloc() -> Option<u16> {
+    let from_tls = CACHE
+        .try_with(|c| {
+            let mut c = c.borrow_mut();
+            if let Some(id) = c.ids.pop() {
+                return Some(id);
+            }
+            // Refill from the global free list.
+            let mut global = pool().free.lock();
+            let take = LOCAL_BATCH.min(global.len());
+            if take == 0 {
+                return None;
+            }
+            let start = global.len() - take;
+            c.ids.extend(global.drain(start..));
+            c.ids.pop()
+        })
+        .ok();
+    match from_tls {
+        Some(got) => got,
+        // TLS already torn down (thread exit path): go straight to global.
+        None => pool().free.lock().pop(),
+    }
+}
+
+/// Allocate a queue node ID; panics if all `MAX_QNODES` nodes are live.
+///
+/// The pool size bounds the number of *concurrent* exclusive lock attempts,
+/// not locks: nodes are recycled as soon as `release_ex` returns.
+#[inline]
+pub fn alloc() -> u16 {
+    try_alloc().expect(
+        "OptiQL queue node pool exhausted: more than 1024 concurrent writer \
+         lock requests. Increase ID_BITS or reduce worker threads.",
+    )
+}
+
+/// Return a queue node ID to the pool.
+pub fn free(id: u16) {
+    debug_assert!((id as usize) < MAX_QNODES);
+    let returned = CACHE
+        .try_with(|c| {
+            let mut c = c.borrow_mut();
+            c.ids.push(id);
+            // Do not let one thread hoard the pool.
+            if c.ids.len() > 2 * LOCAL_BATCH {
+                let half = c.ids.len() / 2;
+                pool().free.lock().extend(c.ids.drain(..half));
+            }
+        })
+        .is_ok();
+    if !returned {
+        pool().free.lock().push(id);
+    }
+}
+
+/// Number of IDs currently on the global free list (diagnostic; excludes
+/// per-thread caches).
+pub fn global_free_len() -> usize {
+    pool().free.lock().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn qnode_is_two_cache_lines() {
+        assert_eq!(std::mem::size_of::<QNode>(), 128);
+        assert_eq!(std::mem::align_of::<QNode>(), 128);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_preserves_ids() {
+        let a = alloc();
+        let b = alloc();
+        assert_ne!(a, b);
+        free(a);
+        free(b);
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let id = alloc();
+        let p1 = to_ptr(id) as *const QNode;
+        let p2 = to_ptr(id) as *const QNode;
+        assert_eq!(p1, p2);
+        free(id);
+    }
+
+    #[test]
+    fn distinct_ids_translate_to_distinct_nodes() {
+        let ids: Vec<u16> = (0..16).map(|_| alloc()).collect();
+        let ptrs: HashSet<usize> = ids.iter().map(|&i| to_ptr(i) as *const _ as usize).collect();
+        assert_eq!(ptrs.len(), ids.len());
+        for id in ids {
+            free(id);
+        }
+    }
+
+    #[test]
+    fn reset_clears_all_fields() {
+        let id = alloc();
+        let n = to_ptr(id);
+        n.next.store(n as *const _ as *mut QNode, Ordering::Relaxed);
+        n.version.store(7, Ordering::Relaxed);
+        n.state.store(3, Ordering::Relaxed);
+        n.reset();
+        assert!(n.next().is_null());
+        assert_eq!(n.version(), INVALID_VERSION);
+        assert_eq!(n.state.load(Ordering::Relaxed), 0);
+        free(id);
+    }
+
+    #[test]
+    fn many_threads_allocate_disjoint_ids() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let ids: Vec<u16> = (0..32).map(|_| alloc()).collect();
+                    let set: HashSet<u16> = ids.iter().copied().collect();
+                    assert_eq!(set.len(), ids.len());
+                    for id in &ids {
+                        free(*id);
+                    }
+                    ids
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Test-and-test-and-set spinlock (paper Figure 2a, Rudolph & Segall \[41\]).
+//!
+//! The classic centralized mutual-exclusion baseline: spin reading the lock
+//! word until it looks free, then CAS it to locked. No reader support, no
+//! fairness, collapses under contention — included as the reference point
+//! for Figure 6.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backoff::Backoff;
+use crate::spin::Spinner;
+use crate::traits::{ExclusiveLock, WriteToken};
+
+const UNLOCKED: u64 = 0;
+const LOCKED: u64 = 1;
+
+/// Classic TTS spinlock.
+#[derive(Default)]
+pub struct TtsLock {
+    word: AtomicU64,
+}
+
+impl TtsLock {
+    /// New, unlocked.
+    pub const fn new() -> Self {
+        TtsLock {
+            word: AtomicU64::new(UNLOCKED),
+        }
+    }
+
+    /// Try to acquire without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        self.word.load(Ordering::Relaxed) == UNLOCKED
+            && self
+                .word
+                .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// True iff currently held.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.word.load(Ordering::Relaxed) == LOCKED
+    }
+}
+
+impl ExclusiveLock for TtsLock {
+    const NAME: &'static str = "TTS";
+
+    #[inline]
+    fn x_lock(&self) -> WriteToken {
+        let mut s = Spinner::new();
+        loop {
+            // Test: spin on a (cacheable) read first.
+            if self.word.load(Ordering::Relaxed) == UNLOCKED
+                && self
+                    .word
+                    .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return WriteToken::empty();
+            }
+            s.spin();
+        }
+    }
+
+    #[inline]
+    fn x_unlock(&self, _t: WriteToken) {
+        self.word.store(UNLOCKED, Ordering::Release);
+    }
+}
+
+/// TTS with truncated exponential backoff between retries (ablation
+/// baseline; trades fairness for less coherence traffic).
+#[derive(Default)]
+pub struct TtsBackoff {
+    word: AtomicU64,
+}
+
+impl TtsBackoff {
+    /// New, unlocked.
+    pub const fn new() -> Self {
+        TtsBackoff {
+            word: AtomicU64::new(UNLOCKED),
+        }
+    }
+}
+
+impl ExclusiveLock for TtsBackoff {
+    const NAME: &'static str = "TTS-Backoff";
+
+    #[inline]
+    fn x_lock(&self) -> WriteToken {
+        let mut b = Backoff::default();
+        loop {
+            if self.word.load(Ordering::Relaxed) == UNLOCKED
+                && self
+                    .word
+                    .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return WriteToken::empty();
+            }
+            b.wait();
+        }
+    }
+
+    #[inline]
+    fn x_unlock(&self, _t: WriteToken) {
+        self.word.store(UNLOCKED, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_unlock_cycle() {
+        let l = TtsLock::new();
+        assert!(!l.is_locked());
+        let t = l.x_lock();
+        assert!(l.is_locked());
+        l.x_unlock(t);
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let l = TtsLock::new();
+        let t = l.x_lock();
+        assert!(!l.try_lock());
+        l.x_unlock(t);
+        assert!(l.try_lock());
+        l.x_unlock(WriteToken::empty());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_threads() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let l = Arc::new(TtsLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        let t = l.x_lock();
+                        // Split read-modify-write: torn iff exclusion fails.
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed);
+                        l.x_unlock(t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 40_000);
+    }
+}

@@ -1,0 +1,152 @@
+//! Bit layout of the 8-byte OptiQL lock word (paper Figure 3a).
+//!
+//! ```text
+//!  63       62        61 ... 52        51 ... 0
+//! +--------+---------+----------------+------------------+
+//! | LOCKED | OPREAD  | queue node ID  | version (52 bit) |
+//! +--------+---------+----------------+------------------+
+//! ```
+//!
+//! * `LOCKED` — the lock is granted (or about to be granted) to a writer.
+//! * `OPREAD` — opportunistic read is enabled: the protected data is in a
+//!   consistent state during lock handover and optimistic readers may proceed.
+//! * queue node ID — globally indexed ID of the most recent writer requester's
+//!   queue node (the tail of the MCS-style queue). Only meaningful while
+//!   `LOCKED` is set.
+//! * version — incremented once per exclusive acquire/release round; used by
+//!   optimistic readers for validation.
+//!
+//! The numbers of ID and version bits are adjustable at design time (paper
+//! §4.2); we use the paper's configuration of 10 ID bits (1024 queue nodes)
+//! and 52 version bits.
+
+/// Number of bits used for the queue node ID.
+pub const ID_BITS: u32 = 10;
+/// Number of bits used for the version counter.
+pub const VERSION_BITS: u32 = 52;
+/// Maximum number of queue nodes addressable by a lock word.
+pub const MAX_QNODES: usize = 1 << ID_BITS;
+
+/// Exclusive-mode bit (paper: `1UL << 63`).
+pub const LOCKED: u64 = 1 << 63;
+/// Opportunistic-read bit.
+pub const OPREAD: u64 = 1 << 62;
+/// Both status bits.
+pub const STATUS_MASK: u64 = LOCKED | OPREAD;
+
+/// Shift of the queue node ID field.
+pub const ID_SHIFT: u32 = VERSION_BITS;
+/// Mask of the queue node ID field (in place).
+pub const ID_FIELD_MASK: u64 = ((MAX_QNODES as u64) - 1) << ID_SHIFT;
+/// Mask of the version field.
+pub const VERSION_MASK: u64 = (1 << VERSION_BITS) - 1;
+
+/// Sentinel stored in a queue node's `version` field while the owner is
+/// waiting to be granted the lock.
+pub const INVALID_VERSION: u64 = u64::MAX;
+
+/// Build a lock word that records a writer requester: `LOCKED | id`, with the
+/// opportunistic-read bit off and the version field zeroed (paper Alg 3 l.2).
+#[inline(always)]
+pub const fn locked_word(id: u16) -> u64 {
+    LOCKED | ((id as u64) << ID_SHIFT)
+}
+
+/// Extract the queue node ID field.
+#[inline(always)]
+pub const fn word_id(word: u64) -> u16 {
+    ((word & ID_FIELD_MASK) >> ID_SHIFT) as u16
+}
+
+/// Extract the version field.
+#[inline(always)]
+pub const fn word_version(word: u64) -> u64 {
+    word & VERSION_MASK
+}
+
+/// True iff the `LOCKED` bit is set.
+#[inline(always)]
+pub const fn is_locked(word: u64) -> bool {
+    word & LOCKED != 0
+}
+
+/// True iff the `OPREAD` bit is set.
+#[inline(always)]
+pub const fn is_opread(word: u64) -> bool {
+    word & OPREAD != 0
+}
+
+/// Reader admission check (paper Alg 2 l.3): a reader may proceed when the
+/// status bits are not exactly `LOCKED` — i.e. the lock is free, or it is
+/// locked but opportunistic read is enabled.
+#[inline(always)]
+pub const fn readable(word: u64) -> bool {
+    word & STATUS_MASK != LOCKED
+}
+
+/// Increment a version, wrapping within the 52-bit version field.
+#[inline(always)]
+pub const fn bump_version(version: u64) -> u64 {
+    version.wrapping_add(1) & VERSION_MASK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_widths_fill_the_word() {
+        assert_eq!(2 + ID_BITS + VERSION_BITS, 64);
+        assert_eq!(MAX_QNODES, 1024);
+    }
+
+    #[test]
+    fn masks_are_disjoint_and_exhaustive() {
+        assert_eq!(STATUS_MASK & ID_FIELD_MASK, 0);
+        assert_eq!(STATUS_MASK & VERSION_MASK, 0);
+        assert_eq!(ID_FIELD_MASK & VERSION_MASK, 0);
+        assert_eq!(STATUS_MASK | ID_FIELD_MASK | VERSION_MASK, u64::MAX);
+    }
+
+    #[test]
+    fn locked_word_roundtrip() {
+        for id in [0u16, 1, 511, 1023] {
+            let w = locked_word(id);
+            assert!(is_locked(w));
+            assert!(!is_opread(w));
+            assert_eq!(word_id(w), id);
+            assert_eq!(word_version(w), 0);
+        }
+    }
+
+    #[test]
+    fn readable_matches_paper_truth_table() {
+        // free, version-only word: readable
+        assert!(readable(42));
+        // locked, no opread: not readable
+        assert!(!readable(LOCKED | 42));
+        assert!(!readable(locked_word(7)));
+        // locked + opread (handover window): readable
+        assert!(readable(LOCKED | OPREAD | locked_word(7) | 42));
+    }
+
+    #[test]
+    fn version_wraps_within_field() {
+        assert_eq!(bump_version(0), 1);
+        assert_eq!(bump_version(VERSION_MASK), 0);
+        assert_eq!(bump_version(VERSION_MASK - 1), VERSION_MASK);
+    }
+
+    #[test]
+    fn invalid_version_cannot_collide_with_real_versions() {
+        // Real versions fit in 52 bits; the sentinel does not.
+        const { assert!(INVALID_VERSION > VERSION_MASK) };
+    }
+
+    #[test]
+    fn id_extraction_ignores_other_fields() {
+        let w = LOCKED | OPREAD | ((931u64) << ID_SHIFT) | 0xABCDEF;
+        assert_eq!(word_id(w), 931);
+        assert_eq!(word_version(w), 0xABCDEF);
+    }
+}

@@ -1,0 +1,289 @@
+//! Key distributions for workload generation.
+//!
+//! The paper uses a uniform random distribution for low-contention
+//! experiments and the **self-similar** distribution of Gray et al. \[17\]
+//! ("Quickly Generating Billion-Record Synthetic Databases") with skew
+//! factor 0.2 for contended ones — 80% of accesses target 20% of the keys,
+//! recursively at every scale. A YCSB-style Zipfian generator is included
+//! as an extension.
+
+use rand::Rng;
+
+/// A distribution over key indices `0..n`.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over `0..n` (paper: low contention).
+    Uniform,
+    /// Self-similar with skew `h`: a fraction `1-h` of accesses go to the
+    /// first `h·n` keys (paper: `h = 0.2` ⇒ "80% of accesses focused on
+    /// 20% of the keys"). The key space is *dense*: index 0 is the
+    /// hottest.
+    SelfSimilar {
+        /// Skew factor in `(0, 0.5)`; 0.2 reproduces the paper.
+        skew: f64,
+    },
+    /// Zipfian with parameter `theta` (YCSB-style, extension).
+    Zipfian {
+        /// Skew parameter in `(0, 1)`; 0.99 is the YCSB default.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// The paper's high-contention configuration.
+    pub fn self_similar_02() -> Self {
+        KeyDist::SelfSimilar { skew: 0.2 }
+    }
+
+    /// Build a sampler for a key space of `n` indices.
+    pub fn sampler(&self, n: u64) -> Sampler {
+        assert!(n > 0);
+        match *self {
+            KeyDist::Uniform => Sampler::Uniform { n },
+            KeyDist::SelfSimilar { skew } => {
+                assert!(skew > 0.0 && skew < 1.0);
+                Sampler::SelfSimilar {
+                    n,
+                    exp: skew.ln() / (1.0 - skew).ln(),
+                }
+            }
+            KeyDist::Zipfian { theta } => {
+                assert!(theta > 0.0 && theta < 1.0);
+                // Precompute the harmonic normalizers (Gray et al. §3.2).
+                let zetan = zeta(n, theta);
+                let zeta2 = zeta(2, theta);
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                Sampler::Zipfian {
+                    n,
+                    theta,
+                    zetan,
+                    alpha,
+                    eta,
+                }
+            }
+        }
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n; integral approximation for large n keeps setup
+    // fast without visibly distorting the distribution.
+    if n <= 10_000_000 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta);
+        head + tail
+    }
+}
+
+/// Materialized sampler (cheap per-draw, no allocation).
+#[derive(Debug, Clone)]
+pub enum Sampler {
+    /// See [`KeyDist::Uniform`].
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// See [`KeyDist::SelfSimilar`].
+    SelfSimilar {
+        /// Key-space size.
+        n: u64,
+        /// Precomputed exponent `ln(h) / ln(1-h)`.
+        exp: f64,
+    },
+    /// See [`KeyDist::Zipfian`].
+    Zipfian {
+        /// Key-space size.
+        n: u64,
+        /// Skew parameter.
+        theta: f64,
+        /// `zeta(n, theta)`.
+        zetan: f64,
+        /// `1 / (1 - theta)`.
+        alpha: f64,
+        /// YCSB eta.
+        eta: f64,
+    },
+}
+
+impl Sampler {
+    /// Draw a key index in `0..n`.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match *self {
+            Sampler::Uniform { n } => rng.random_range(0..n),
+            Sampler::SelfSimilar { n, exp } => {
+                let u: f64 = rng.random();
+                // Gray et al.: floor(n * u^(ln h / ln(1-h))); index 0 is
+                // hottest and heat decays self-similarly.
+                let x = (n as f64 * u.powf(exp)) as u64;
+                x.min(n - 1)
+            }
+            Sampler::Zipfian {
+                n,
+                theta,
+                zetan,
+                alpha,
+                eta,
+            } => {
+                let u: f64 = rng.random();
+                let uz = u * zetan;
+                if uz < 1.0 {
+                    0
+                } else if uz < 1.0 + 0.5f64.powf(theta) {
+                    1
+                } else {
+                    let x = (n as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64;
+                    x.min(n - 1)
+                }
+            }
+        }
+    }
+}
+
+/// Map a dense key index to an actual key.
+///
+/// * `Dense` — identity; the paper's default ("we make the key space dense
+///   ... to increase the stress on the lock").
+/// * `Sparse` — a Fibonacci/xor mixer (invertible), producing keys spread
+///   across the full 64-bit space; reproduces §7.6's sparse-integer-keys
+///   setup that triggers ART lazy expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySpace {
+    /// Identity mapping: key = index.
+    Dense,
+    /// Bit-mixed mapping: keys scatter over the whole 64-bit domain.
+    Sparse,
+}
+
+impl KeySpace {
+    /// Map an index to a key.
+    #[inline]
+    pub fn key(&self, index: u64) -> u64 {
+        match self {
+            KeySpace::Dense => index,
+            KeySpace::Sparse => mix64(index),
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a bijection on `u64`.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn histogram(s: &Sampler, n: u64, draws: usize) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut h = vec![0u64; n as usize];
+        for _ in 0..draws {
+            h[s.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let s = KeyDist::Uniform.sampler(100);
+        let h = histogram(&s, 100, 200_000);
+        let expect = 2_000.0;
+        for (i, c) in h.iter().enumerate() {
+            let dev = (*c as f64 - expect).abs() / expect;
+            assert!(dev < 0.25, "bucket {i} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn self_similar_obeys_80_20() {
+        let n = 10_000u64;
+        let s = KeyDist::self_similar_02().sampler(n);
+        let h = histogram(&s, n, 400_000);
+        let hot: u64 = h.iter().take((n / 5) as usize).sum();
+        let total: u64 = h.iter().sum();
+        let frac = hot as f64 / total as f64;
+        assert!(
+            (0.78..=0.82).contains(&frac),
+            "hot fraction {frac} should be ≈ 0.8"
+        );
+        // Recursive self-similarity: 64% of accesses in the hottest 4%.
+        let hotter: u64 = h.iter().take((n / 25) as usize).sum();
+        let frac2 = hotter as f64 / total as f64;
+        assert!(
+            (0.61..=0.67).contains(&frac2),
+            "recursive hot fraction {frac2} should be ≈ 0.64"
+        );
+    }
+
+    #[test]
+    fn self_similar_first_256_of_dense_100m_get_16_percent() {
+        // The paper's example: "following this distribution, the first 256
+        // keys would accept 16% of the total accesses" (100M keys, h=0.2).
+        let n = 100_000_000u64;
+        let s = KeyDist::self_similar_02().sampler(n);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let draws = 400_000;
+        let mut hits = 0u64;
+        for _ in 0..draws {
+            if s.sample(&mut rng) < 256 {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / draws as f64;
+        assert!(
+            (0.14..=0.18).contains(&frac),
+            "first-256 fraction {frac} should be ≈ 0.16"
+        );
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed() {
+        let n = 10_000u64;
+        let s = KeyDist::Zipfian { theta: 0.99 }.sampler(n);
+        let h = histogram(&s, n, 200_000);
+        let total: u64 = h.iter().sum();
+        assert!(h[0] as f64 / total as f64 > 0.05, "rank 0 should be hot");
+        let top10: u64 = h.iter().take(10).sum();
+        assert!(top10 as f64 / total as f64 > 0.3);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::self_similar_02(),
+            KeyDist::Zipfian { theta: 0.5 },
+        ] {
+            for n in [1u64, 2, 7, 1000] {
+                let s = dist.sampler(n);
+                for _ in 0..2_000 {
+                    assert!(s.sample(&mut rng) < n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix64_is_injective_on_a_window() {
+        use std::collections::HashSet;
+        let set: HashSet<u64> = (0..100_000u64).map(mix64).collect();
+        assert_eq!(set.len(), 100_000);
+    }
+
+    #[test]
+    fn keyspace_mapping() {
+        assert_eq!(KeySpace::Dense.key(42), 42);
+        assert_ne!(KeySpace::Sparse.key(42), 42);
+        assert_eq!(KeySpace::Sparse.key(42), mix64(42));
+    }
+}

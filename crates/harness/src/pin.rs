@@ -1,0 +1,51 @@
+//! Thread pinning (paper §7.1: "threads are pinned to hardware
+//! hyperthreads to avoid migrations by the OS scheduler").
+//!
+//! On Linux this uses `sched_setaffinity`; elsewhere (or when the host has
+//! a single CPU) it is a no-op. Benchmarks call it best-effort.
+
+/// Number of logical CPUs visible to this process.
+pub fn num_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pin the calling thread to `core % num_cpus()`. Returns `true` when the
+/// affinity call succeeded.
+#[cfg(target_os = "linux")]
+pub fn pin_thread(core: usize) -> bool {
+    let ncpu = num_cpus();
+    if ncpu <= 1 {
+        return false;
+    }
+    let target = core % ncpu;
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_SET(target, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+}
+
+/// Non-Linux fallback: no-op.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_thread(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_cpus_is_positive() {
+        assert!(num_cpus() >= 1);
+    }
+
+    #[test]
+    fn pin_does_not_crash() {
+        // Result depends on the host; only the call's safety is asserted.
+        let _ = pin_thread(0);
+        let _ = pin_thread(1_000);
+    }
+}

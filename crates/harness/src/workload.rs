@@ -1,0 +1,437 @@
+//! PiBench-style index workload driver (paper §7.1).
+//!
+//! Pre-loads an index with `preload` records of 8-byte keys and 8-byte
+//! values, then spawns pinned worker threads that issue an operation mix
+//! (lookup / update / insert / remove) with keys drawn from a configurable
+//! distribution, reporting throughput and sampled per-operation latency.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use optiql::IndexLock;
+
+use crate::dist::{KeyDist, KeySpace};
+use crate::latency::Histogram;
+use crate::pin::pin_thread;
+
+/// A concurrent `u64 → u64` index: the interface both paper indexes expose.
+pub trait ConcurrentIndex: Send + Sync {
+    /// Insert or overwrite a key.
+    fn insert(&self, k: u64, v: u64) -> Option<u64>;
+    /// Update an existing key.
+    fn update(&self, k: u64, v: u64) -> Option<u64>;
+    /// Point lookup.
+    fn lookup(&self, k: u64) -> Option<u64>;
+    /// Remove a key.
+    fn remove(&self, k: u64) -> Option<u64>;
+    /// Range scan: number of entries with keys ≥ `start`, up to `limit`
+    /// (YCSB-E style). Indexes without range support return 0.
+    fn scan_count(&self, start: u64, limit: usize) -> usize {
+        let _ = (start, limit);
+        0
+    }
+}
+
+impl<IL, LL, const IC: usize, const LC: usize> ConcurrentIndex
+    for optiql_btree::BPlusTree<IL, LL, IC, LC>
+where
+    IL: IndexLock,
+    LL: IndexLock,
+{
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        optiql_btree::BPlusTree::insert(self, k, v)
+    }
+    fn update(&self, k: u64, v: u64) -> Option<u64> {
+        optiql_btree::BPlusTree::update(self, k, v)
+    }
+    fn lookup(&self, k: u64) -> Option<u64> {
+        optiql_btree::BPlusTree::lookup(self, k)
+    }
+    fn remove(&self, k: u64) -> Option<u64> {
+        optiql_btree::BPlusTree::remove(self, k)
+    }
+    fn scan_count(&self, start: u64, limit: usize) -> usize {
+        optiql_btree::BPlusTree::scan(self, start, limit).len()
+    }
+}
+
+impl<L: IndexLock> ConcurrentIndex for optiql_art::ArtTree<L> {
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        optiql_art::ArtTree::insert(self, k, v)
+    }
+    fn update(&self, k: u64, v: u64) -> Option<u64> {
+        optiql_art::ArtTree::update(self, k, v)
+    }
+    fn lookup(&self, k: u64) -> Option<u64> {
+        optiql_art::ArtTree::lookup(self, k)
+    }
+    fn remove(&self, k: u64) -> Option<u64> {
+        optiql_art::ArtTree::remove(self, k)
+    }
+    fn scan_count(&self, start: u64, limit: usize) -> usize {
+        optiql_art::ArtTree::scan(self, start, limit).len()
+    }
+}
+
+/// Operation mix in percent (sums to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Lookup percentage.
+    pub lookup: u32,
+    /// Update percentage.
+    pub update: u32,
+    /// Insert percentage.
+    pub insert: u32,
+    /// Remove percentage.
+    pub remove: u32,
+    /// Range-scan percentage (YCSB-E style, up to 100 entries per scan).
+    pub scan: u32,
+}
+
+impl Mix {
+    /// 100% lookups (paper "Read-only").
+    pub const READ_ONLY: Mix = Mix::new(100, 0, 0, 0);
+    /// 80% lookups / 20% updates (paper "Read-heavy").
+    pub const READ_HEAVY: Mix = Mix::new(80, 20, 0, 0);
+    /// 50/50 (paper "Balanced").
+    pub const BALANCED: Mix = Mix::new(50, 50, 0, 0);
+    /// 20% lookups / 80% updates (paper "Write-heavy").
+    pub const WRITE_HEAVY: Mix = Mix::new(20, 80, 0, 0);
+    /// 100% updates (paper "Update-only").
+    pub const UPDATE_ONLY: Mix = Mix::new(0, 100, 0, 0);
+    /// Insert-heavy extension mix.
+    pub const INSERT_HEAVY: Mix = Mix::new(40, 0, 50, 10);
+
+    /// YCSB-A: 50% reads / 50% updates.
+    pub const YCSB_A: Mix = Mix::new(50, 50, 0, 0);
+    /// YCSB-B: 95% reads / 5% updates.
+    pub const YCSB_B: Mix = Mix::new(95, 5, 0, 0);
+    /// YCSB-C: read-only.
+    pub const YCSB_C: Mix = Mix::new(100, 0, 0, 0);
+    /// YCSB-D: 95% reads / 5% inserts.
+    pub const YCSB_D: Mix = Mix::new(95, 0, 5, 0);
+    /// YCSB-E: 95% range scans / 5% inserts.
+    pub const YCSB_E: Mix = Mix::with_scan(0, 0, 5, 0, 95);
+    /// YCSB-F: 50% reads / 50% read-modify-writes (modeled as updates).
+    pub const YCSB_F: Mix = Mix::new(50, 50, 0, 0);
+
+    /// Construct a point-op mix (must sum to 100).
+    pub const fn new(lookup: u32, update: u32, insert: u32, remove: u32) -> Mix {
+        Mix::with_scan(lookup, update, insert, remove, 0)
+    }
+
+    /// Construct a mix including range scans (must sum to 100).
+    pub const fn with_scan(lookup: u32, update: u32, insert: u32, remove: u32, scan: u32) -> Mix {
+        let m = Mix {
+            lookup,
+            update,
+            insert,
+            remove,
+            scan,
+        };
+        assert!(lookup + update + insert + remove + scan == 100);
+        m
+    }
+
+    /// The YCSB core workload suite (A–F).
+    pub fn ycsb_suite() -> [(&'static str, Mix); 6] {
+        [
+            ("YCSB-A", Mix::YCSB_A),
+            ("YCSB-B", Mix::YCSB_B),
+            ("YCSB-C", Mix::YCSB_C),
+            ("YCSB-D", Mix::YCSB_D),
+            ("YCSB-E", Mix::YCSB_E),
+            ("YCSB-F", Mix::YCSB_F),
+        ]
+    }
+
+    /// The paper's five §7.3 workloads with their labels.
+    pub fn paper_suite() -> [(&'static str, Mix); 5] {
+        [
+            ("Read-only", Mix::READ_ONLY),
+            ("Read-heavy", Mix::READ_HEAVY),
+            ("Balanced", Mix::BALANCED),
+            ("Write-heavy", Mix::WRITE_HEAVY),
+            ("Update-only", Mix::UPDATE_ONLY),
+        ]
+    }
+}
+
+/// Index workload configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Measured run time.
+    pub duration: Duration,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key distribution over the preloaded key indices.
+    pub dist: KeyDist,
+    /// Dense or sparse key encoding.
+    pub keyspace: KeySpace,
+    /// Records preloaded before the measured phase.
+    pub preload: u64,
+    /// Record one latency sample every `n` operations (0 disables).
+    pub sample_every: u32,
+}
+
+impl WorkloadConfig {
+    /// Reasonable defaults for the paper's index experiments, scaled by
+    /// the caller via the public fields.
+    pub fn new(threads: usize, mix: Mix, dist: KeyDist, preload: u64) -> Self {
+        WorkloadConfig {
+            threads,
+            duration: Duration::from_millis(500),
+            mix,
+            dist,
+            keyspace: KeySpace::Dense,
+            preload,
+            sample_every: 64,
+        }
+    }
+}
+
+/// Result of a workload run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadResult {
+    /// Completed lookups.
+    pub lookups: u64,
+    /// Lookups that found their key.
+    pub lookup_hits: u64,
+    /// Completed updates.
+    pub updates: u64,
+    /// Completed inserts.
+    pub inserts: u64,
+    /// Completed removes.
+    pub removes: u64,
+    /// Completed range scans.
+    pub scans: u64,
+    /// Entries returned across all scans.
+    pub scanned_entries: u64,
+    /// Measured wall-clock time.
+    pub elapsed: Duration,
+    /// Per-thread completed operations (fairness diagnostics).
+    pub per_thread_ops: Vec<u64>,
+}
+
+impl WorkloadResult {
+    /// Total completed operations.
+    pub fn ops(&self) -> u64 {
+        self.lookups + self.updates + self.inserts + self.removes + self.scans
+    }
+
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.ops() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Pre-load `cfg.preload` records: key indices `0..preload` through the
+/// key-space mapping, value = key + 1.
+pub fn preload<I: ConcurrentIndex>(index: &I, cfg: &WorkloadConfig) {
+    for i in 0..cfg.preload {
+        let k = cfg.keyspace.key(i);
+        index.insert(k, k.wrapping_add(1));
+    }
+}
+
+/// Run the measured phase. Returns aggregate counts and, when sampling is
+/// enabled, a latency histogram (nanoseconds) per run.
+pub fn run<I: ConcurrentIndex>(index: &I, cfg: &WorkloadConfig) -> (WorkloadResult, Histogram) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|tid| {
+                let stop = Arc::clone(&stop);
+                let barrier = Arc::clone(&barrier);
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    pin_thread(tid);
+                    let sampler = cfg.dist.sampler(cfg.preload.max(1));
+                    let mut rng = SmallRng::seed_from_u64(0xBEEF ^ (tid as u64) << 8);
+                    let mut hist = Histogram::new();
+                    let mut out = WorkloadResult::default();
+                    // Fresh keys for inserts: disjoint per thread, beyond
+                    // the preloaded range.
+                    let mut next_insert =
+                        cfg.preload + tid as u64 * (u64::MAX / 1024 / cfg.threads as u64);
+                    let mut op_counter = 0u32;
+                    barrier.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        let die = rng.random_range(0..100);
+                        let sample_this = cfg.sample_every > 0 && {
+                            op_counter = op_counter.wrapping_add(1);
+                            op_counter % cfg.sample_every == 0
+                        };
+                        let t0 = sample_this.then(Instant::now);
+                        if die < cfg.mix.lookup {
+                            let k = cfg.keyspace.key(sampler.sample(&mut rng));
+                            if index.lookup(k).is_some() {
+                                out.lookup_hits += 1;
+                            }
+                            out.lookups += 1;
+                        } else if die < cfg.mix.lookup + cfg.mix.update {
+                            let k = cfg.keyspace.key(sampler.sample(&mut rng));
+                            index.update(k, rng.random());
+                            out.updates += 1;
+                        } else if die < cfg.mix.lookup + cfg.mix.update + cfg.mix.insert {
+                            let k = cfg.keyspace.key(next_insert);
+                            next_insert += 1;
+                            index.insert(k, k.wrapping_add(1));
+                            out.inserts += 1;
+                        } else if die
+                            < cfg.mix.lookup + cfg.mix.update + cfg.mix.insert + cfg.mix.remove
+                        {
+                            let k = cfg.keyspace.key(sampler.sample(&mut rng));
+                            index.remove(k);
+                            out.removes += 1;
+                        } else {
+                            let k = cfg.keyspace.key(sampler.sample(&mut rng));
+                            out.scanned_entries += index.scan_count(k, 100) as u64;
+                            out.scans += 1;
+                        }
+                        if let Some(t0) = t0 {
+                            hist.record(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    (out, hist)
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Release);
+
+        let mut total = WorkloadResult::default();
+        let mut hist = Histogram::new();
+        for h in handles {
+            let (out, th) = h.join().unwrap();
+            total.lookups += out.lookups;
+            total.lookup_hits += out.lookup_hits;
+            total.updates += out.updates;
+            total.inserts += out.inserts;
+            total.removes += out.removes;
+            total.scans += out.scans;
+            total.scanned_entries += out.scanned_entries;
+            total
+                .per_thread_ops
+                .push(out.lookups + out.updates + out.inserts + out.removes + out.scans);
+            hist.merge(&th);
+        }
+        total.elapsed = start.elapsed();
+        (total, hist)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optiql_art::ArtOptiQL;
+    use optiql_btree::{BTreeOptLock, BTreeOptiQL};
+
+    fn quick_cfg(mix: Mix) -> WorkloadConfig {
+        let mut cfg = WorkloadConfig::new(2, mix, KeyDist::Uniform, 10_000);
+        cfg.duration = Duration::from_millis(150);
+        cfg
+    }
+
+    #[test]
+    fn preload_populates_every_key() {
+        let tree: BTreeOptiQL = BTreeOptiQL::new();
+        let cfg = quick_cfg(Mix::READ_ONLY);
+        preload(&tree, &cfg);
+        assert_eq!(tree.len(), 10_000);
+        assert_eq!(tree.lookup(0), Some(1));
+        assert_eq!(tree.lookup(9_999), Some(10_000));
+    }
+
+    #[test]
+    fn read_only_workload_hits_every_lookup() {
+        let tree: BTreeOptiQL = BTreeOptiQL::new();
+        let cfg = quick_cfg(Mix::READ_ONLY);
+        preload(&tree, &cfg);
+        let (r, hist) = run(&tree, &cfg);
+        assert!(r.lookups > 0);
+        assert_eq!(r.lookups, r.lookup_hits, "dense preload: all hits");
+        assert_eq!(r.updates + r.inserts + r.removes, 0);
+        assert!(hist.count() > 0);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn balanced_workload_mixes_ops() {
+        let tree: BTreeOptLock = BTreeOptLock::new();
+        let cfg = quick_cfg(Mix::BALANCED);
+        preload(&tree, &cfg);
+        let (r, _) = run(&tree, &cfg);
+        assert!(r.lookups > 0);
+        assert!(r.updates > 0);
+        let ratio = r.lookups as f64 / (r.lookups + r.updates) as f64;
+        assert!((0.35..0.65).contains(&ratio), "lookup ratio {ratio}");
+    }
+
+    #[test]
+    fn insert_heavy_grows_art() {
+        let art: ArtOptiQL = ArtOptiQL::new();
+        let cfg = quick_cfg(Mix::INSERT_HEAVY);
+        preload(&art, &cfg);
+        let before = art.len();
+        let (r, _) = run(&art, &cfg);
+        assert!(r.inserts > 0);
+        assert!(art.len() > before, "inserts must add keys");
+        art.check_invariants();
+    }
+
+    #[test]
+    fn self_similar_workload_runs_on_art() {
+        let art: ArtOptiQL = ArtOptiQL::new();
+        let mut cfg = quick_cfg(Mix::WRITE_HEAVY);
+        cfg.dist = KeyDist::self_similar_02();
+        preload(&art, &cfg);
+        let (r, _) = run(&art, &cfg);
+        assert!(r.updates > 0);
+        art.check_invariants();
+    }
+
+    #[test]
+    fn mix_percentages_validate() {
+        let suite = Mix::paper_suite();
+        assert_eq!(suite.len(), 5);
+        for (_, m) in suite {
+            assert_eq!(m.lookup + m.update + m.insert + m.remove + m.scan, 100);
+        }
+        for (_, m) in Mix::ycsb_suite() {
+            assert_eq!(m.lookup + m.update + m.insert + m.remove + m.scan, 100);
+        }
+    }
+
+    #[test]
+    fn ycsb_e_drives_range_scans() {
+        let tree: BTreeOptiQL = BTreeOptiQL::new();
+        let cfg = quick_cfg(Mix::YCSB_E);
+        preload(&tree, &cfg);
+        let (r, _) = run(&tree, &cfg);
+        assert!(r.scans > 0, "YCSB-E must issue scans");
+        assert!(r.scanned_entries > 0);
+        assert!(r.inserts > 0, "YCSB-E inserts 5%");
+    }
+
+    #[test]
+    fn ycsb_e_scans_on_art_too() {
+        let art: ArtOptiQL = ArtOptiQL::new();
+        let cfg = quick_cfg(Mix::YCSB_E);
+        preload(&art, &cfg);
+        let (r, _) = run(&art, &cfg);
+        assert!(r.scans > 0 && r.scanned_entries > 0);
+        art.check_invariants();
+    }
+}

@@ -1,0 +1,28 @@
+//! Pool-exhaustion behaviour (§6.3). This test drains the process-global
+//! queue-node pool, so it lives in its own integration-test binary —
+//! cargo runs each test file in a separate process, keeping the drained
+//! pool away from every other test.
+
+use optiql::qnode;
+
+#[test]
+fn exhaustion_is_detected_not_corrupted() {
+    // try_alloc must return None (not panic / not hand out duplicates)
+    // when the pool runs dry, and recover fully afterwards.
+    let mut held = Vec::new();
+    while let Some(id) = qnode::try_alloc() {
+        held.push(id);
+        if held.len() > optiql::word::MAX_QNODES {
+            panic!("allocated more IDs than the pool holds");
+        }
+    }
+    let unique: std::collections::HashSet<u16> = held.iter().copied().collect();
+    assert_eq!(unique.len(), held.len(), "duplicate IDs handed out");
+    assert!(qnode::try_alloc().is_none());
+    for id in held.drain(..) {
+        qnode::free(id);
+    }
+    // Pool must be usable again.
+    let id = qnode::try_alloc().expect("pool recovered");
+    qnode::free(id);
+}

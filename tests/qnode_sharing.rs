@@ -1,0 +1,90 @@
+//! The queue-node pool (§6.3) is a process-global resource shared by every
+//! queue-based lock in every index. These tests exercise that sharing:
+//! many locks, many threads, deep nesting — the pool must never leak and
+//! IDs must never collide while live.
+
+use std::sync::Arc;
+
+use optiql::{qnode, ExclusiveLock, IndexLock, McsLock, McsRwLock, OptiQL};
+
+#[test]
+fn nested_acquisitions_use_distinct_qnodes() {
+    // A thread holding several OptiQL locks at once (the B+-tree merge
+    // case needs two; go deeper to stress the pool).
+    let locks: Vec<OptiQL> = (0..16).map(|_| OptiQL::new()).collect();
+    let tokens: Vec<_> = locks.iter().map(|l| l.x_lock()).collect();
+    let ids: std::collections::HashSet<u16> = tokens.iter().map(|t| t.qnode_id()).collect();
+    assert_eq!(ids.len(), tokens.len(), "live queue node IDs must be unique");
+    for (l, t) in locks.iter().zip(tokens) {
+        l.x_unlock(t);
+    }
+}
+
+#[test]
+fn mixed_lock_families_share_the_pool() {
+    let a = OptiQL::new();
+    let b = McsLock::new();
+    let c = McsRwLock::new();
+    let ta = a.x_lock();
+    let tb = b.x_lock();
+    let tc = c.x_lock();
+    c.x_unlock(tc);
+    // MCS-RW readers also draw queue nodes from the shared pool.
+    let v = c.r_lock().expect("pessimistic r_lock always grants");
+    assert!(c.r_unlock(v));
+    b.x_unlock(tb);
+    a.x_unlock(ta);
+}
+
+#[test]
+fn pool_supports_heavy_concurrent_reuse() {
+    let locks: Arc<Vec<OptiQL>> = Arc::new((0..64).map(|_| OptiQL::new()).collect());
+    let before = qnode::global_free_len();
+    let hs: Vec<_> = (0..8)
+        .map(|seed| {
+            let locks = Arc::clone(&locks);
+            std::thread::spawn(move || {
+                let mut x = seed as u64 + 1;
+                for _ in 0..20_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let l = &locks[(x % 64) as usize];
+                    let t = l.x_lock();
+                    l.x_unlock(t);
+                }
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join().unwrap();
+    }
+    // All nodes must have been recycled (allowing for per-thread caches of
+    // exited threads being returned on drop).
+    let after = qnode::global_free_len();
+    assert!(
+        after >= before.saturating_sub(64),
+        "pool leaked: before={before} after={after}"
+    );
+}
+
+#[test]
+fn wait_chain_across_lock_types_resolves() {
+    // T1 holds A; T2 queues on A while holding B; main queues on B.
+    // All queue nodes come from the same pool; everything must drain.
+    let a = Arc::new(OptiQL::new());
+    let b = Arc::new(McsLock::new());
+    let ta = a.x_lock();
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let t2 = std::thread::spawn(move || {
+        let tb = b2.x_lock();
+        let ta2 = a2.x_lock(); // blocks until main releases
+        a2.x_unlock(ta2);
+        b2.x_unlock(tb);
+    });
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    a.x_unlock(ta); // lets T2 proceed and finish
+    t2.join().unwrap();
+    let tb = b.x_lock();
+    b.x_unlock(tb);
+}
