@@ -26,9 +26,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use optiql::{IndexLock, WriteStrategy};
 use optiql_reclaim::{Collector, Guard};
 
-use crate::node::{
-    as_kv, is_kv, key_bytes, kv_raw, ArtNode, KvLeaf, NodeType, KEY_LEN,
-};
+use crate::node::{as_kv, is_kv, key_bytes, kv_raw, ArtNode, KvLeaf, NodeType, KEY_LEN};
 
 /// Default contention-expansion threshold (paper: 1024).
 pub const DEFAULT_EXPANSION_THRESHOLD: u32 = 1024;
@@ -78,6 +76,7 @@ impl<'a> Restart<'a> {
         self.attempts += 1;
         if self.attempts > 1 {
             self.stats.restarts.fetch_add(1, Ordering::Relaxed);
+            optiql::stats::record(optiql::stats::Event::IndexRestartArt);
         }
         if self.attempts > 3 {
             std::thread::yield_now();
@@ -492,10 +491,7 @@ impl<L: IndexLock> ArtTree<L> {
                         let new4p = ArtNode::<L>::alloc(NodeType::N4);
                         let new4 = unsafe { &*new4p };
                         new4.set_prefix(&full[..m]);
-                        new4.insert_child(
-                            full[m],
-                            node as *const ArtNode<L> as *mut ArtNode<L>,
-                        );
+                        new4.insert_child(full[m], node as *const ArtNode<L> as *mut ArtNode<L>);
                         new4.insert_child(kb[depth + m], KvLeaf::alloc::<L>(key, val));
                         node.set_prefix(&full[m + 1..]);
                         p.replace_child(pb, new4p);
@@ -834,10 +830,7 @@ impl<L: IndexLock> ArtTree<L> {
                             } else {
                                 self.count_stat(&self.stats.collapses);
                                 p.remove_child(pb);
-                                self.retire_inner(
-                                    &g,
-                                    node as *const ArtNode<L> as *mut ArtNode<L>,
-                                );
+                                self.retire_inner(&g, node as *const ArtNode<L> as *mut ArtNode<L>);
                             }
                         }
                     }
@@ -963,7 +956,15 @@ impl<L: IndexLock> ArtTree<L> {
                 (true, std::cmp::Ordering::Less) => return true, // whole subtree < start
                 (true, std::cmp::Ordering::Greater) => {
                     // Whole subtree > start: collect unbounded.
-                    return self.scan_children(&kids, sb, depth + pl, false, limit, out, (node, ver));
+                    return self.scan_children(
+                        &kids,
+                        sb,
+                        depth + pl,
+                        false,
+                        limit,
+                        out,
+                        (node, ver),
+                    );
                 }
                 _ => {
                     let next_depth = depth + pl;
@@ -1053,7 +1054,11 @@ impl<L: IndexLock> ArtTree<L> {
             let mut total = 0;
             let mut kids = Vec::new();
             n.for_each_child(|b, c| kids.push((b, c)));
-            assert_eq!(kids.len(), n.count(), "child iteration disagrees with count");
+            assert_eq!(
+                kids.len(),
+                n.count(),
+                "child iteration disagrees with count"
+            );
             let mut prev: Option<u8> = None;
             for (b, c) in kids {
                 if let Some(pb) = prev {

@@ -183,7 +183,9 @@ stress!(churning, churn);
 fn concurrent_updates_with_forced_expansion() {
     // Aggressive contention-expansion settings under concurrency.
     let tree: Arc<ArtTree<optiql::OptiQL>> = Arc::new(ArtTree::with_expansion(8, 1));
-    let sparse: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let sparse: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     for k in &sparse {
         tree.insert(*k, 0);
     }

@@ -100,13 +100,22 @@ fn scan_survives_concurrent_inserts() {
     for _ in 0..200 {
         let got = t.scan(1_000, 50);
         assert!(got.len() <= 50);
-        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "sorted under churn");
+        assert!(
+            got.windows(2).all(|w| w[0].0 < w[1].0),
+            "sorted under churn"
+        );
         assert!(got.iter().all(|&(k, _)| k >= 1_000));
         // Stable (even) keys in range must appear gap-free: the writer
         // only ever adds odd keys above the scanned window.
         let evens: Vec<u64> = got.iter().map(|p| p.0).filter(|k| k % 2 == 0).collect();
         for w in evens.windows(2) {
-            assert_eq!(w[1], w[0] + 2, "missed stable key between {} and {}", w[0], w[1]);
+            assert_eq!(
+                w[1],
+                w[0] + 2,
+                "missed stable key between {} and {}",
+                w[0],
+                w[1]
+            );
         }
     }
     stop.store(true, Ordering::Relaxed);

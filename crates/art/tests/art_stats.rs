@@ -17,7 +17,10 @@ fn dense_inserts_grow_nodes() {
         t.insert(k, k);
     }
     let s = t.stats();
-    assert!(s.grows >= 3, "expected at least one full growth chain: {s:?}");
+    assert!(
+        s.grows >= 3,
+        "expected at least one full growth chain: {s:?}"
+    );
     assert!(s.lazy_expansions > 0, "dense keys split lazy leaves: {s:?}");
     assert_eq!(s.restarts, 0, "single-threaded: no restarts");
 }
@@ -88,7 +91,9 @@ fn n16_drain_does_not_collapse_but_stays_correct() {
     // (documented simplification); draining an N16 to one child must stay
     // semantically correct regardless.
     let t: ArtOptiQL = ArtOptiQL::new();
-    let keys: Vec<u64> = (0..2_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let keys: Vec<u64> = (0..2_000u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     for k in &keys {
         t.insert(*k, 1);
     }

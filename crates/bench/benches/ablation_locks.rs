@@ -46,7 +46,10 @@ fn opread_point<L: IndexLock>(threads: usize, read_pct: u32) {
 }
 
 fn main() {
-    banner("ablation", "Design-choice ablations (extreme/high contention)");
+    banner(
+        "ablation",
+        "Design-choice ablations (extreme/high contention)",
+    );
     header(&["figure", "ablation", "config", "Mops/s", "extra"]);
     let threads = *env::thread_counts().last().unwrap();
 

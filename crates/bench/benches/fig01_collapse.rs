@@ -34,8 +34,12 @@ fn sweep<I: optiql_harness::ConcurrentIndex>(
 }
 
 fn run_config<IL: IndexLock, LL: IndexLock>(lock_name: &str, threads: &[usize], keys: u64) {
-    let tree: optiql_btree::BPlusTree<IL, LL, { optiql_btree::DEFAULT_IC }, { optiql_btree::DEFAULT_LC }> =
-        optiql_btree::BPlusTree::new();
+    let tree: optiql_btree::BPlusTree<
+        IL,
+        LL,
+        { optiql_btree::DEFAULT_IC },
+        { optiql_btree::DEFAULT_LC },
+    > = optiql_btree::BPlusTree::new();
     let cfg = WorkloadConfig::new(1, Mix::UPDATE_ONLY, KeyDist::Uniform, keys);
     preload(&tree, &cfg);
     sweep(&tree, lock_name, "low", KeyDist::Uniform, threads, keys);

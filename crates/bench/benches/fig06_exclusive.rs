@@ -8,8 +8,7 @@
 //! contention all locks scale similarly.
 
 use optiql::{
-    ExclusiveLock, McsLock, McsRwLock, OptLock, OptiCLH, OptiQL, OptiQLNor, PthreadRwLock,
-    TtsLock,
+    ExclusiveLock, McsLock, McsRwLock, OptLock, OptiCLH, OptiQL, OptiQLNor, PthreadRwLock, TtsLock,
 };
 use optiql_bench::{banner, header, mops, r2, row};
 use optiql_harness::{env, run_exclusive, Contention, MicroConfig};

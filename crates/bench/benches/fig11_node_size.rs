@@ -33,8 +33,7 @@ fn run_size<LL: optiql::IndexLock, const IC: usize, const LC: usize>(
     threads: usize,
     keys: u64,
 ) {
-    let tree: optiql_btree::BPlusTree<optiql::OptLock, LL, IC, LC> =
-        optiql_btree::BPlusTree::new();
+    let tree: optiql_btree::BPlusTree<optiql::OptLock, LL, IC, LC> = optiql_btree::BPlusTree::new();
     preload(
         &tree,
         &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),

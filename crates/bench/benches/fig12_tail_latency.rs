@@ -29,11 +29,27 @@ fn sweep<I: ConcurrentIndex>(
             let mut cfg = WorkloadConfig::new(t, mix, KeyDist::self_similar_02(), keys);
             cfg.duration = env::duration();
             cfg.sample_every = 16; // dense sampling for stable tails
+            optiql_harness::stats::reset();
             let (_, hist) = run(index, &cfg);
             for (pct, ns) in hist.paper_percentiles() {
                 println!(
                     "fig12\t{index_name}/{mix_name}/{t}t/{lock_name}\t{pct}\t{:.2}",
                     ns as f64 / 1_000.0 // µs, as in the paper's y-axis
+                );
+            }
+            // Tail latency correlates with traversal restarts (rejected or
+            // invalidated readers retry from the root); surface the lock-
+            // layer counters behind each percentile row when available.
+            if optiql_harness::stats::ENABLED {
+                use optiql_harness::stats::Event;
+                let s = optiql_harness::stats::snapshot();
+                println!(
+                    "# {index_name}/{mix_name}/{t}t/{lock_name}: restarts={} \
+                     read_reject={} validate_fail={} opread_admit={}",
+                    s.get(Event::IndexRestartBtree) + s.get(Event::IndexRestartArt),
+                    s.get(Event::ReadReject),
+                    s.get(Event::ReadValidateFail),
+                    s.get(Event::OpReadAdmit),
                 );
             }
         }

@@ -11,7 +11,10 @@ use optiql::IndexLock;
 use optiql_bench::{banner, header, mops, r2, row};
 use optiql_harness::{env, preload, run, ConcurrentIndex, KeyDist, KeySpace, Mix, WorkloadConfig};
 
-const MIXES: [(&str, Mix); 2] = [("Read-heavy", Mix::READ_HEAVY), ("Write-heavy", Mix::WRITE_HEAVY)];
+const MIXES: [(&str, Mix); 2] = [
+    ("Read-heavy", Mix::READ_HEAVY),
+    ("Write-heavy", Mix::WRITE_HEAVY),
+];
 
 fn sweep<I: ConcurrentIndex>(index: &I, lock_name: &str, threads: &[usize], keys: u64) {
     for (mix_name, mix) in MIXES {

@@ -4,14 +4,39 @@
 //! Expected shape (paper): OptiQL-NOR starves readers (< 2% success — the
 //! queue keeps the word locked through handover), while OptiQL's
 //! opportunistic read admits a substantial fraction (~26–32%).
+//!
+//! Built with `--features stats`, each row is followed by a second row of
+//! *counter-derived* success rates (from `optiql::stats`) plus the raw
+//! event totals — the measured admissions/validations of the lock layer
+//! itself, which should track the harness-side rates closely. The stats
+//! build also reports how many admitted readers came in through the
+//! opportunistic-read handover window (`opread_admit`), the direct
+//! mechanism behind OptiQL's advantage.
 
-use optiql::{IndexLock, OptiQL, OptiQLNor};
+use optiql::{IndexLock, OptLock, OptiQL, OptiQLNor};
 use optiql_bench::{banner, header, r2};
 use optiql_harness::{env, run_mixed, Contention, MicroConfig};
 
-const RATIOS: [(u32, &str); 4] = [(20, "20%/80%"), (50, "50%/50%"), (80, "80%/20%"), (90, "90%/10%")];
+const RATIOS: [(u32, &str); 4] = [
+    (20, "20%/80%"),
+    (50, "50%/50%"),
+    (80, "80%/20%"),
+    (90, "90%/10%"),
+];
 
-fn success_rates<L: IndexLock>(threads: usize) -> Vec<f64> {
+struct RatioPoint {
+    /// Harness-side read success rate (percent).
+    harness_pct: f64,
+    /// Counter-derived read success rate (percent); only meaningful when
+    /// `optiql_harness::stats::ENABLED`.
+    #[cfg_attr(not(feature = "stats"), allow(dead_code))]
+    counter_pct: f64,
+    /// Interval snapshot for the run (all-zero without `stats`).
+    #[cfg_attr(not(feature = "stats"), allow(dead_code))]
+    events: optiql_harness::stats::Snapshot,
+}
+
+fn success_rates<L: IndexLock>(threads: usize) -> Vec<RatioPoint> {
     RATIOS
         .iter()
         .map(|&(read_pct, _)| {
@@ -22,10 +47,44 @@ fn success_rates<L: IndexLock>(threads: usize) -> Vec<f64> {
                 cs_len: 50,
                 duration: env::duration(),
             };
+            optiql_harness::stats::reset();
             let r = run_mixed::<L>(&cfg);
-            r.read_success_rate() * 100.0
+            let events = optiql_harness::stats::snapshot();
+            RatioPoint {
+                harness_pct: r.read_success_rate() * 100.0,
+                counter_pct: events.reader_success_rate() * 100.0,
+                events,
+            }
         })
         .collect()
+}
+
+fn fmt(points: &[RatioPoint], f: impl Fn(&RatioPoint) -> f64) -> String {
+    points
+        .iter()
+        .map(|p| format!("{}%", r2(f(p))))
+        .collect::<Vec<_>>()
+        .join("\t")
+}
+
+fn report(lock: &str, points: &[RatioPoint]) {
+    println!("{lock}\t{}", fmt(points, |p| p.harness_pct));
+    #[cfg(feature = "stats")]
+    {
+        use optiql_harness::stats::Event;
+        println!("{lock} (counters)\t{}", fmt(points, |p| p.counter_pct));
+        for (p, (_, ratio)) in points.iter().zip(RATIOS) {
+            println!(
+                "# {lock} {ratio}: admit={} opread_admit={} reject={} \
+                 validate_ok={} validate_fail={}",
+                p.events.get(Event::ReadAdmit),
+                p.events.get(Event::OpReadAdmit),
+                p.events.get(Event::ReadReject),
+                p.events.get(Event::ReadValidateOk),
+                p.events.get(Event::ReadValidateFail),
+            );
+        }
+    }
 }
 
 fn main() {
@@ -33,16 +92,12 @@ fn main() {
         "table1",
         "Reader success rate under high contention (percent)",
     );
+    if optiql_harness::stats::ENABLED {
+        println!("# stats feature on: counter-derived rates follow each row");
+    }
     header(&["lock", "20%/80%", "50%/50%", "80%/20%", "90%/10%"]);
     let threads = *env::thread_counts().last().unwrap();
-    let nor = success_rates::<OptiQLNor>(threads);
-    let yes = success_rates::<OptiQL>(threads);
-    let fmt = |v: &[f64]| {
-        v.iter()
-            .map(|x| format!("{}%", r2(*x)))
-            .collect::<Vec<_>>()
-            .join("\t")
-    };
-    println!("OptiQL-NOR\t{}", fmt(&nor));
-    println!("OptiQL\t{}", fmt(&yes));
+    report("OptiQL-NOR", &success_rates::<OptiQLNor>(threads));
+    report("OptiQL", &success_rates::<OptiQL>(threads));
+    report("OptLock", &success_rates::<OptLock>(threads));
 }

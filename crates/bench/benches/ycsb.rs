@@ -49,7 +49,13 @@ fn art_config<L: IndexLock>(name: &str, keys: u64) {
 
 fn main() {
     banner("ycsb", "YCSB A-F, Zipfian(0.99), max threads");
-    header(&["figure", "index/lock", "workload", "Mops/s", "scanned_entries"]);
+    header(&[
+        "figure",
+        "index/lock",
+        "workload",
+        "Mops/s",
+        "scanned_entries",
+    ]);
     let keys = env::preload_keys().min(2_000_000);
 
     btree_config::<optiql::OptLock, optiql::OptLock>("OptLock", keys);

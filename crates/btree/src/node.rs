@@ -76,9 +76,7 @@ pub unsafe fn is_leaf(p: *const NodeBase) -> bool {
 /// # Safety
 /// `p` must point to a live or epoch-retired `Inner<IL, IC>`.
 #[inline]
-pub unsafe fn as_inner<'a, IL: IndexLock, const IC: usize>(
-    p: *mut NodeBase,
-) -> &'a Inner<IL, IC> {
+pub unsafe fn as_inner<'a, IL: IndexLock, const IC: usize>(p: *mut NodeBase) -> &'a Inner<IL, IC> {
     debug_assert!(!unsafe { is_leaf(p) });
     unsafe { &*(p as *const Inner<IL, IC>) }
 }

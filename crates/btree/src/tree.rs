@@ -87,6 +87,7 @@ impl<'a> Restart<'a> {
         self.attempts += 1;
         if self.attempts > 1 {
             self.stats.restarts.fetch_add(1, Ordering::Relaxed);
+            optiql::stats::record(optiql::stats::Event::IndexRestartBtree);
         }
         if self.attempts > 3 {
             std::thread::yield_now();
@@ -912,8 +913,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                         let c_hi = if i == n { hi } else { Some(node.key(i)) };
                         let child = node.child(i);
                         assert!(!child.is_null(), "null child in inner node");
-                        total +=
-                            walk::<IL, LL, IC, LC>(child, c_lo, c_hi, depth + 1, leaf_depth);
+                        total += walk::<IL, LL, IC, LC>(child, c_lo, c_hi, depth + 1, leaf_depth);
                     }
                     total
                 }
@@ -962,9 +962,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Drop
     for BPlusTree<IL, LL, IC, LC>
 {
     fn drop(&mut self) {
-        fn free<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize>(
-            p: *mut NodeBase,
-        ) {
+        fn free<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize>(p: *mut NodeBase) {
             unsafe {
                 if is_leaf(p) {
                     drop(Box::from_raw(p as *mut Leaf<LL, LC>));

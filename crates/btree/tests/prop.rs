@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use optiql_btree::{BTreeOptiQL, BTreeOptiQLNor, BTreeOptLock};
+use optiql_btree::{BTreeOptLock, BTreeOptiQL, BTreeOptiQLNor};
 
 #[derive(Debug, Clone)]
 enum Op {

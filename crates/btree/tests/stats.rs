@@ -102,7 +102,11 @@ fn contended_upgrades_restart_on_optlock() {
     // preemption points and may round to zero. Assert consistency rather
     // than a lower bound, plus exact end-state correctness.
     let s = t.stats();
-    assert_eq!(s.leaf_splits + s.inner_splits + s.root_splits, 0, "updates never split");
+    assert_eq!(
+        s.leaf_splits + s.inner_splits + s.root_splits,
+        0,
+        "updates never split"
+    );
     assert!(t.lookup(0).is_some());
     assert_eq!(t.len(), 1);
 }

@@ -165,8 +165,7 @@ trait TreeOps {
     fn check(&self) -> usize;
 }
 
-impl<IL, LL, const IC: usize, const LC: usize> TreeOps
-    for optiql_btree::BPlusTree<IL, LL, IC, LC>
+impl<IL, LL, const IC: usize, const LC: usize> TreeOps for optiql_btree::BPlusTree<IL, LL, IC, LC>
 where
     IL: optiql::IndexLock,
     LL: optiql::IndexLock,

@@ -23,10 +23,11 @@ use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::qnode::{self, QNode};
 use crate::spin::Spinner;
+use crate::stats::{record, Event};
 use crate::traits::{ExclusiveLock, IndexLock, WriteStrategy, WriteToken};
 use crate::word::{
-    bump_version, is_locked, locked_word, readable, word_id, word_version, INVALID_VERSION,
-    OPREAD, STATUS_MASK, VERSION_MASK,
+    bump_version, is_locked, locked_word, readable, word_id, word_version, INVALID_VERSION, OPREAD,
+    STATUS_MASK, VERSION_MASK,
 };
 
 /// Store the holder's release-version in the queue node's spare fields
@@ -40,8 +41,7 @@ fn stash_version(qn: &QNode, v: u64) {
 
 #[inline]
 fn unstash_version(qn: &QNode) -> u64 {
-    (qn.state.load(Ordering::Relaxed) as u64)
-        | ((qn.class.load(Ordering::Relaxed) as u64) << 32)
+    (qn.state.load(Ordering::Relaxed) as u64) | ((qn.class.load(Ordering::Relaxed) as u64) << 32)
 }
 
 /// CLH-style queue lock with optimistic readers; `OPPORTUNISTIC` toggles
@@ -90,6 +90,7 @@ impl<const OPPORTUNISTIC: bool> OptiClhCore<OPPORTUNISTIC> {
         } else {
             // Spin on the *predecessor's* node until it publishes its
             // release version, then retire it — CLH ownership migration.
+            record(Event::ExQueueWait);
             let pred_id = word_id(prev);
             let pred = qnode::to_ptr(pred_id);
             let mut s = Spinner::new();
@@ -104,8 +105,10 @@ impl<const OPPORTUNISTIC: bool> OptiClhCore<OPPORTUNISTIC> {
                 // Close the reader-admission window the predecessor opened.
                 self.word
                     .fetch_and(!(OPREAD | VERSION_MASK), Ordering::AcqRel);
+                record(Event::OpReadWindowClose);
             }
         }
+        record(Event::ExAcquire);
         id
     }
 
@@ -136,11 +139,16 @@ impl<const OPPORTUNISTIC: bool> OptiClhCore<OPPORTUNISTIC> {
         // Grant: publish our version on our node; the successor bumps it,
         // and retires this node. Release is wait-free — the CLH advantage.
         qn.version.store(my_version, Ordering::Release);
+        record(Event::ExHandover);
     }
 }
 
 impl<const OPPORTUNISTIC: bool> ExclusiveLock for OptiClhCore<OPPORTUNISTIC> {
-    const NAME: &'static str = if OPPORTUNISTIC { "OptiCLH" } else { "OptiCLH-NOR" };
+    const NAME: &'static str = if OPPORTUNISTIC {
+        "OptiCLH"
+    } else {
+        "OptiCLH-NOR"
+    };
 
     #[inline]
     fn x_lock(&self) -> WriteToken {
@@ -161,8 +169,14 @@ impl<const OPPORTUNISTIC: bool> IndexLock for OptiClhCore<OPPORTUNISTIC> {
     fn r_lock(&self) -> Option<u64> {
         let v = self.word.load(Ordering::Acquire);
         if readable(v) {
+            record(if is_locked(v) {
+                Event::OpReadAdmit
+            } else {
+                Event::ReadAdmit
+            });
             Some(v)
         } else {
+            record(Event::ReadReject);
             None
         }
     }
@@ -170,18 +184,31 @@ impl<const OPPORTUNISTIC: bool> IndexLock for OptiClhCore<OPPORTUNISTIC> {
     #[inline]
     fn r_unlock(&self, v: u64) -> bool {
         fence(Ordering::Acquire);
-        self.word.load(Ordering::Relaxed) == v
+        let ok = self.word.load(Ordering::Relaxed) == v;
+        record(if ok {
+            Event::ReadValidateOk
+        } else {
+            Event::ReadValidateFail
+        });
+        ok
     }
 
     #[inline]
     fn recheck(&self, v: u64) -> bool {
         fence(Ordering::Acquire);
-        self.word.load(Ordering::Relaxed) == v
+        let ok = self.word.load(Ordering::Relaxed) == v;
+        record(if ok {
+            Event::ReadValidateOk
+        } else {
+            Event::ReadValidateFail
+        });
+        ok
     }
 
     #[inline]
     fn try_upgrade(&self, v: u64) -> Option<WriteToken> {
         if v & STATUS_MASK != 0 {
+            record(Event::UpgradeFail);
             return None;
         }
         let id = qnode::alloc();
@@ -193,9 +220,11 @@ impl<const OPPORTUNISTIC: bool> IndexLock for OptiClhCore<OPPORTUNISTIC> {
             .compare_exchange(v, locked_word(id), Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
+            record(Event::UpgradeOk);
             Some(WriteToken::from_qnode(id))
         } else {
             qnode::free(id);
+            record(Event::UpgradeFail);
             None
         }
     }

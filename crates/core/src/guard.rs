@@ -134,7 +134,12 @@ mod tests {
         let b = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let writer = {
-            let (l, a, b, stop) = (Arc::clone(&l), Arc::clone(&a), Arc::clone(&b), Arc::clone(&stop));
+            let (l, a, b, stop) = (
+                Arc::clone(&l),
+                Arc::clone(&a),
+                Arc::clone(&b),
+                Arc::clone(&stop),
+            );
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     let g = XGuard::lock(&*l);

@@ -49,6 +49,14 @@
 //! access them with `Relaxed` ordering — that compiles to plain loads and
 //! stores, and validation discards every inconsistent snapshot. The index
 //! crates in this workspace follow exactly this pattern.
+//!
+//! ## Observability (`stats` feature)
+//!
+//! Every lock records admission, validation, queueing, handover and
+//! upgrade events through [`stats`]. In default builds the recording
+//! sites compile to no-ops; building with `--features stats` turns them
+//! into relaxed increments on thread-local counter shards, readable via
+//! [`stats::snapshot`] / resettable via [`stats::reset`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -63,6 +71,7 @@ pub mod optlock;
 pub mod pthread;
 pub mod qnode;
 pub mod spin;
+pub mod stats;
 pub mod ticket;
 pub mod traits;
 pub mod tts;
@@ -76,7 +85,5 @@ pub use crate::optiql::{OptiQL, OptiQLAor, OptiQLCore, OptiQLNor};
 pub use crate::optlock::{OptLock, OptLockBackoff};
 pub use crate::pthread::PthreadRwLock;
 pub use crate::ticket::{TicketLock, TicketLockSplit};
-pub use crate::traits::{
-    AdjustableOpRead, ExclusiveLock, IndexLock, WriteStrategy, WriteToken,
-};
+pub use crate::traits::{AdjustableOpRead, ExclusiveLock, IndexLock, WriteStrategy, WriteToken};
 pub use crate::tts::{TtsBackoff, TtsLock};

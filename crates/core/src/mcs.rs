@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 
 use crate::qnode::{self, QNode};
 use crate::spin::Spinner;
+use crate::stats::{record, Event};
 use crate::traits::{ExclusiveLock, WriteToken};
 use crate::word::INVALID_VERSION;
 
@@ -49,14 +50,17 @@ impl McsLock {
         let me = qn as *const QNode as *mut QNode;
         let pred = self.tail.swap(me, Ordering::AcqRel);
         if pred.is_null() {
+            record(Event::ExAcquire);
             return; // lock was free; granted immediately
         }
         // Link behind the predecessor, then spin locally.
+        record(Event::ExQueueWait);
         unsafe { (*pred).next.store(me, Ordering::Release) };
         let mut s = Spinner::new();
         while qn.version.load(Ordering::Acquire) == INVALID_VERSION {
             s.spin();
         }
+        record(Event::ExAcquire);
     }
 
     /// Release with the queue node used at acquire (Algorithm 1 right).
@@ -80,6 +84,7 @@ impl McsLock {
         // Pass the lock to the successor.
         let next = qn.next.load(Ordering::Relaxed);
         unsafe { (*next).version.store(0, Ordering::Release) };
+        record(Event::ExHandover);
     }
 }
 
@@ -178,6 +183,10 @@ mod tests {
         for h in hs {
             h.join().unwrap();
         }
-        assert_eq!(&*order.lock(), &[0, 1, 2, 3], "MCS must grant in FIFO order");
+        assert_eq!(
+            &*order.lock(),
+            &[0, 1, 2, 3],
+            "MCS must grant in FIFO order"
+        );
     }
 }

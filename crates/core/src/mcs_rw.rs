@@ -24,6 +24,7 @@ use std::sync::atomic::Ordering;
 
 use crate::qnode::{self, QNode};
 use crate::spin::Spinner;
+use crate::stats::{record, Event};
 use crate::traits::{ExclusiveLock, IndexLock, WriteStrategy, WriteToken};
 
 // --- packed lock word ---------------------------------------------------
@@ -183,12 +184,10 @@ impl McsRwLock {
                 // Already nil; the swap is a no-op but must still be atomic
                 // w.r.t. our observation — re-verify with a CAS on the same
                 // word to linearize.
-                match self.word.compare_exchange_weak(
-                    w,
-                    w,
-                    Ordering::SeqCst,
-                    Ordering::Relaxed,
-                ) {
+                match self
+                    .word
+                    .compare_exchange_weak(w, w, Ordering::SeqCst, Ordering::Relaxed)
+                {
                     Ok(_) => return NIL,
                     Err(cur) => {
                         w = cur;
@@ -248,10 +247,14 @@ impl McsRwLock {
             pq.next
                 .store(qn as *const QNode as *mut QNode, Ordering::Release);
         }
-        let mut s = Spinner::new();
-        while qn.state.load(Ordering::Acquire) & BLOCKED != 0 {
-            s.spin();
+        if qn.state.load(Ordering::Acquire) & BLOCKED != 0 {
+            record(Event::ExQueueWait);
+            let mut s = Spinner::new();
+            while qn.state.load(Ordering::Acquire) & BLOCKED != 0 {
+                s.spin();
+            }
         }
+        record(Event::ExAcquire);
     }
 
     /// end_write.
@@ -271,6 +274,7 @@ impl McsRwLock {
                 self.inc_readers();
             }
             nq.state.fetch_and(!BLOCKED, Ordering::SeqCst);
+            record(Event::ExHandover);
         }
     }
 
@@ -398,6 +402,7 @@ impl IndexLock for McsRwLock {
     fn r_lock(&self) -> Option<u64> {
         let id = qnode::alloc();
         self.start_read(id);
+        record(Event::ReadAdmit);
         Some(id as u64)
     }
 
@@ -406,6 +411,9 @@ impl IndexLock for McsRwLock {
         let id = v as u16;
         self.end_read(id);
         qnode::free(id);
+        // Pessimistic reads hold the lock for the whole critical section,
+        // so "validation" trivially succeeds.
+        record(Event::ReadValidateOk);
         true
     }
 
@@ -512,8 +520,12 @@ mod tests {
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let mut hs = Vec::new();
         for _ in 0..2 {
-            let (l, a, b, stop) =
-                (Arc::clone(&l), Arc::clone(&a), Arc::clone(&b), Arc::clone(&stop));
+            let (l, a, b, stop) = (
+                Arc::clone(&l),
+                Arc::clone(&a),
+                Arc::clone(&b),
+                Arc::clone(&stop),
+            );
             hs.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     let t = l.x_lock();
@@ -528,8 +540,12 @@ mod tests {
             }));
         }
         for _ in 0..2 {
-            let (l, a, b, stop) =
-                (Arc::clone(&l), Arc::clone(&a), Arc::clone(&b), Arc::clone(&stop));
+            let (l, a, b, stop) = (
+                Arc::clone(&l),
+                Arc::clone(&a),
+                Arc::clone(&b),
+                Arc::clone(&stop),
+            );
             hs.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     let v = l.r_lock().unwrap();

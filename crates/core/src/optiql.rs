@@ -29,12 +29,11 @@ use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::qnode::{self, QNode};
 use crate::spin::Spinner;
-use crate::traits::{
-    AdjustableOpRead, ExclusiveLock, IndexLock, WriteStrategy, WriteToken,
-};
+use crate::stats::{record, Event};
+use crate::traits::{AdjustableOpRead, ExclusiveLock, IndexLock, WriteStrategy, WriteToken};
 use crate::word::{
-    bump_version, is_locked, locked_word, readable, word_id, word_version, INVALID_VERSION,
-    OPREAD, VERSION_MASK,
+    bump_version, is_locked, locked_word, readable, word_id, word_version, INVALID_VERSION, OPREAD,
+    VERSION_MASK,
 };
 
 /// Token flag: the opportunistic-read window is still open and must be
@@ -82,8 +81,14 @@ impl<const OPPORTUNISTIC: bool> OptiQLCore<OPPORTUNISTIC> {
     pub fn acquire_sh(&self) -> Option<u64> {
         let v = self.word.load(Ordering::Acquire);
         if readable(v) {
+            record(if is_locked(v) {
+                Event::OpReadAdmit
+            } else {
+                Event::ReadAdmit
+            });
             Some(v)
         } else {
+            record(Event::ReadReject);
             None
         }
     }
@@ -93,7 +98,13 @@ impl<const OPPORTUNISTIC: bool> OptiQLCore<OPPORTUNISTIC> {
     #[inline]
     pub fn release_sh(&self, v: u64) -> bool {
         fence(Ordering::Acquire);
-        self.word.load(Ordering::Relaxed) == v
+        let ok = self.word.load(Ordering::Relaxed) == v;
+        record(if ok {
+            Event::ReadValidateOk
+        } else {
+            Event::ReadValidateFail
+        });
+        ok
     }
 
     // ---------------------------------------------------------------
@@ -115,9 +126,11 @@ impl<const OPPORTUNISTIC: bool> OptiQLCore<OPPORTUNISTIC> {
             // previous word's version + 1 (Alg 3 l.4).
             qn.version
                 .store(bump_version(word_version(prev)), Ordering::Relaxed);
+            record(Event::ExAcquire);
             false
         } else {
             // Queue behind the predecessor and spin locally (Alg 3 l.7-9).
+            record(Event::ExQueueWait);
             let pred = qnode::to_ptr(word_id(prev));
             pred.next
                 .store(qn as *const QNode as *mut QNode, Ordering::Release);
@@ -125,6 +138,7 @@ impl<const OPPORTUNISTIC: bool> OptiQLCore<OPPORTUNISTIC> {
             while qn.version.load(Ordering::Acquire) == INVALID_VERSION {
                 s.spin();
             }
+            record(Event::ExAcquire);
             true
         }
     }
@@ -136,6 +150,7 @@ impl<const OPPORTUNISTIC: bool> OptiQLCore<OPPORTUNISTIC> {
     pub fn close_opread_window(&self) {
         self.word
             .fetch_and(!(OPREAD | VERSION_MASK), Ordering::AcqRel);
+        record(Event::OpReadWindowClose);
     }
 
     /// `release_ex` with the queue node used at acquire (Alg 3 l.13-23).
@@ -164,8 +179,7 @@ impl<const OPPORTUNISTIC: bool> OptiQLCore<OPPORTUNISTIC> {
             // granted. Publish OPREAD + our version so readers can sneak
             // in; the version must ride along or a reader could pass
             // validation across two critical sections (ABA, §5.3).
-            self.word
-                .fetch_or(OPREAD | my_version, Ordering::Release);
+            self.word.fetch_or(OPREAD | my_version, Ordering::Release);
         }
         // Wait for the successor to link itself (Alg 3 l.20-21).
         let mut s = Spinner::new();
@@ -180,6 +194,7 @@ impl<const OPPORTUNISTIC: bool> OptiQLCore<OPPORTUNISTIC> {
                 .version
                 .store(bump_version(my_version), Ordering::Release);
         }
+        record(Event::ExHandover);
     }
 
     /// Upgrade a reader at snapshot `v` to a writer (§6.2, added for ART).
@@ -192,18 +207,30 @@ impl<const OPPORTUNISTIC: bool> OptiQLCore<OPPORTUNISTIC> {
             // Never upgrade from an opportunistic-read snapshot: the word's
             // queue-node field belongs to the writer queue and swapping it
             // out would orphan the queued successor.
+            record(Event::UpgradeFail);
             return false;
         }
         qn.reset();
         qn.version.store(bump_version(v), Ordering::Relaxed);
-        self.word
+        let ok = self
+            .word
             .compare_exchange(v, locked_word(id), Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+            .is_ok();
+        record(if ok {
+            Event::UpgradeOk
+        } else {
+            Event::UpgradeFail
+        });
+        ok
     }
 }
 
 impl<const OPPORTUNISTIC: bool> ExclusiveLock for OptiQLCore<OPPORTUNISTIC> {
-    const NAME: &'static str = if OPPORTUNISTIC { "OptiQL" } else { "OptiQL-NOR" };
+    const NAME: &'static str = if OPPORTUNISTIC {
+        "OptiQL"
+    } else {
+        "OptiQL-NOR"
+    };
 
     #[inline]
     fn x_lock(&self) -> WriteToken {
@@ -245,7 +272,13 @@ impl<const OPPORTUNISTIC: bool> IndexLock for OptiQLCore<OPPORTUNISTIC> {
     #[inline]
     fn recheck(&self, v: u64) -> bool {
         fence(Ordering::Acquire);
-        self.word.load(Ordering::Relaxed) == v
+        let ok = self.word.load(Ordering::Relaxed) == v;
+        record(if ok {
+            Event::ReadValidateOk
+        } else {
+            Event::ReadValidateFail
+        });
+        ok
     }
 
     #[inline]
@@ -403,7 +436,10 @@ mod tests {
         assert_eq!(v0, 0);
         let t = l.x_lock();
         assert!(l.is_locked_ex());
-        assert!(l.acquire_sh().is_none(), "no opread while held, pre-release");
+        assert!(
+            l.acquire_sh().is_none(),
+            "no opread while held, pre-release"
+        );
         l.x_unlock(t);
         let v1 = l.acquire_sh().unwrap();
         assert_eq!(v1, 1, "version visible on word after release");
@@ -546,7 +582,10 @@ mod tests {
         assert_ne!(qn2.version(), INVALID_VERSION, "T2 was granted");
         l.close_opread_window();
         assert!(l.acquire_sh().is_none(), "window closed");
-        assert!(!l.release_sh(snap), "reader overlapping the new writer fails");
+        assert!(
+            !l.release_sh(snap),
+            "reader overlapping the new writer fails"
+        );
 
         // T2 releases normally (no successor).
         l.release_ex_with(id2, qn2);

@@ -11,6 +11,7 @@ use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::backoff::Backoff;
 use crate::spin::Spinner;
+use crate::stats::{record, Event};
 use crate::traits::{ExclusiveLock, IndexLock, WriteStrategy, WriteToken};
 
 /// Exclusive bit, most significant (paper: `1UL << 63`).
@@ -40,6 +41,7 @@ impl OptLock {
     fn lock_slow_path(&self, backoff: bool) -> WriteToken {
         let mut s = Spinner::new();
         let mut b = Backoff::default();
+        let mut contended = false;
         loop {
             let v = self.word.load(Ordering::Relaxed);
             if v & LOCKED == 0
@@ -48,7 +50,12 @@ impl OptLock {
                     .compare_exchange_weak(v, v | LOCKED, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                record(Event::ExAcquire);
                 return WriteToken::empty();
+            }
+            if !contended {
+                contended = true;
+                record(Event::ExQueueWait);
             }
             if backoff {
                 b.wait();
@@ -73,8 +80,10 @@ impl OptLock {
     fn read_begin(&self) -> Option<u64> {
         let v = self.word.load(Ordering::Acquire);
         if v & LOCKED == 0 {
+            record(Event::ReadAdmit);
             Some(v)
         } else {
+            record(Event::ReadReject);
             None
         }
     }
@@ -83,7 +92,13 @@ impl OptLock {
     fn read_validate(&self, v: u64) -> bool {
         // Seqlock idiom: order all data reads before the validation load.
         fence(Ordering::Acquire);
-        self.word.load(Ordering::Relaxed) == v
+        let ok = self.word.load(Ordering::Relaxed) == v;
+        record(if ok {
+            Event::ReadValidateOk
+        } else {
+            Event::ReadValidateFail
+        });
+        ok
     }
 }
 
@@ -123,10 +138,17 @@ impl IndexLock for OptLock {
     #[inline]
     fn try_upgrade(&self, v: u64) -> Option<WriteToken> {
         debug_assert!(v & LOCKED == 0);
-        self.word
+        let t = self
+            .word
             .compare_exchange(v, v | LOCKED, Ordering::Acquire, Ordering::Relaxed)
             .ok()
-            .map(|_| WriteToken::empty())
+            .map(|_| WriteToken::empty());
+        record(if t.is_some() {
+            Event::UpgradeOk
+        } else {
+            Event::UpgradeFail
+        });
+        t
     }
 
     #[inline]

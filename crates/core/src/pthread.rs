@@ -12,6 +12,7 @@
 use parking_lot::lock_api::RawRwLock as RawRwLockApi;
 use parking_lot::RawRwLock;
 
+use crate::stats::{record, Event};
 use crate::traits::{ExclusiveLock, IndexLock, WriteStrategy, WriteToken};
 
 /// Pessimistic reader-writer lock backed by `parking_lot`.
@@ -40,6 +41,7 @@ impl ExclusiveLock for PthreadRwLock {
     #[inline]
     fn x_lock(&self) -> WriteToken {
         self.raw.lock_exclusive();
+        record(Event::ExAcquire);
         WriteToken::empty()
     }
 
@@ -57,6 +59,7 @@ impl IndexLock for PthreadRwLock {
     #[inline]
     fn r_lock(&self) -> Option<u64> {
         self.raw.lock_shared();
+        record(Event::ReadAdmit);
         Some(0)
     }
 
@@ -64,6 +67,7 @@ impl IndexLock for PthreadRwLock {
     fn r_unlock(&self, _v: u64) -> bool {
         // Safety: paired with a successful `r_lock` by contract.
         unsafe { self.raw.unlock_shared() }
+        record(Event::ReadValidateOk);
         true
     }
 

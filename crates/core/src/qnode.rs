@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use crate::stats::{record, Event};
 use crate::word::{INVALID_VERSION, MAX_QNODES};
 
 /// A writer requester's queue node (paper Figure 3b).
@@ -144,11 +145,15 @@ pub fn try_alloc() -> Option<u16> {
             c.ids.pop()
         })
         .ok();
-    match from_tls {
+    let got = match from_tls {
         Some(got) => got,
         // TLS already torn down (thread exit path): go straight to global.
         None => pool().free.lock().pop(),
+    };
+    if got.is_none() {
+        record(Event::QnodeExhausted);
     }
+    got
 }
 
 /// Allocate a queue node ID; panics if all `MAX_QNODES` nodes are live.
@@ -220,7 +225,10 @@ mod tests {
     #[test]
     fn distinct_ids_translate_to_distinct_nodes() {
         let ids: Vec<u16> = (0..16).map(|_| alloc()).collect();
-        let ptrs: HashSet<usize> = ids.iter().map(|&i| to_ptr(i) as *const _ as usize).collect();
+        let ptrs: HashSet<usize> = ids
+            .iter()
+            .map(|&i| to_ptr(i) as *const _ as usize)
+            .collect();
         assert_eq!(ptrs.len(), ids.len());
         for id in ids {
             free(id);

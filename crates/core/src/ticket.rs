@@ -8,6 +8,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::spin::Spinner;
+use crate::stats::{record, Event};
 use crate::traits::{ExclusiveLock, WriteToken};
 
 /// Classic two-counter ticket lock packed in one 8-byte word.
@@ -50,10 +51,14 @@ impl ExclusiveLock for TicketLock {
         let prev = self.word.fetch_add(1 << TICKET_SHIFT, Ordering::Relaxed);
         let my_ticket = (prev >> TICKET_SHIFT) as u32;
         // Wait until served.
+        if (prev & SERVING_MASK) as u32 != my_ticket {
+            record(Event::ExQueueWait);
+        }
         let mut s = Spinner::new();
         while (self.word.load(Ordering::Acquire) & SERVING_MASK) as u32 != my_ticket {
             s.spin();
         }
+        record(Event::ExAcquire);
         WriteToken::empty()
     }
 
@@ -89,10 +94,14 @@ impl ExclusiveLock for TicketLockSplit {
     #[inline]
     fn x_lock(&self) -> WriteToken {
         let my_ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        if self.serving.load(Ordering::Relaxed) != my_ticket {
+            record(Event::ExQueueWait);
+        }
         let mut s = Spinner::new();
         while self.serving.load(Ordering::Acquire) != my_ticket {
             s.spin();
         }
+        record(Event::ExAcquire);
         WriteToken::empty()
     }
 

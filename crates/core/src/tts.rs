@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::backoff::Backoff;
 use crate::spin::Spinner;
+use crate::stats::{record, Event};
 use crate::traits::{ExclusiveLock, WriteToken};
 
 const UNLOCKED: u64 = 0;
@@ -51,6 +52,7 @@ impl ExclusiveLock for TtsLock {
     #[inline]
     fn x_lock(&self) -> WriteToken {
         let mut s = Spinner::new();
+        let mut contended = false;
         loop {
             // Test: spin on a (cacheable) read first.
             if self.word.load(Ordering::Relaxed) == UNLOCKED
@@ -59,7 +61,12 @@ impl ExclusiveLock for TtsLock {
                     .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                record(Event::ExAcquire);
                 return WriteToken::empty();
+            }
+            if !contended {
+                contended = true;
+                record(Event::ExQueueWait);
             }
             s.spin();
         }
@@ -93,6 +100,7 @@ impl ExclusiveLock for TtsBackoff {
     #[inline]
     fn x_lock(&self) -> WriteToken {
         let mut b = Backoff::default();
+        let mut contended = false;
         loop {
             if self.word.load(Ordering::Relaxed) == UNLOCKED
                 && self
@@ -100,7 +108,12 @@ impl ExclusiveLock for TtsBackoff {
                     .compare_exchange_weak(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                record(Event::ExAcquire);
                 return WriteToken::empty();
+            }
+            if !contended {
+                contended = true;
+                record(Event::ExQueueWait);
             }
             b.wait();
         }

@@ -1,0 +1,189 @@
+//! RAII guard drop paths and the adjustable-opportunistic-read (AOR)
+//! window lifecycle (§7.4), driven deterministically with barriers.
+//!
+//! The in-crate guard tests cover the happy paths; these integration
+//! tests pin down the corner cases the index write protocols rely on:
+//! early drops, drop-after-upgrade, and the AOR window staying open
+//! until `x_finish_aor` — including the abort path where a writer
+//! unlocks without ever finishing.
+
+use std::sync::{Arc, Barrier};
+
+use optiql::word::{is_locked, is_opread};
+use optiql::{AdjustableOpRead, IndexLock, OptLock, OptiQL, OptiQLAor, OptiQLNor, XGuard};
+
+#[test]
+fn early_drop_releases_before_scope_end() {
+    let l = OptiQL::new();
+    let g = XGuard::lock(&l);
+    assert!(l.is_locked_ex());
+    drop(g);
+    // Still inside the scope: the lock must already be free and usable.
+    assert!(!l.is_locked_ex());
+    let v = l.r_lock().expect("released by early drop");
+    assert!(l.r_unlock(v));
+}
+
+#[test]
+fn explicit_unlock_then_drop_releases_once() {
+    // `unlock` consumes the token; the subsequent implicit drop must not
+    // release again (a double x_unlock would corrupt the version).
+    let l = OptiQL::new();
+    let v0 = l.r_lock().unwrap();
+    XGuard::lock(&l).unlock();
+    let v1 = l.r_lock().unwrap();
+    assert_eq!(v1, v0 + 1, "exactly one release round");
+}
+
+#[test]
+fn dropped_upgrade_guard_releases() {
+    let l = OptLock::new();
+    let v = l.r_lock().unwrap();
+    {
+        let _g = XGuard::upgrade(&l, v).expect("fresh snapshot upgrades");
+        assert!(l.is_locked_ex());
+    }
+    assert!(!l.is_locked_ex());
+    // The write round bumped the version, so the old snapshot is stale.
+    assert!(!l.recheck(v));
+}
+
+#[test]
+fn guard_composes_with_every_lock_drop_path() {
+    fn check<L: IndexLock>() {
+        let l = L::default();
+        {
+            let _g = XGuard::lock(&l);
+        }
+        // Dropped guard left the lock fully usable.
+        let v = l.r_lock().expect("free after guard drop");
+        assert!(l.r_unlock(v));
+    }
+    check::<OptiQL>();
+    check::<OptiQLNor>();
+    check::<OptiQLAor>();
+    check::<OptLock>();
+    check::<optiql::OptiCLH>();
+    check::<optiql::McsRwLock>();
+    check::<optiql::PthreadRwLock>();
+}
+
+#[test]
+fn aor_fast_path_token_needs_no_window_close() {
+    // Uncontended x_lock_aor takes the fast path: no handover happened,
+    // so there is no window and x_finish_aor is a no-op.
+    let l = OptiQL::new();
+    let t = l.x_lock_aor();
+    assert!(l.is_locked_ex());
+    assert!(
+        l.r_lock().is_none(),
+        "fast-path AOR write admits no readers"
+    );
+    l.x_finish_aor(t);
+    assert!(l.r_lock().is_none(), "finish changes nothing on fast path");
+    l.x_unlock_aor(t);
+    assert!(!l.is_locked_ex());
+    assert_eq!(l.r_lock().unwrap(), 1);
+}
+
+/// Queued AOR path, barrier-sequenced: the granted writer's window must
+/// stay open across the grant until it calls `x_finish_aor`, and close at
+/// exactly that point.
+#[test]
+fn aor_window_stays_open_until_finish() {
+    let l = Arc::new(OptiQL::new());
+    let id1 = optiql::qnode::alloc();
+    let qn1 = optiql::qnode::to_ptr(id1);
+    assert!(!l.acquire_ex_with(id1, qn1));
+
+    let granted = Arc::new(Barrier::new(2));
+    let observed = Arc::new(Barrier::new(2));
+    let finished = Arc::new(Barrier::new(2));
+    let drained = Arc::new(Barrier::new(2));
+    let t2 = {
+        let l = Arc::clone(&l);
+        let (granted, observed, finished, drained) = (
+            Arc::clone(&granted),
+            Arc::clone(&observed),
+            Arc::clone(&finished),
+            Arc::clone(&drained),
+        );
+        std::thread::spawn(move || {
+            let t = l.x_lock_aor(); // queues behind main, grant opens window
+            granted.wait();
+            observed.wait(); // main sampled the open window
+            l.x_finish_aor(t); // AOR search done: close the window
+            finished.wait();
+            drained.wait(); // main confirmed the closed state
+            l.x_unlock_aor(t);
+        })
+    };
+
+    // Wait on protocol state until T2 is queued, then hand over.
+    loop {
+        let w = l.raw();
+        if is_locked(w) && optiql::word::word_id(w) != id1 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    l.release_ex_with(id1, qn1);
+    optiql::qnode::free(id1);
+
+    granted.wait();
+    // T2 owns the lock, parked at the barrier, window open: deterministic.
+    let snap = l.acquire_sh().expect("AOR window admits readers");
+    assert!(is_locked(snap) && is_opread(snap));
+    assert!(l.release_sh(snap), "reader inside the AOR window validates");
+    observed.wait();
+    finished.wait();
+    // Window closed by x_finish_aor; T2 still holds the lock.
+    assert!(
+        l.acquire_sh().is_none(),
+        "closed AOR window rejects readers"
+    );
+    assert!(!l.release_sh(snap), "window snapshot is dead after close");
+    drained.wait();
+    t2.join().unwrap();
+    assert_eq!(l.acquire_sh().unwrap(), 2, "two completed write rounds");
+}
+
+#[test]
+fn aor_abort_path_unlock_without_finish_closes_window() {
+    // A writer that aborts its AOR search calls x_unlock_aor directly;
+    // the abandoned window must be closed before release so later readers
+    // cannot validate against the stale handover state. Single-threaded
+    // fast path cannot open a window, so enact the queued state manually.
+    let l = Arc::new(OptiQL::new());
+    let id1 = optiql::qnode::alloc();
+    let qn1 = optiql::qnode::to_ptr(id1);
+    assert!(!l.acquire_ex_with(id1, qn1));
+
+    let granted = Arc::new(Barrier::new(2));
+    let t2 = {
+        let l = Arc::clone(&l);
+        let granted = Arc::clone(&granted);
+        std::thread::spawn(move || {
+            let t = l.x_lock_aor();
+            granted.wait();
+            // Abort: never call x_finish_aor.
+            l.x_unlock_aor(t);
+        })
+    };
+    loop {
+        let w = l.raw();
+        if is_locked(w) && optiql::word::word_id(w) != id1 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    l.release_ex_with(id1, qn1);
+    optiql::qnode::free(id1);
+    granted.wait();
+    t2.join().unwrap();
+    // Fully released: free word, version 2, readers validate.
+    assert!(!l.is_locked_ex());
+    let v = l.acquire_sh().expect("free after aborted AOR unlock");
+    assert_eq!(v, 2);
+    assert!(l.release_sh(v));
+}

@@ -200,6 +200,123 @@ fn queue_locks_grant_fifo_under_staggered_arrival() {
     fifo::<optiql::TicketLock>();
 }
 
+/// Drive one writer handover deterministically with barriers: T2 queues
+/// behind the main thread, main releases into the handover, and every
+/// window observation happens at a barrier-pinned protocol step — no
+/// sleeps, no timing assumptions.
+///
+/// Returns (snapshot taken during the handover, whether a reader was
+/// admitted during the handover, whether that snapshot validated before
+/// the granted writer closed the window / released).
+fn run_handover<const OPPORTUNISTIC: bool>(
+    l: &Arc<optiql::OptiQLCore<OPPORTUNISTIC>>,
+) -> (Option<u64>, bool) {
+    use optiql::word::{is_locked, word_id};
+    use std::sync::Barrier;
+
+    let id1 = optiql::qnode::alloc();
+    let qn1 = optiql::qnode::to_ptr(id1);
+    // Step 0: main acquires on the fast path.
+    assert!(!l.acquire_ex_with(id1, qn1), "fast path while free");
+
+    // granted: T2 owns the lock. checked: main inspected the window.
+    let granted = Arc::new(Barrier::new(2));
+    let checked = Arc::new(Barrier::new(2));
+    let t2 = {
+        let (l, granted, checked) = (Arc::clone(l), Arc::clone(&granted), Arc::clone(&checked));
+        std::thread::spawn(move || {
+            let id2 = optiql::qnode::alloc();
+            let qn2 = optiql::qnode::to_ptr(id2);
+            // Step 1: queue behind main; blocks until main releases.
+            assert!(l.acquire_ex_with(id2, qn2), "must queue behind holder");
+            granted.wait(); // step 3 reached: we own the lock, window still open
+            checked.wait(); // step 4 done: main has sampled the open window
+            l.close_opread_window();
+            l.release_ex_with(id2, qn2);
+            optiql::qnode::free(id2);
+        })
+    };
+
+    // Step 2: wait (on the protocol state itself, not on time) until T2
+    // has swapped into the tail, then release into the handover.
+    loop {
+        let w = l.raw();
+        if is_locked(w) && word_id(w) != id1 {
+            break; // T2 is the tail: enqueued
+        }
+        std::thread::yield_now();
+    }
+    // While T2 is queued (pre-handover) no reader may enter.
+    assert!(l.acquire_sh().is_none(), "locked, window closed: reject");
+    l.release_ex_with(id1, qn1);
+    optiql::qnode::free(id1);
+
+    granted.wait();
+    // Deterministic window observation: T2 holds the lock and is parked at
+    // the barrier, so the word cannot change under us.
+    let snap = l.acquire_sh();
+    let validated = snap.is_some_and(|v| l.release_sh(v));
+    checked.wait();
+    t2.join().unwrap();
+    (snap, validated)
+}
+
+#[test]
+fn optiql_admits_readers_during_handover_window_deterministic() {
+    use optiql::word::{is_locked, is_opread};
+    let l = Arc::new(optiql::OptiQLCore::<true>::new());
+    let (snap, validated) = run_handover(&l);
+    let snap = snap.expect("OptiQL handover window must admit readers");
+    assert!(
+        is_locked(snap) && is_opread(snap),
+        "window state is LOCKED|OPREAD"
+    );
+    assert!(validated, "reader fully inside the window validates");
+    // After the protocol finished (two exclusive rounds), reads see v=2.
+    assert_eq!(l.acquire_sh().unwrap(), 2);
+}
+
+#[test]
+fn optiql_nor_rejects_readers_during_handover_deterministic() {
+    let l = Arc::new(optiql::OptiQLCore::<false>::new());
+    let (snap, _) = run_handover(&l);
+    assert!(
+        snap.is_none(),
+        "OptiQL-NOR must keep readers out through the whole handover"
+    );
+    assert_eq!(l.acquire_sh().unwrap(), 2);
+}
+
+#[test]
+fn reader_overlapping_writer_modification_fails_release_sh() {
+    // Barrier-sequenced torn-read scenario: the reader snapshots, the
+    // writer then runs a full critical section, and only afterwards does
+    // the reader validate — release_sh must fail, for both admission
+    // paths (free word and opportunistic window).
+    use std::sync::Barrier;
+    let l = Arc::new(OptiQL::new());
+    let snapped = Arc::new(Barrier::new(2));
+    let wrote = Arc::new(Barrier::new(2));
+    let writer = {
+        let (l, snapped, wrote) = (Arc::clone(&l), Arc::clone(&snapped), Arc::clone(&wrote));
+        std::thread::spawn(move || {
+            snapped.wait(); // reader holds its snapshot
+            let t = l.x_lock();
+            l.x_unlock(t);
+            wrote.wait(); // modification round complete
+        })
+    };
+    let v = l.acquire_sh().expect("free lock admits");
+    snapped.wait();
+    wrote.wait();
+    assert!(
+        !l.release_sh(v),
+        "snapshot spanning a writer's critical section must not validate"
+    );
+    assert!(!l.recheck(v), "recheck agrees with release_sh");
+    writer.join().unwrap();
+}
+
 #[test]
 fn opportunistic_read_never_validates_across_two_critical_sections() {
     // The §5.3 ABA scenario: a writer repeatedly increments a counter; a

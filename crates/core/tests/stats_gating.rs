@@ -1,0 +1,85 @@
+//! Zero-cost gating of the `stats` subsystem: in default builds every
+//! recording site is a no-op and the registry stays empty; with
+//! `--features stats` the same workload moves real counters. Both halves
+//! run the identical lock workload so the gating itself is the only
+//! variable.
+
+use optiql::stats::{self, Event, Snapshot};
+use optiql::{ExclusiveLock, IndexLock, OptLock, OptiQL, OptiQLNor};
+
+/// A workload touching every reader path outcome plus writer queueing.
+fn exercise_locks() {
+    let ql = OptiQL::new();
+    let nor = OptiQLNor::new();
+    let ol = OptLock::new();
+
+    for _ in 0..10 {
+        // Free-word admissions + validations.
+        let v = ql.r_lock().unwrap();
+        assert!(ql.r_unlock(v));
+        let v = ol.r_lock().unwrap();
+        assert!(ol.r_unlock(v));
+
+        // Rejections while exclusively held, then stale validation failure.
+        let stale = nor.r_lock().unwrap();
+        let t = nor.x_lock();
+        assert!(nor.r_lock().is_none());
+        nor.x_unlock(t);
+        assert!(!nor.r_unlock(stale));
+
+        // Upgrade success and failure.
+        let v = ol.r_lock().unwrap();
+        let t = ol.try_upgrade(v).unwrap();
+        ol.x_unlock(t);
+        assert!(ol.try_upgrade(v).is_none());
+    }
+}
+
+#[cfg(not(feature = "stats"))]
+#[test]
+fn without_the_feature_nothing_is_recorded() {
+    exercise_locks();
+    // Recording compiled to no-ops: the snapshot is identical to the
+    // default even though hundreds of events just "happened".
+    assert_eq!(stats::snapshot(), Snapshot::default());
+    assert_eq!(stats::snapshot().total(), 0);
+    // record/reset are harmless no-ops, not panics.
+    stats::record(Event::ExAcquire);
+    stats::reset();
+    assert_eq!(stats::snapshot(), Snapshot::default());
+}
+
+#[cfg(feature = "stats")]
+#[test]
+fn with_the_feature_the_same_workload_moves_counters() {
+    stats::reset();
+    let before = stats::snapshot();
+    exercise_locks();
+    let d = stats::snapshot().since(&before);
+    // 10 iterations × 3 free-word reads (ql, ol, nor-stale-begin)…
+    assert!(d.get(Event::ReadAdmit) >= 30, "{d}");
+    // …10 rejections while nor was held…
+    assert!(d.get(Event::ReadReject) >= 10, "{d}");
+    // …20 successful validations, 10 stale failures…
+    assert!(d.get(Event::ReadValidateOk) >= 20, "{d}");
+    assert!(d.get(Event::ReadValidateFail) >= 10, "{d}");
+    // …and 10 upgrade successes + 10 failures, 10 plain writer acquires.
+    assert!(d.get(Event::UpgradeOk) >= 10, "{d}");
+    assert!(d.get(Event::UpgradeFail) >= 10, "{d}");
+    assert!(d.get(Event::ExAcquire) >= 10, "{d}");
+    // Single-threaded: nobody ever queued or handed over.
+    assert_eq!(d.get(Event::ExQueueWait), 0, "{d}");
+    // Derived success rate matches the counted events.
+    let ok = d.get(Event::ReadValidateOk) as f64;
+    let fails = (d.get(Event::ReadValidateFail) + d.get(Event::ReadReject)) as f64;
+    assert!((d.reader_success_rate() - ok / (ok + fails)).abs() < 1e-12);
+}
+
+#[test]
+fn enabled_flag_matches_build_configuration() {
+    assert_eq!(stats::ENABLED, cfg!(feature = "stats"));
+    // Snapshot math is feature-independent.
+    let s = Snapshot::default();
+    assert_eq!(s.read_attempts(), 0);
+    assert_eq!(s.since(&s), s);
+}

@@ -1,0 +1,114 @@
+//! Property tests for the 8-byte lock-word bit layout (paper Figure 3a).
+//!
+//! The word packs two status bits, a 10-bit queue node ID and a 52-bit
+//! version; every helper in `optiql::word` must preserve its own field and
+//! leave the others untouched for *all* inputs, not just the unit-test
+//! corner cases.
+
+use proptest::prelude::*;
+
+use optiql::word::{
+    bump_version, is_locked, is_opread, locked_word, readable, word_id, word_version,
+    ID_FIELD_MASK, ID_SHIFT, LOCKED, MAX_QNODES, OPREAD, STATUS_MASK, VERSION_MASK,
+};
+
+/// Any valid queue node ID (10 bits).
+fn any_id() -> impl Strategy<Value = u16> {
+    (0..MAX_QNODES as u64).prop_map(|v| v as u16)
+}
+
+/// Any valid version (52 bits), weighted toward the wraparound boundary.
+fn any_version() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0..=VERSION_MASK,
+        1 => (VERSION_MASK - 64)..=VERSION_MASK,
+        1 => 0u64..64,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn locked_word_roundtrips_id(id in any_id()) {
+        let w = locked_word(id);
+        prop_assert!(is_locked(w));
+        prop_assert!(!is_opread(w));
+        prop_assert_eq!(word_id(w), id);
+        prop_assert_eq!(word_version(w), 0);
+    }
+
+    #[test]
+    fn field_extraction_is_independent(
+        id in any_id(),
+        version in any_version(),
+        locked in any::<bool>(),
+        opread in any::<bool>(),
+    ) {
+        // Assemble a word from arbitrary field values; each extractor must
+        // see exactly its own field.
+        let mut w = ((id as u64) << ID_SHIFT) | version;
+        if locked {
+            w |= LOCKED;
+        }
+        if opread {
+            w |= OPREAD;
+        }
+        prop_assert_eq!(word_id(w), id);
+        prop_assert_eq!(word_version(w), version);
+        prop_assert_eq!(is_locked(w), locked);
+        prop_assert_eq!(is_opread(w), opread);
+    }
+
+    #[test]
+    fn bump_version_stays_in_field_and_increments_mod_2_52(v in any_version()) {
+        let b = bump_version(v);
+        prop_assert_eq!(b & !VERSION_MASK, 0, "bump left the version field");
+        if v == VERSION_MASK {
+            prop_assert_eq!(b, 0, "52-bit wraparound");
+        } else {
+            prop_assert_eq!(b, v + 1);
+        }
+    }
+
+    #[test]
+    fn bump_version_never_produces_status_or_id_bits(v in any::<u64>()) {
+        // Even garbage inputs (e.g. a full word passed by mistake) cannot
+        // make the bumped version spill outside the version field.
+        let b = bump_version(v);
+        prop_assert_eq!(b & (STATUS_MASK | ID_FIELD_MASK), 0);
+    }
+
+    #[test]
+    fn readable_iff_not_exclusively_locked(
+        id in any_id(),
+        version in any_version(),
+        locked in any::<bool>(),
+        opread in any::<bool>(),
+    ) {
+        let mut w = ((id as u64) << ID_SHIFT) | version;
+        if locked {
+            w |= LOCKED;
+        }
+        if opread {
+            w |= OPREAD;
+        }
+        // Paper Alg 2 l.3: admitted unless status is exactly LOCKED —
+        // free words and open handover windows (LOCKED|OPREAD) both admit.
+        prop_assert_eq!(readable(w), !locked || opread);
+    }
+
+    #[test]
+    fn version_chain_from_any_start_never_revisits_early(
+        start in any_version(),
+        steps in 1usize..512,
+    ) {
+        // Bumping repeatedly walks the 2^52 cycle: within any short window
+        // all versions are distinct (this is what makes optimistic
+        // validation sound between nearby critical sections).
+        let mut v = start;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..steps {
+            prop_assert!(seen.insert(v), "version repeated within the window");
+            v = bump_version(v);
+        }
+    }
+}

@@ -12,7 +12,12 @@
 //! * [`pin`] — best-effort thread pinning;
 //! * [`mod@env`] — environment-variable knobs that let the bench binaries
 //!   scale to the host (`OPTIQL_BENCH_THREADS`, `OPTIQL_BENCH_SECS`,
-//!   `OPTIQL_BENCH_KEYS`, `OPTIQL_BENCH_FULL`).
+//!   `OPTIQL_BENCH_KEYS`, `OPTIQL_BENCH_FULL`);
+//! * [`stats`] — re-export of the lock-event counter registry
+//!   (`optiql::stats`): bench binaries bracket a run with
+//!   [`stats::reset`] … [`stats::snapshot`] and derive e.g. Table 1's
+//!   reader-success rates from real counters. Counters only record when
+//!   the workspace is built with `--features stats`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,6 +31,7 @@ pub mod workload;
 pub use dist::{KeyDist, KeySpace, Sampler};
 pub use latency::Histogram;
 pub use micro::{cs_work, run_exclusive, run_mixed, Contention, MicroConfig, MicroResult};
+pub use optiql::stats;
 pub use workload::{preload, run, ConcurrentIndex, Mix, WorkloadConfig, WorkloadResult};
 
 /// Environment-variable knobs for the bench binaries.

@@ -175,8 +175,11 @@ where
     F: Fn(&[CachePadded<L>], &MicroConfig, usize, &AtomicBool) -> ThreadOut + Sync,
 {
     let nlocks = cfg.contention.lock_count(cfg.threads);
-    let locks: Arc<Vec<CachePadded<L>>> =
-        Arc::new((0..nlocks).map(|_| CachePadded::new(L::default())).collect());
+    let locks: Arc<Vec<CachePadded<L>>> = Arc::new(
+        (0..nlocks)
+            .map(|_| CachePadded::new(L::default()))
+            .collect(),
+    );
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(cfg.threads + 1));
 

@@ -278,12 +278,7 @@ fn with_local<R>(shared: &Arc<Shared>, f: impl FnOnce(&mut Local) -> R) -> R {
             let slot = (0..MAX_PARTICIPANTS)
                 .find(|&i| {
                     shared.slots[i]
-                        .compare_exchange(
-                            SLOT_FREE,
-                            SLOT_IDLE,
-                            Ordering::AcqRel,
-                            Ordering::Relaxed,
-                        )
+                        .compare_exchange(SLOT_FREE, SLOT_IDLE, Ordering::AcqRel, Ordering::Relaxed)
                         .is_ok()
                 })
                 .expect("reclamation participant registry full");

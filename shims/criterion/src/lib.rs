@@ -1,0 +1,224 @@
+//! Offline shim for `criterion`: a minimal but functional harness with
+//! the same macro/builder surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::default().warm_up_time(..)...`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`).
+//!
+//! Measurement model: per sample, run the closure in growing batches
+//! until the batch takes ≥ ~1/sample_size of the measurement budget,
+//! then report the median and spread of per-iteration times across
+//! samples. No plotting, no statistics beyond median/min/max — enough
+//! to compare lock hot paths between builds.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (subset of criterion's `Criterion`).
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup { c: self }
+    }
+
+    /// Hook for criterion CLI-arg handling; no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final summary hook; no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark: time `f`'s `Bencher::iter` payload.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the payload for the configured wall-time.
+        let warm_deadline = Instant::now() + self.c.warm_up;
+        let mut b = Bencher {
+            mode: Mode::Warmup(warm_deadline),
+            per_iter: Vec::new(),
+            budget: Duration::ZERO,
+        };
+        f(&mut b);
+
+        let per_sample = self.c.measurement / self.c.sample_size as u32;
+        b.mode = Mode::Measure;
+        b.budget = per_sample;
+        b.per_iter.clear();
+        for _ in 0..self.c.sample_size {
+            f(&mut b);
+        }
+
+        let mut times = b.per_iter;
+        times.sort_unstable();
+        if times.is_empty() {
+            println!("  {name}: no samples");
+            return self;
+        }
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let max = times[times.len() - 1];
+        println!(
+            "  {name}: median {} [min {}, max {}] per iter",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max)
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    Warmup(Instant),
+    Measure,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    /// Per-iteration nanoseconds, one entry per measured sample.
+    per_iter: Vec<u64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time repeated runs of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Warmup(deadline) => {
+                while Instant::now() < deadline {
+                    black_box(f());
+                }
+            }
+            Mode::Measure => {
+                // Grow the batch until it fills this sample's time budget,
+                // so per-iteration resolution is well above timer noise.
+                let mut iters = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= self.budget || iters >= (1 << 30) {
+                        let ns = elapsed.as_nanos() as u64 / iters.max(1);
+                        self.per_iter.push(ns);
+                        return;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+            }
+        }
+    }
+}
+
+/// Opaque value barrier (re-export shape of `criterion::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Define a benchmark group (criterion-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut g = c.benchmark_group("shim");
+        let mut count = 0u64;
+        g.bench_function("incr", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

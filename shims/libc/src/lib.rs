@@ -1,0 +1,52 @@
+//! Offline shim for `libc`: just enough for `sched_setaffinity` thread
+//! pinning on Linux/glibc. Layout of `cpu_set_t` matches glibc's
+//! 1024-bit fixed-size set.
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+/// glibc `cpu_set_t`: 1024 CPU bits as 16 × 64-bit masks.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; 16],
+}
+
+/// Set CPU `cpu` in `set` (no-op when out of range, like `CPU_SET`).
+///
+/// # Safety
+/// Mirrors the libc macro's signature; safe in practice, `unsafe` kept
+/// for drop-in source compatibility with the real crate.
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < 1024 {
+        set.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+extern "C" {
+    #[link_name = "sched_setaffinity"]
+    fn sched_setaffinity_sys(pid: i32, cpusetsize: usize, mask: *const cpu_set_t) -> i32;
+}
+
+/// Pin the calling thread (pid 0) or process to the CPUs in `mask`.
+///
+/// # Safety
+/// `mask` must point to a valid `cpu_set_t` of `cpusetsize` bytes.
+pub unsafe fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const cpu_set_t) -> i32 {
+    sched_setaffinity_sys(pid, cpusetsize, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_layout_matches_glibc() {
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe { CPU_SET(3, &mut set) };
+        unsafe { CPU_SET(64, &mut set) };
+        assert_eq!(set.bits[0], 1 << 3);
+        assert_eq!(set.bits[1], 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Offline shim for `parking_lot`: a poison-free [`Mutex`] and a
+//! word-sized [`RawRwLock`] with the `lock_api` trait surface the
+//! workspace uses.
+//!
+//! `Mutex` wraps `std::sync::Mutex` and strips poisoning (matching
+//! parking_lot semantics). `RawRwLock` is a single-word spin/yield
+//! reader-writer lock: bit 63 is the writer flag, the low bits count
+//! readers. Under contention it spins briefly then yields — simpler
+//! than parking_lot's parking-lot queue, but the same external shape
+//! (one word in the object, waiters keep no in-object state).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::PoisonError;
+
+/// Poison-free mutual-exclusion lock.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// New mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// `lock_api` compatibility: the raw reader-writer-lock trait.
+pub mod lock_api {
+    /// Raw reader-writer lock interface (subset of `lock_api::RawRwLock`).
+    pub trait RawRwLock {
+        /// Initial (unlocked) value, usable in `const` contexts.
+        const INIT: Self;
+
+        /// Acquire shared (read) access, blocking.
+        fn lock_shared(&self);
+        /// Release shared access.
+        ///
+        /// # Safety
+        /// Must be paired with a successful `lock_shared`.
+        unsafe fn unlock_shared(&self);
+        /// Acquire exclusive (write) access, blocking.
+        fn lock_exclusive(&self);
+        /// Release exclusive access.
+        ///
+        /// # Safety
+        /// Must be paired with a successful `lock_exclusive`.
+        unsafe fn unlock_exclusive(&self);
+        /// Whether a writer currently holds the lock.
+        fn is_locked_exclusive(&self) -> bool;
+    }
+}
+
+const WRITER: u64 = 1 << 63;
+
+/// Word-sized raw reader-writer lock (writer-preferring spin/yield).
+pub struct RawRwLock {
+    state: AtomicU64,
+}
+
+impl RawRwLock {
+    #[inline]
+    fn spin_wait(spins: &mut u32) {
+        if *spins < 64 {
+            std::hint::spin_loop();
+            *spins += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl lock_api::RawRwLock for RawRwLock {
+    const INIT: RawRwLock = RawRwLock {
+        state: AtomicU64::new(0),
+    };
+
+    fn lock_shared(&self) {
+        let mut spins = 0;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & WRITER == 0
+                && self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            Self::spin_wait(&mut spins);
+        }
+    }
+
+    unsafe fn unlock_shared(&self) {
+        self.state.fetch_sub(1, Ordering::Release);
+    }
+
+    fn lock_exclusive(&self) {
+        let mut spins = 0;
+        loop {
+            if self
+                .state
+                .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            Self::spin_wait(&mut spins);
+        }
+    }
+
+    unsafe fn unlock_exclusive(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+
+    fn is_locked_exclusive(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & WRITER != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawRwLock as _;
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_shared_then_exclusive() {
+        let l = RawRwLock::INIT;
+        l.lock_shared();
+        l.lock_shared();
+        assert!(!l.is_locked_exclusive());
+        unsafe {
+            l.unlock_shared();
+            l.unlock_shared();
+        }
+        l.lock_exclusive();
+        assert!(l.is_locked_exclusive());
+        unsafe { l.unlock_exclusive() };
+        assert!(!l.is_locked_exclusive());
+    }
+
+    #[test]
+    fn rwlock_excludes_across_threads() {
+        let l = std::sync::Arc::new(RawRwLock::INIT);
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let l = l.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    l.lock_exclusive();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    unsafe { l.unlock_exclusive() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+}

@@ -5,9 +5,7 @@ use std::time::Duration;
 
 use optiql_art::{ArtMcsRw, ArtOptLock, ArtOptiQL, ArtOptiQLNor};
 use optiql_btree::{BTreeMcsRw, BTreeOptLock, BTreeOptiQL, BTreeOptiQLAor, BTreeOptiQLNor};
-use optiql_harness::{
-    preload, run, ConcurrentIndex, KeyDist, KeySpace, Mix, WorkloadConfig,
-};
+use optiql_harness::{preload, run, ConcurrentIndex, KeyDist, KeySpace, Mix, WorkloadConfig};
 
 fn quick(mix: Mix, dist: KeyDist, keys: u64) -> WorkloadConfig {
     let mut cfg = WorkloadConfig::new(3, mix, dist, keys);

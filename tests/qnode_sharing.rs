@@ -14,7 +14,11 @@ fn nested_acquisitions_use_distinct_qnodes() {
     let locks: Vec<OptiQL> = (0..16).map(|_| OptiQL::new()).collect();
     let tokens: Vec<_> = locks.iter().map(|l| l.x_lock()).collect();
     let ids: std::collections::HashSet<u16> = tokens.iter().map(|t| t.qnode_id()).collect();
-    assert_eq!(ids.len(), tokens.len(), "live queue node IDs must be unique");
+    assert_eq!(
+        ids.len(),
+        tokens.len(),
+        "live queue node IDs must be unique"
+    );
     for (l, t) in locks.iter().zip(tokens) {
         l.x_unlock(t);
     }

@@ -147,7 +147,13 @@ fn btree_scan_during_smo_storm_stays_ordered() {
             .filter(|k| *k <= 3_998 && k % 2 == 0)
             .collect();
         for w in evens.windows(2) {
-            assert_eq!(w[1], w[0] + 2, "stable key missed between {} and {}", w[0], w[1]);
+            assert_eq!(
+                w[1],
+                w[0] + 2,
+                "stable key missed between {} and {}",
+                w[0],
+                w[1]
+            );
         }
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
