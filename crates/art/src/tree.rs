@@ -504,12 +504,19 @@ impl<L: IndexLock> ArtTree<L> {
                 debug_assert!(depth < KEY_LEN);
                 let b = kb[depth];
                 let child = node.find_child(b);
+                // Read the fill level *before* validating: after the
+                // recheck a concurrent writer may fill the node, and a
+                // stale `is_full` combined with the validated-null `child`
+                // would send the root (a never-full Node256) down the grow
+                // path. Inside the validated window the two reads are
+                // consistent: a full Node256 has no null slot.
+                let full = node.is_full();
                 if !node.lock.recheck(v) {
                     continue 'restart;
                 }
 
                 if child.is_null() {
-                    if node.is_full() {
+                    if full {
                         // Grow into the next node size (replaces the node
                         // in its parent; the root Node256 is never full).
                         let (p, pv, pb) = parent.expect("root Node256 never grows");

@@ -1,0 +1,287 @@
+//! Hot-path microbenchmarks: the per-operation substrate costs that sit
+//! under *every* index operation, measured in isolation so regressions are
+//! visible before they wash out in whole-index numbers.
+//!
+//! Groups:
+//!
+//! * `pin_unpin` — epoch-reclamation pin/unpin round-trip (1 thread, plus
+//!   a re-entrant pin with an outer guard held);
+//! * `qnode` — queue-node pool acquire/release (1 thread and 8 threads);
+//! * `node_search` — single-level B+-tree in-node search: inner
+//!   `child_index` at child capacities 16/64/256 and leaf `lower_bound`
+//!   at the matching leaf capacities;
+//! * `x_lock` — uncontended exclusive acquire/release cycle for every
+//!   lock in the crate.
+//!
+//! Results go to stdout (tab-separated) and to
+//! `results/BENCH_hotpath.json` via [`optiql_harness::report`]. Tag runs
+//! with `OPTIQL_BENCH_REV=<tag>` to compare revisions in one file.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use optiql::{
+    qnode, ExclusiveLock, McsLock, McsRwLock, OptLock, OptLockBackoff, OptiCLH, OptiCLHNor, OptiQL,
+    OptiQLAor, OptiQLNor, PthreadRwLock, TicketLock, TicketLockSplit, TtsBackoff, TtsLock,
+};
+use optiql_btree::node::{as_inner, as_leaf, Inner, Leaf};
+use optiql_harness::{BenchJson, BenchRecord, Histogram};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Operations per timing batch: long enough to amortize the `Instant`
+/// reads, short enough to populate the latency histogram.
+const BATCH: u64 = 256;
+
+struct Timed {
+    ops_per_sec: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+/// Time `f` in batches for `dur`, collecting per-op latency (batch mean).
+fn time_loop(dur: Duration, mut f: impl FnMut()) -> Timed {
+    for _ in 0..BATCH {
+        f(); // warm-up: faults, TLS registration, branch predictors
+    }
+    let mut hist = Histogram::new();
+    let mut ops = 0u64;
+    let start = Instant::now();
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as u64;
+        hist.record((ns / BATCH).max(1));
+        ops += BATCH;
+        if start.elapsed() >= dur {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Timed {
+        ops_per_sec: ops as f64 / secs,
+        p50_ns: hist.quantile(0.5) as f64,
+        p99_ns: hist.quantile(0.99) as f64,
+    }
+}
+
+/// As [`time_loop`] but with `threads` workers running `f` concurrently.
+fn time_threads(threads: usize, dur: Duration, f: impl Fn(usize) + Sync) -> Timed {
+    let stop = AtomicBool::new(false);
+    let merged: Mutex<(u64, Histogram)> = Mutex::new((0, Histogram::new()));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (stop, merged, f) = (&stop, &merged, &f);
+            s.spawn(move || {
+                optiql_harness::pin::pin_thread(t);
+                for _ in 0..BATCH {
+                    f(t);
+                }
+                let mut hist = Histogram::new();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    for _ in 0..BATCH {
+                        f(t);
+                    }
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    hist.record((ns / BATCH).max(1));
+                    ops += BATCH;
+                }
+                let mut g = merged.lock().unwrap();
+                g.0 += ops;
+                g.1.merge(&hist);
+            });
+        }
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let g = merged.lock().unwrap();
+    Timed {
+        ops_per_sec: g.0 as f64 / secs,
+        p50_ns: g.1.quantile(0.5) as f64,
+        p99_ns: g.1.quantile(0.99) as f64,
+    }
+}
+
+struct Reporter {
+    json: BenchJson,
+    rev: String,
+}
+
+impl Reporter {
+    fn emit(&mut self, bench: &str, config: &str, threads: usize, t: &Timed) {
+        println!(
+            "hotpath\t{bench}/{config}\t{threads}\t{:.2} Mops/s\tp50={:.0}ns p99={:.0}ns",
+            t.ops_per_sec / 1e6,
+            t.p50_ns,
+            t.p99_ns
+        );
+        self.json.record(&BenchRecord {
+            bench: bench.into(),
+            config: config.into(),
+            rev: self.rev.clone(),
+            threads,
+            ops_per_sec: t.ops_per_sec,
+            p50_ns: Some(t.p50_ns),
+            p99_ns: Some(t.p99_ns),
+        });
+    }
+}
+
+// --- group: reclamation pin/unpin ----------------------------------------
+
+fn bench_pin_unpin(rep: &mut Reporter, dur: Duration) {
+    let collector = optiql_reclaim::Collector::new();
+    let handle = collector.handle();
+    let t = time_loop(dur, || {
+        drop(black_box(handle.pin()));
+    });
+    rep.emit("pin_unpin", "handle", 1, &t);
+
+    // Re-entrant pin with an outer guard held: the depth>0 fast path.
+    let outer = handle.pin();
+    let t = time_loop(dur, || {
+        drop(black_box(handle.pin()));
+    });
+    drop(outer);
+    rep.emit("pin_unpin", "nested", 1, &t);
+
+    let t = time_loop(dur, || {
+        drop(black_box(collector.pin()));
+    });
+    rep.emit("pin_unpin", "collector", 1, &t);
+}
+
+// --- group: queue-node pool ----------------------------------------------
+
+fn bench_qnode(rep: &mut Reporter, dur: Duration) {
+    let t = time_loop(dur, || {
+        let id = qnode::alloc();
+        black_box(id);
+        qnode::free(id);
+    });
+    rep.emit("qnode", "acquire_release", 1, &t);
+
+    // Hold two (the B+-tree merge case) so the TLS cache cycles.
+    let t = time_loop(dur, || {
+        let a = qnode::alloc();
+        let b = qnode::alloc();
+        qnode::free(black_box(a));
+        qnode::free(black_box(b));
+    });
+    rep.emit("qnode", "acquire_release_pair", 1, &t);
+
+    for threads in [8usize, 16] {
+        let t = time_threads(threads, dur, |_| {
+            let id = qnode::alloc();
+            black_box(id);
+            qnode::free(id);
+        });
+        rep.emit("qnode", "acquire_release", threads, &t);
+    }
+}
+
+// --- group: in-node search ------------------------------------------------
+
+fn bench_node_search<const IC: usize>(rep: &mut Reporter, dur: Duration) {
+    // A full inner node of IC-1 separators routing to one shared dummy
+    // child, searched with uniformly random keys over the covered range.
+    let child = Leaf::<OptLock, 4>::alloc();
+    let ip = Inner::<OptLock, IC>::alloc();
+    // Safety: `ip` was just allocated by `Inner::<OptLock, IC>::alloc`.
+    let inner = unsafe { as_inner::<OptLock, IC>(ip) };
+    inner.init_root(8, child, child);
+    for i in 1..(IC - 1) as u64 {
+        inner.insert_child((i + 1) * 8, child);
+    }
+    // 64Ki probe keys: long enough that the branch predictor cannot
+    // memorize the probe sequence, which would flatter branchy searches.
+    let span = IC as u64 * 8;
+    let mut rng = SmallRng::seed_from_u64(0xB7EE);
+    let keys: Vec<u64> = (0..65536).map(|_| rng.random_range(0..span)).collect();
+    let mut i = 0usize;
+    let t = time_loop(dur, || {
+        i = (i + 1) & 0xFFFF;
+        black_box(inner.child_index(black_box(keys[i])));
+    });
+    rep.emit("node_search", &format!("child_index_{IC}"), 1, &t);
+
+    // Matching leaf: LC = IC entries, lower_bound over the same keys.
+    let lp = Leaf::<OptLock, IC>::alloc();
+    // Safety: `lp` was just allocated by `Leaf::<OptLock, IC>::alloc`.
+    let leaf = unsafe { as_leaf::<OptLock, IC>(lp) };
+    for k in 0..IC as u64 {
+        leaf.insert(k * 8, k);
+    }
+    let t = time_loop(dur, || {
+        i = (i + 1) & 0xFFFF;
+        black_box(leaf.lower_bound(black_box(keys[i])));
+    });
+    rep.emit("node_search", &format!("lower_bound_{IC}"), 1, &t);
+
+    // Safety: pointers originate from the matching `alloc` calls above and
+    // are dropped exactly once, after their last use.
+    unsafe {
+        drop(Box::from_raw(lp as *mut Leaf<OptLock, IC>));
+        drop(Box::from_raw(ip as *mut Inner<OptLock, IC>));
+        drop(Box::from_raw(child as *mut Leaf<OptLock, 4>));
+    }
+}
+
+// --- group: uncontended exclusive acquire ---------------------------------
+
+fn bench_x_lock<L: ExclusiveLock>(rep: &mut Reporter, dur: Duration) {
+    let lock = L::default();
+    let t = time_loop(dur, || {
+        let tok = lock.x_lock();
+        black_box(&lock);
+        lock.x_unlock(tok);
+    });
+    rep.emit("x_lock", L::NAME, 1, &t);
+}
+
+fn main() {
+    let dur = optiql_harness::env::duration();
+    let rev = BenchRecord::rev_from_env();
+    println!("# ===================================================================");
+    println!("# hotpath: substrate fast-path microbenchmarks (rev={rev})");
+    println!(
+        "# host_cpus={} secs_per_point={:.2}",
+        optiql_harness::pin::num_cpus(),
+        dur.as_secs_f64()
+    );
+    println!("# ===================================================================");
+    let mut rep = Reporter {
+        json: BenchJson::new("hotpath"),
+        rev,
+    };
+
+    bench_pin_unpin(&mut rep, dur);
+    bench_qnode(&mut rep, dur);
+    bench_node_search::<16>(&mut rep, dur);
+    bench_node_search::<64>(&mut rep, dur);
+    bench_node_search::<256>(&mut rep, dur);
+
+    bench_x_lock::<TtsLock>(&mut rep, dur);
+    bench_x_lock::<TtsBackoff>(&mut rep, dur);
+    bench_x_lock::<TicketLock>(&mut rep, dur);
+    bench_x_lock::<TicketLockSplit>(&mut rep, dur);
+    bench_x_lock::<McsLock>(&mut rep, dur);
+    bench_x_lock::<McsRwLock>(&mut rep, dur);
+    bench_x_lock::<OptLock>(&mut rep, dur);
+    bench_x_lock::<OptLockBackoff>(&mut rep, dur);
+    bench_x_lock::<OptiQL>(&mut rep, dur);
+    bench_x_lock::<OptiQLNor>(&mut rep, dur);
+    bench_x_lock::<OptiQLAor>(&mut rep, dur);
+    bench_x_lock::<OptiCLH>(&mut rep, dur);
+    bench_x_lock::<OptiCLHNor>(&mut rep, dur);
+    bench_x_lock::<PthreadRwLock>(&mut rep, dur);
+
+    println!("# report: {}", rep.json.path().display());
+}

@@ -16,8 +16,17 @@
 #![warn(rust_2018_idioms)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 
-/// Print a run banner with the active scaling knobs.
+use optiql_harness::report::{BenchJson, JsonValue};
+
+/// JSON report mirroring the rows printed by [`row`]/[`row_extra`].
+/// Initialized by [`banner`] from the figure name, so every bench target
+/// emits `BENCH_<fig>.json` alongside its stdout rows for free.
+static JSON: Mutex<Option<BenchJson>> = Mutex::new(None);
+
+/// Print a run banner with the active scaling knobs and open the
+/// machine-readable `BENCH_<fig>.json` report for this target.
 pub fn banner(fig: &str, title: &str) {
     let threads = optiql_harness::env::thread_counts();
     let dur = optiql_harness::env::duration();
@@ -30,6 +39,33 @@ pub fn banner(fig: &str, title: &str) {
         optiql_harness::env::full(),
     );
     println!("# ===================================================================");
+    *JSON.lock().unwrap() = Some(BenchJson::new(fig));
+}
+
+/// Append a free-form record to the active JSON report (no-op before
+/// [`banner`] runs). `x` and `value` are stringified by the caller's
+/// `Display`; numeric-looking values are stored as JSON numbers.
+fn json_row(fig: &str, series: &str, x: &str, value: &str, extra: Option<&str>) {
+    let mut g = JSON.lock().unwrap();
+    let Some(rep) = g.as_mut() else { return };
+    let mut fields = vec![
+        ("bench", JsonValue::Str(fig.to_string())),
+        ("series", JsonValue::Str(series.to_string())),
+        ("x", json_auto(x)),
+        ("value", json_auto(value)),
+    ];
+    if let Some(e) = extra {
+        fields.push(("extra", json_auto(e)));
+    }
+    rep.record_kv(&fields);
+}
+
+/// Store numbers as numbers, everything else as strings.
+fn json_auto(s: &str) -> JsonValue {
+    match s.parse::<f64>() {
+        Ok(v) => JsonValue::Num(v),
+        Err(_) => JsonValue::Str(s.to_string()),
+    }
 }
 
 /// Print a column header comment.
@@ -37,12 +73,14 @@ pub fn header(cols: &[&str]) {
     println!("# {}", cols.join("\t"));
 }
 
-/// Print one data row.
+/// Print one data row (and mirror it into the JSON report).
 pub fn row(fig: &str, series: &str, x: impl Display, value: impl Display) {
+    let (x, value) = (x.to_string(), value.to_string());
     println!("{fig}\t{series}\t{x}\t{value}");
+    json_row(fig, series, &x, &value, None);
 }
 
-/// Print one data row with an extra column.
+/// Print one data row with an extra column (mirrored into the JSON report).
 pub fn row_extra(
     fig: &str,
     series: &str,
@@ -50,7 +88,9 @@ pub fn row_extra(
     value: impl Display,
     extra: impl Display,
 ) {
+    let (x, value, extra) = (x.to_string(), value.to_string(), extra.to_string());
     println!("{fig}\t{series}\t{x}\t{value}\t{extra}");
+    json_row(fig, series, &x, &value, Some(&extra));
 }
 
 /// Million operations per second.

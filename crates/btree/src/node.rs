@@ -26,6 +26,71 @@ use optiql::IndexLock;
 /// Relaxed ordering shorthand: all node payload accesses go through this.
 const R: Ordering = Ordering::Relaxed;
 
+/// Largest count searched by the unrolled linear scan; larger nodes fall
+/// through to the branchless binary search.
+const LINEAR_MAX: usize = 16;
+
+/// Number of `keys[..n]` satisfying `pred` — the shared kernel of
+/// [`Inner::child_index`] (`pred = key_i <= needle`) and
+/// [`Leaf::lower_bound`] (`pred = key_i < needle`). Requires `keys[..n]`
+/// sorted and `pred` monotone (true-prefix), which both callers guarantee;
+/// on a torn concurrent snapshot the result is still in `0..=n` and the
+/// caller's version validation discards it.
+///
+/// Search is branch-free in the *data*: a fixed-stride unrolled scan that
+/// accumulates compare results for small counts (no mispredicts, the loads
+/// pipeline), and a "monobound" binary search (`base += pred * half`, a
+/// conditional-move idiom) for larger ones.
+#[inline(always)]
+fn sorted_prefix_len(keys: &[AtomicU64], n: usize, pred: impl Fn(u64) -> bool) -> usize {
+    debug_assert!(n <= keys.len());
+    let mut base = 0usize;
+    let mut len = n;
+    // Monobound narrowing: branchless halving until the window is small.
+    // Each step is one load feeding a conditional-move — a short serial
+    // chain instead of a run of unpredictable branches.
+    while len > LINEAR_MAX {
+        let half = len / 2;
+        base += pred(keys[base + half - 1].load(R)) as usize * half;
+        len -= half;
+    }
+    // Unrolled branchless scan of the final window: the loads are
+    // independent, so they pipeline instead of serializing.
+    let mut idx = base;
+    let end = base + len;
+    let mut i = base;
+    while i + 4 <= end {
+        idx += pred(keys[i].load(R)) as usize;
+        idx += pred(keys[i + 1].load(R)) as usize;
+        idx += pred(keys[i + 2].load(R)) as usize;
+        idx += pred(keys[i + 3].load(R)) as usize;
+        i += 4;
+    }
+    while i < end {
+        idx += pred(keys[i].load(R)) as usize;
+        i += 1;
+    }
+    idx
+}
+
+/// Hint the CPU to pull the first two lines of a node into cache. Issued on
+/// the traversal path between choosing a child and validating the parent's
+/// version, so the fetch overlaps the validation instead of stalling the
+/// descent.
+#[inline(always)]
+fn prefetch_node(p: *const NodeBase) {
+    #[cfg(target_arch = "x86_64")]
+    // Safety: prefetch is a pure hint and is architecturally defined to
+    // never fault, whatever the address points at.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+        _mm_prefetch::<_MM_HINT_T0>((p as *const i8).wrapping_add(64));
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// Common first-field header of every node; enables leaf/inner dispatch
 /// through a type-erased pointer (`repr(C)` prefix cast).
 #[repr(C)]
@@ -139,19 +204,7 @@ impl<IL: IndexLock, const IC: usize> Inner<IL, IC> {
     /// else `count`.
     #[inline]
     pub fn child_index(&self, key: u64) -> usize {
-        let n = self.count();
-        // Branchless-ish binary search over atomic cells.
-        let mut lo = 0usize;
-        let mut hi = n;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if key < self.keys[mid].load(R) {
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
-        }
-        lo
+        sorted_prefix_len(&self.keys, self.count(), |k| k <= key)
     }
 
     /// Child pointer covering `key` together with the separator bounding
@@ -165,7 +218,10 @@ impl<IL: IndexLock, const IC: usize> Inner<IL, IC> {
         } else {
             None
         };
-        (self.children[idx].load(R), upper)
+        let child = self.children[idx].load(R);
+        // Warm the child while the caller validates this node's version.
+        prefetch_node(child);
+        (child, upper)
     }
 
     /// Insert a separator + right child (holder of the exclusive lock only).
@@ -282,18 +338,7 @@ impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
     /// First index with `keys[idx] >= key` (lower bound).
     #[inline]
     pub fn lower_bound(&self, key: u64) -> usize {
-        let n = self.count();
-        let mut lo = 0usize;
-        let mut hi = n;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if self.keys[mid].load(R) < key {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        sorted_prefix_len(&self.keys, self.count(), |k| k < key)
     }
 
     /// Position of `key`, if present.
@@ -578,6 +623,49 @@ mod tests {
         free_leaf(c1);
         free_leaf(c2);
         free_inner(ip);
+    }
+
+    #[test]
+    fn search_matches_reference_across_scan_regimes() {
+        // Cover counts below and above LINEAR_MAX so both the unrolled
+        // linear scan and the monobound binary search are checked against a
+        // naive reference.
+        fn check<const C: usize>() {
+            let lp = Leaf::<OptLock, C>::alloc();
+            let l = unsafe { as_leaf::<OptLock, C>(lp) };
+            for i in 0..C as u64 {
+                l.insert(i * 2 + 1, i);
+            }
+            for probe in 0..=(2 * C as u64 + 2) {
+                let expect = (0..l.count())
+                    .find(|&i| l.key(i) >= probe)
+                    .unwrap_or(l.count());
+                assert_eq!(l.lower_bound(probe), expect, "C={C} probe={probe}");
+            }
+            drop(unsafe { Box::from_raw(lp as *mut Leaf<OptLock, C>) });
+
+            let ip = Inner::<OptLock, C>::alloc();
+            let inner = unsafe { as_inner::<OptLock, C>(ip) };
+            let kid = Leaf::<OptLock, 4>::alloc();
+            inner.init_root(2, kid, kid);
+            for i in 1..(C - 1) as u64 {
+                inner.insert_child((i + 1) * 2, kid);
+            }
+            for probe in 0..=(2 * C as u64 + 2) {
+                let expect = (0..inner.count())
+                    .find(|&i| probe < inner.key(i))
+                    .unwrap_or(inner.count());
+                assert_eq!(inner.child_index(probe), expect, "C={C} probe={probe}");
+            }
+            drop(unsafe { Box::from_raw(kid as *mut Leaf<OptLock, 4>) });
+            drop(unsafe { Box::from_raw(ip as *mut Inner<OptLock, C>) });
+        }
+        check::<4>();
+        check::<8>();
+        check::<16>();
+        check::<17>();
+        check::<64>();
+        check::<256>();
     }
 
     #[test]

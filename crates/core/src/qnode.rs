@@ -7,17 +7,21 @@
 //! \[24\]), all queue nodes are pre-allocated in one contiguous static array so
 //! an ID is simply the array index; `to_ptr` is a single indexed load.
 //!
-//! Nodes are handed out through a global free list fronted by small
-//! per-thread caches, so steady-state allocation is a thread-local pop.
+//! Nodes are handed out through a **lock-free global free list** (a tagged
+//! Treiber stack over a side table of next-IDs) fronted by small fixed-size
+//! per-thread caches, so steady-state allocation is a branch and a couple of
+//! thread-local stores — no lock, no `RefCell` borrow flag, no heap. The
+//! per-thread cache is capped at twice the refill batch; surplus beyond the
+//! cap is spilled back to the global stack on release so one thread can
+//! never hoard the pool.
+//!
 //! Database workloads need very few live nodes per thread (at most two for
 //! B+-tree merges, see paper §6.1), so the 1024-node pool bounds hundreds of
 //! worker threads.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crate::stats::{record, Event};
 use crate::word::{INVALID_VERSION, MAX_QNODES};
@@ -76,21 +80,95 @@ impl QNode {
     }
 }
 
+/// "No node" sentinel in the stack head and the next-ID side table
+/// (`MAX_QNODES` is far below it, so it can never collide with a real ID).
+const NONE: u32 = 0xFFFF;
+
+/// Lock-free pool: a Treiber stack whose links live in a side table
+/// (`free_next`) instead of the nodes themselves, and whose head word packs
+/// `(tag << 16) | top_id`. The 48-bit tag is bumped on every successful
+/// push/pop, which defeats the classic ABA interleaving (pop reads `top` and
+/// its next, a concurrent pop+push cycle reinstates `top` with a *different*
+/// next, stale CAS would corrupt the list — but the tag no longer matches).
 struct Pool {
     nodes: Box<[QNode]>,
-    free: Mutex<Vec<u16>>,
+    /// `free_next[i]` = ID below `i` on the free stack, or [`NONE`].
+    /// Only meaningful while `i` is on the stack.
+    free_next: Box<[AtomicU32]>,
+    /// `(tag << 16) | top_id` — see struct docs.
+    head: AtomicU64,
+    /// Number of IDs on the global stack (exact when quiescent; excludes
+    /// per-thread caches).
+    free_len: AtomicUsize,
+}
+
+const fn pack(tag: u64, id: u32) -> u64 {
+    (tag << 16) | id as u64
 }
 
 impl Pool {
     fn new() -> Self {
         let mut nodes = Vec::with_capacity(MAX_QNODES);
         nodes.resize_with(MAX_QNODES, QNode::new);
-        // Hand out low IDs first: makes tests deterministic and keeps the
-        // hot nodes in a compact region.
-        let free: Vec<u16> = (0..MAX_QNODES as u16).rev().collect();
+        // Initial stack: 0 on top, MAX_QNODES-1 at the bottom. Handing out
+        // low IDs first makes tests deterministic and keeps the hot nodes
+        // in a compact region.
+        let free_next: Vec<AtomicU32> = (0..MAX_QNODES)
+            .map(|i| {
+                AtomicU32::new(if i + 1 < MAX_QNODES {
+                    (i + 1) as u32
+                } else {
+                    NONE
+                })
+            })
+            .collect();
         Pool {
             nodes: nodes.into_boxed_slice(),
-            free: Mutex::new(free),
+            free_next: free_next.into_boxed_slice(),
+            head: AtomicU64::new(pack(0, 0)),
+            free_len: AtomicUsize::new(MAX_QNODES),
+        }
+    }
+
+    fn push(&self, id: u16) {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let (tag, top) = (head >> 16, (head & 0xFFFF) as u32);
+            self.free_next[id as usize].store(top, Ordering::Relaxed);
+            // Release publishes the `free_next` link to the next popper.
+            match self.head.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), id as u32),
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        self.free_len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn pop(&self) -> Option<u16> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = (head >> 16, (head & 0xFFFF) as u32);
+            if top == NONE {
+                return None;
+            }
+            let next = self.free_next[top as usize].load(Ordering::Relaxed);
+            match self.head.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), next),
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.free_len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(top as u16);
+                }
+                Err(h) => head = h,
+            }
         }
     }
 }
@@ -104,20 +182,35 @@ fn pool() -> &'static Pool {
 /// How many IDs a thread grabs from the global free list at a time.
 const LOCAL_BATCH: usize = 8;
 
+/// Per-thread cache capacity: twice the refill batch. `free` spills a batch
+/// back to the global stack when the cache is full, so a thread parks at
+/// most `CACHE_CAP` IDs.
+const CACHE_CAP: usize = 2 * LOCAL_BATCH;
+
+/// Fixed-size per-thread ID stack. All-`Cell` (no `RefCell` borrow flag, no
+/// heap) so the alloc/free fast path is a load, a bounds-free store and a
+/// length update.
 struct LocalCache {
-    ids: Vec<u16>,
+    len: Cell<usize>,
+    ids: [Cell<u16>; CACHE_CAP],
 }
 
 impl Drop for LocalCache {
     fn drop(&mut self) {
-        if !self.ids.is_empty() {
-            pool().free.lock().append(&mut self.ids);
+        let p = pool();
+        for i in 0..self.len.get() {
+            p.push(self.ids[i].get());
         }
     }
 }
 
 thread_local! {
-    static CACHE: RefCell<LocalCache> = const { RefCell::new(LocalCache { ids: Vec::new() }) };
+    static CACHE: LocalCache = const {
+        LocalCache {
+            len: Cell::new(0),
+            ids: [const { Cell::new(0) }; CACHE_CAP],
+        }
+    };
 }
 
 /// Translate a queue node ID to its address (paper's `to_ptr`).
@@ -127,33 +220,42 @@ pub fn to_ptr(id: u16) -> &'static QNode {
 }
 
 /// Allocate a queue node ID, or `None` if the pool is exhausted.
+#[inline]
 pub fn try_alloc() -> Option<u16> {
-    let from_tls = CACHE
+    let got = CACHE
         .try_with(|c| {
-            let mut c = c.borrow_mut();
-            if let Some(id) = c.ids.pop() {
-                return Some(id);
+            let len = c.len.get();
+            if len > 0 {
+                c.len.set(len - 1);
+                return Some(c.ids[len - 1].get());
             }
-            // Refill from the global free list.
-            let mut global = pool().free.lock();
-            let take = LOCAL_BATCH.min(global.len());
-            if take == 0 {
-                return None;
-            }
-            let start = global.len() - take;
-            c.ids.extend(global.drain(start..));
-            c.ids.pop()
+            refill(c)
         })
-        .ok();
-    let got = match from_tls {
-        Some(got) => got,
         // TLS already torn down (thread exit path): go straight to global.
-        None => pool().free.lock().pop(),
-    };
+        .unwrap_or_else(|_| pool().pop());
     if got.is_none() {
         record(Event::QnodeExhausted);
     }
     got
+}
+
+/// Cache miss: pull a batch from the global stack, keep one.
+#[cold]
+fn refill(c: &LocalCache) -> Option<u16> {
+    let p = pool();
+    let first = p.pop()?;
+    let mut len = 0;
+    while len < LOCAL_BATCH - 1 {
+        match p.pop() {
+            Some(id) => {
+                c.ids[len].set(id);
+                len += 1;
+            }
+            None => break,
+        }
+    }
+    c.len.set(len);
+    Some(first)
 }
 
 /// Allocate a queue node ID; panics if all `MAX_QNODES` nodes are live.
@@ -169,28 +271,44 @@ pub fn alloc() -> u16 {
 }
 
 /// Return a queue node ID to the pool.
+#[inline]
 pub fn free(id: u16) {
     debug_assert!((id as usize) < MAX_QNODES);
     let returned = CACHE
         .try_with(|c| {
-            let mut c = c.borrow_mut();
-            c.ids.push(id);
-            // Do not let one thread hoard the pool.
-            if c.ids.len() > 2 * LOCAL_BATCH {
-                let half = c.ids.len() / 2;
-                pool().free.lock().extend(c.ids.drain(..half));
+            let len = c.len.get();
+            if len == CACHE_CAP {
+                // Do not let one thread hoard the pool: spill a batch.
+                spill(c);
+                c.ids[CACHE_CAP - LOCAL_BATCH].set(id);
+                c.len.set(CACHE_CAP - LOCAL_BATCH + 1);
+            } else {
+                c.ids[len].set(id);
+                c.len.set(len + 1);
             }
         })
         .is_ok();
     if !returned {
-        pool().free.lock().push(id);
+        pool().push(id);
+    }
+}
+
+/// Cache overflow: return the oldest `LOCAL_BATCH` IDs to the global stack.
+#[cold]
+fn spill(c: &LocalCache) {
+    let p = pool();
+    for i in 0..LOCAL_BATCH {
+        p.push(c.ids[i].get());
+    }
+    for i in LOCAL_BATCH..CACHE_CAP {
+        c.ids[i - LOCAL_BATCH].set(c.ids[i].get());
     }
 }
 
 /// Number of IDs currently on the global free list (diagnostic; excludes
 /// per-thread caches).
 pub fn global_free_len() -> usize {
-    pool().free.lock().len()
+    pool().free_len.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -267,5 +385,74 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// Sibling tests run concurrently and hold IDs transiently, so exact
+    /// counts race; poll until the condition holds (every holder returns
+    /// its IDs on test-thread exit) or time out.
+    fn poll_until(what: &str, cond: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !cond() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for: {what} (global_free_len={})",
+                global_free_len()
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn cache_spill_caps_thread_hoarding() {
+        // Allocate and release more IDs than the cache holds; the surplus
+        // must land back on the global stack, bounded by CACHE_CAP. Run in
+        // a dedicated thread so its cache starts empty and is torn down.
+        let before = global_free_len();
+        std::thread::spawn(|| {
+            let ids: Vec<u16> = (0..4 * CACHE_CAP).map(|_| alloc()).collect();
+            for id in ids {
+                free(id);
+            }
+            // Everything beyond the cache cap is already back on the
+            // global stack before this thread exits.
+            assert!(global_free_len() + CACHE_CAP + before_slack() >= MAX_QNODES);
+        })
+        .join()
+        .unwrap();
+        poll_until("spilled ids return to the global stack", || {
+            global_free_len() + CACHE_CAP >= before
+        });
+    }
+
+    /// Upper bound on IDs sibling tests may hold at any instant (their
+    /// allocations plus per-thread caches).
+    fn before_slack() -> usize {
+        512
+    }
+
+    #[test]
+    fn concurrent_churn_loses_no_ids() {
+        // Hammer the Treiber stack from several threads, then verify the
+        // global count recovers once every thread has exited (their cache
+        // destructors return all parked IDs).
+        let before = global_free_len();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        let a = alloc();
+                        let b = alloc();
+                        free(a);
+                        free(b);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        poll_until("churn threads return every id", || {
+            global_free_len() >= before
+        });
     }
 }

@@ -10,6 +10,8 @@
 //! * [`workload`] — a PiBench-style index workload driver (Figures 1,
 //!   9–13);
 //! * [`pin`] — best-effort thread pinning;
+//! * [`report`] — machine-readable `BENCH_<name>.json` reports shared by
+//!   every bench target, so PRs can diff performance mechanically;
 //! * [`mod@env`] — environment-variable knobs that let the bench binaries
 //!   scale to the host (`OPTIQL_BENCH_THREADS`, `OPTIQL_BENCH_SECS`,
 //!   `OPTIQL_BENCH_KEYS`, `OPTIQL_BENCH_FULL`);
@@ -26,12 +28,14 @@ pub mod dist;
 pub mod latency;
 pub mod micro;
 pub mod pin;
+pub mod report;
 pub mod workload;
 
 pub use dist::{KeyDist, KeySpace, Sampler};
 pub use latency::Histogram;
 pub use micro::{cs_work, run_exclusive, run_mixed, Contention, MicroConfig, MicroResult};
 pub use optiql::stats;
+pub use report::{BenchJson, BenchRecord, JsonValue};
 pub use workload::{preload, run, ConcurrentIndex, Mix, WorkloadConfig, WorkloadResult};
 
 /// Environment-variable knobs for the bench binaries.

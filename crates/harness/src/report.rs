@@ -1,0 +1,232 @@
+//! Machine-readable benchmark reports (`BENCH_<name>.json`).
+//!
+//! Every bench target appends structured records to one JSON-lines file per
+//! target so successive PRs can diff performance mechanically instead of
+//! eyeballing stdout. Each line is a self-contained JSON object:
+//!
+//! ```json
+//! {"bench":"hotpath","config":"pin_unpin","threads":1,"ops_per_sec":5.2e7,"p50_ns":18.9,"p99_ns":22.4}
+//! ```
+//!
+//! The file lands in the repository's `results/` directory by default
+//! (resolved relative to this crate's manifest, so it works from any
+//! working directory); set `OPTIQL_BENCH_OUT` to redirect, e.g. to a CI
+//! artifact directory. Opening a [`BenchJson`] truncates the target file, so
+//! a run always produces a complete, consistent report; records within the
+//! run are appended as they are produced.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One structured benchmark data point.
+///
+/// `config` is free-form (series name, lock name, node size, ...). The
+/// latency percentiles are optional: throughput-only benches leave them
+/// `None` and the fields are emitted as JSON `null`.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark group within the target (e.g. `"pin_unpin"`).
+    pub bench: String,
+    /// Configuration label (series, lock, size, ...).
+    pub config: String,
+    /// Code revision tag the numbers were measured at (see
+    /// [`BenchRecord::rev_from_env`]); lets one report file carry
+    /// before/after numbers for a perf PR.
+    pub rev: String,
+    /// Number of worker threads used for this point.
+    pub threads: usize,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Median per-operation latency in nanoseconds, if measured.
+    pub p50_ns: Option<f64>,
+    /// 99th-percentile per-operation latency in nanoseconds, if measured.
+    pub p99_ns: Option<f64>,
+}
+
+impl BenchRecord {
+    /// Revision tag for this run: `OPTIQL_BENCH_REV` when set, else `"dev"`.
+    pub fn rev_from_env() -> String {
+        std::env::var("OPTIQL_BENCH_REV")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+            .unwrap_or_else(|| "dev".into())
+    }
+}
+
+/// Directory where `BENCH_<name>.json` files are written.
+///
+/// `OPTIQL_BENCH_OUT` wins when set; otherwise the workspace `results/`
+/// directory (located relative to this crate so benches can run from
+/// anywhere inside the repo).
+pub fn out_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("OPTIQL_BENCH_OUT") {
+        if !dir.trim().is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+}
+
+/// Writer for one `BENCH_<name>.json` report file (JSON lines).
+pub struct BenchJson {
+    file: Option<File>,
+    path: PathBuf,
+}
+
+impl BenchJson {
+    /// Start a fresh report for `name`, truncating any previous file.
+    ///
+    /// I/O failures (read-only checkout, missing directory) are reported
+    /// once on stderr and then ignored: a bench must never fail because the
+    /// report file is unwritable.
+    pub fn new(name: &str) -> Self {
+        let dir = out_dir();
+        let path = dir.join(format!("BENCH_{name}.json"));
+        let _ = std::fs::create_dir_all(&dir);
+        let file = match OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+        {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("# bench_json: cannot open {}: {e}", path.display());
+                None
+            }
+        };
+        BenchJson { file, path }
+    }
+
+    /// Path of the report file.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Append one structured record.
+    pub fn record(&mut self, r: &BenchRecord) {
+        let line = format!(
+            "{{\"bench\":{},\"config\":{},\"rev\":{},\"threads\":{},\"ops_per_sec\":{},\"p50_ns\":{},\"p99_ns\":{}}}\n",
+            json_str(&r.bench),
+            json_str(&r.config),
+            json_str(&r.rev),
+            r.threads,
+            json_num(r.ops_per_sec),
+            r.p50_ns.map_or("null".into(), json_num),
+            r.p99_ns.map_or("null".into(), json_num),
+        );
+        self.write_line(&line);
+    }
+
+    /// Append one free-form record from key/value pairs (used by the
+    /// figure benches, whose row shapes vary per figure).
+    pub fn record_kv(&mut self, fields: &[(&str, JsonValue)]) {
+        let mut line = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&json_str(k));
+            line.push(':');
+            line.push_str(&v.render());
+        }
+        line.push_str("}\n");
+        self.write_line(&line);
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if let Some(f) = self.file.as_mut() {
+            if f.write_all(line.as_bytes()).is_err() {
+                self.file = None;
+            }
+        }
+    }
+}
+
+/// Minimal JSON value for [`BenchJson::record_kv`].
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A string value.
+    Str(String),
+    /// A finite (or not: mapped to `null`) floating-point value.
+    Num(f64),
+    /// An integer value.
+    Int(i64),
+}
+
+impl JsonValue {
+    fn render(&self) -> String {
+        match self {
+            JsonValue::Str(s) => json_str(s),
+            JsonValue::Num(v) => json_num(*v),
+            JsonValue::Int(v) => v.to_string(),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest round-trippable form Rust prints is valid JSON.
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lines_are_valid_shape() {
+        // Checked before touching OPTIQL_BENCH_OUT (same-process env var):
+        // the default output directory is the workspace results/ dir.
+        assert!(out_dir().ends_with("results"));
+        let dir = std::env::temp_dir().join(format!("optiql_report_test_{}", std::process::id()));
+        std::env::set_var("OPTIQL_BENCH_OUT", &dir);
+        let mut rep = BenchJson::new("selftest");
+        rep.record(&BenchRecord {
+            bench: "b".into(),
+            config: "c\"x".into(),
+            rev: BenchRecord::rev_from_env(),
+            threads: 4,
+            ops_per_sec: 1.5e6,
+            p50_ns: Some(10.0),
+            p99_ns: None,
+        });
+        rep.record_kv(&[
+            ("bench", JsonValue::Str("fig".into())),
+            ("x", JsonValue::Int(8)),
+            ("value", JsonValue::Num(2.25)),
+        ]);
+        std::env::remove_var("OPTIQL_BENCH_OUT");
+        let text = std::fs::read_to_string(rep.path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"config\":\"c\\\"x\""));
+        assert!(lines[0].contains("\"p99_ns\":null"));
+        assert!(lines[1].contains("\"value\":2.25"));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

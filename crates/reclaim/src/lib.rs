@@ -14,9 +14,26 @@
 //!   thread can still observe it.
 //! * The global epoch advances when every pinned thread has caught up.
 //!
-//! The implementation is deliberately simple and fully checked: a fixed
-//! registry of cache-padded participant slots, per-thread garbage bags, and
-//! an orphan list for garbage left behind by exiting threads.
+//! The implementation is a fixed registry of cache-padded participant
+//! slots, per-thread garbage bags, and an orphan list for garbage left
+//! behind by exiting threads.
+//!
+//! ## Fast path
+//!
+//! `pin()` sits under every index operation, so it is engineered down to a
+//! handful of unsynchronized instructions (Fraser-style EBR, as in
+//! crossbeam-epoch):
+//!
+//! * the thread's participant record is reached through a raw
+//!   thread-local pointer ([`Guard`]s carry it too), so neither `pin()`
+//!   nor `Guard::drop` clones an `Arc` or takes a `RefCell` borrow;
+//! * the pinned-epoch publication is a `Relaxed` store followed by one
+//!   `SeqCst` fence (the store→load barrier the protocol needs), instead
+//!   of a `SeqCst` store per pin;
+//! * the global epoch is re-read only every [`EPOCH_REFRESH`] pins;
+//!   in between, the pin republishes the cached value. Publishing an
+//!   older epoch is *conservative*: it can only lower the minimum pinned
+//!   epoch and therefore delay (never hasten) reclamation.
 //!
 //! ```
 //! let collector = optiql_reclaim::Collector::new();
@@ -31,8 +48,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::cell::{Cell, RefCell};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -49,6 +67,16 @@ const SLOT_IDLE: u64 = u64::MAX - 1;
 /// How many retired objects a thread accumulates before trying to advance
 /// the epoch and collect.
 const COLLECT_THRESHOLD: usize = 64;
+
+/// The global epoch is re-read every this many top-level pins (power of
+/// two); between refreshes the cached value is republished. Bounds how
+/// long a pin-happy thread can hold the epoch back to `EPOCH_REFRESH`
+/// pins.
+const EPOCH_REFRESH: u64 = 16;
+
+/// Every this many top-level pins (power of two) the pinning thread helps
+/// the global epoch forward.
+const ADVANCE_EVERY: u64 = 128;
 
 type Deferred = Box<dyn FnOnce() + Send>;
 
@@ -167,8 +195,9 @@ impl Collector {
     }
 
     /// Pin the current thread (see [`Handle::pin`]).
+    #[inline]
     pub fn pin(&self) -> Guard {
-        self.handle().pin()
+        pin_shared(&self.shared)
     }
 
     /// Current global epoch (diagnostic).
@@ -184,9 +213,12 @@ impl Collector {
     /// Advance the epoch and reclaim everything that is safe. Call from a
     /// quiescent point (no guard held by this thread).
     pub fn flush(&self) {
-        LOCAL.with(|l| {
-            if let Some(local) = l.borrow_mut().as_mut() {
-                if Arc::ptr_eq(&local.shared, &self.shared) {
+        // Hand this thread's local bags for this domain to the orphan list
+        // so the collection below can free them.
+        let want = Arc::as_ptr(&self.shared);
+        let _ = REGISTRY.try_with(|r| {
+            if let Ok(reg) = r.try_borrow() {
+                if let Some(local) = reg.locals.iter().find(|l| l.shared_ptr == want) {
                     local.seal_and_orphan();
                 }
             }
@@ -204,51 +236,71 @@ pub struct Handle {
     shared: Arc<Shared>,
 }
 
+/// Per-thread participant record for one domain. Boxed (stable address) and
+/// owned by the thread's [`LocalRegistry`]; reached on the fast path through
+/// the raw [`ACTIVE`] pointer and through the pointer carried by each
+/// [`Guard`].
 struct Local {
+    /// Keeps the domain alive as long as this thread might touch it.
     shared: Arc<Shared>,
+    /// `Arc::as_ptr(&shared)`, cached for the fast-path identity check.
+    /// Two live domains can never share this address because `shared`
+    /// keeps the pointee allocated.
+    shared_ptr: *const Shared,
     slot: usize,
     /// Re-entrant pin depth.
-    depth: usize,
+    depth: Cell<usize>,
+    /// Top-level pins performed (drives epoch refresh / advance cadence).
+    pins: Cell<u64>,
+    /// Last global epoch this thread observed; republished between
+    /// refreshes (conservative: never newer than the global epoch).
+    cached_epoch: Cell<u64>,
     /// Garbage bags not yet handed to the domain, newest last.
-    bags: Vec<Bag>,
-    pins: u64,
+    bags: RefCell<Vec<Bag>>,
 }
 
 impl Local {
-    fn current_bag(&mut self, epoch: u64) -> &mut Bag {
-        if self.bags.last().map(|b| b.epoch) != Some(epoch) {
-            self.bags.push(Bag {
+    fn current_bag(bags: &mut Vec<Bag>, epoch: u64) -> &mut Bag {
+        if bags.last().map(|b| b.epoch) != Some(epoch) {
+            bags.push(Bag {
                 epoch,
                 items: Vec::new(),
             });
         }
-        self.bags.last_mut().unwrap()
+        bags.last_mut().unwrap()
     }
 
     /// Hand every local bag to the domain's orphan list.
-    fn seal_and_orphan(&mut self) {
-        if self.bags.is_empty() {
+    fn seal_and_orphan(&self) {
+        let mut bags = self.bags.borrow_mut();
+        if bags.is_empty() {
             return;
         }
         let mut orphans = self.shared.orphans.lock();
-        orphans.append(&mut self.bags);
+        orphans.append(&mut bags);
     }
 
     /// Free local bags that are old enough; push the rest along.
-    fn collect(&mut self) {
+    fn collect(&self) {
         let safe_before = self.shared.min_pinned().saturating_sub(1);
-        let mut i = 0;
-        while i < self.bags.len() {
-            if self.bags[i].epoch < safe_before {
-                let bag = self.bags.swap_remove(i);
-                self.shared
-                    .deferred_count
-                    .fetch_sub(bag.items.len(), Ordering::Relaxed);
-                for f in bag.items {
-                    f();
+        let mut freed = Vec::new();
+        {
+            let mut bags = self.bags.borrow_mut();
+            let mut i = 0;
+            while i < bags.len() {
+                if bags[i].epoch < safe_before {
+                    freed.push(bags.swap_remove(i));
+                } else {
+                    i += 1;
                 }
-            } else {
-                i += 1;
+            }
+        }
+        for bag in freed {
+            self.shared
+                .deferred_count
+                .fetch_sub(bag.items.len(), Ordering::Relaxed);
+            for f in bag.items {
+                f();
             }
         }
     }
@@ -262,61 +314,143 @@ impl Drop for Local {
     }
 }
 
-thread_local! {
-    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+/// Owns this thread's [`Local`]s, one per domain the thread has touched.
+/// Domains that have died (no collector, no handle, no guard) are pruned
+/// opportunistically on the next domain switch.
+struct LocalRegistry {
+    // The boxing is required, not incidental: `ACTIVE` caches a raw
+    // `*const Local` into an element, so each `Local` needs an address
+    // that survives the Vec reallocating.
+    #[allow(clippy::vec_box)]
+    locals: Vec<Box<Local>>,
 }
 
-fn with_local<R>(shared: &Arc<Shared>, f: impl FnOnce(&mut Local) -> R) -> R {
-    LOCAL.with(|l| {
-        let mut l = l.borrow_mut();
-        let reinit = match l.as_ref() {
-            Some(local) => !Arc::ptr_eq(&local.shared, shared),
-            None => true,
-        };
-        if reinit {
-            // Register in a free slot.
-            let slot = (0..MAX_PARTICIPANTS)
-                .find(|&i| {
-                    shared.slots[i]
-                        .compare_exchange(SLOT_FREE, SLOT_IDLE, Ordering::AcqRel, Ordering::Relaxed)
-                        .is_ok()
-                })
-                .expect("reclamation participant registry full");
-            // If the previous domain's Local existed, drop it (orphans its
-            // garbage there).
-            *l = Some(Local {
-                shared: Arc::clone(shared),
-                slot,
-                depth: 0,
-                bags: Vec::new(),
-                pins: 0,
-            });
+impl Drop for LocalRegistry {
+    fn drop(&mut self) {
+        // Clear the fast-path pointer *before* the Locals are freed so a
+        // pin() from a later TLS destructor cannot dereference a dangling
+        // pointer (it will take the slow path instead).
+        let _ = ACTIVE.try_with(|c| c.set(ptr::null()));
+    }
+}
+
+thread_local! {
+    /// Fast-path pointer to the most recently used domain's [`Local`].
+    /// Invariant: when non-null it points into this thread's live
+    /// [`REGISTRY`] (cleared before the registry is torn down).
+    static ACTIVE: Cell<*const Local> = const { Cell::new(ptr::null()) };
+    /// Owner of the [`Local`] records (stable addresses via `Box`).
+    static REGISTRY: RefCell<LocalRegistry> =
+        const { RefCell::new(LocalRegistry { locals: Vec::new() }) };
+}
+
+/// Locate (or create) this thread's participant record for `shared`.
+#[inline]
+fn local_for(shared: &Arc<Shared>) -> *const Local {
+    let want = Arc::as_ptr(shared);
+    let cached = ACTIVE.try_with(Cell::get).unwrap_or(ptr::null());
+    if !cached.is_null() {
+        // Safety: a non-null ACTIVE always points into this thread's live
+        // registry (see the ACTIVE invariant), so the pointee is valid.
+        if unsafe { (*cached).shared_ptr } == want {
+            return cached;
         }
-        f(l.as_mut().unwrap())
+    }
+    local_slow(shared, want)
+}
+
+/// Domain switch / first pin: registry lookup, registration, pruning.
+#[cold]
+fn local_slow(shared: &Arc<Shared>, want: *const Shared) -> *const Local {
+    REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        // The ACTIVE pointer is re-established below; null it first so the
+        // pruning can never leave it dangling.
+        let _ = ACTIVE.try_with(|c| c.set(ptr::null()));
+        // Prune participant records of dead domains: nobody but us holds
+        // the Arc and no guard of ours is outstanding.
+        reg.locals
+            .retain(|l| l.depth.get() > 0 || Arc::strong_count(&l.shared) > 1);
+        let found = reg.locals.iter().position(|l| l.shared_ptr == want);
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                // Register in a free slot of this domain.
+                let slot = (0..MAX_PARTICIPANTS)
+                    .find(|&i| {
+                        shared.slots[i]
+                            .compare_exchange(
+                                SLOT_FREE,
+                                SLOT_IDLE,
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                    })
+                    .expect("reclamation participant registry full");
+                reg.locals.push(Box::new(Local {
+                    shared: Arc::clone(shared),
+                    shared_ptr: want,
+                    slot,
+                    depth: Cell::new(0),
+                    pins: Cell::new(0),
+                    cached_epoch: Cell::new(shared.epoch.load(Ordering::Acquire)),
+                    bags: RefCell::new(Vec::new()),
+                }));
+                reg.locals.len() - 1
+            }
+        };
+        let p: *const Local = &*reg.locals[idx];
+        let _ = ACTIVE.try_with(|c| c.set(p));
+        p
     })
+}
+
+/// Pin the current thread into `shared` (fast path shared by
+/// [`Collector::pin`] and [`Handle::pin`]).
+#[inline]
+fn pin_shared(shared: &Arc<Shared>) -> Guard {
+    let local = local_for(shared);
+    // Safety: `local` points at this thread's live participant record
+    // (`local_for` invariant); it stays alive while guards exist because
+    // registry pruning skips records with `depth > 0`.
+    let l = unsafe { &*local };
+    let depth = l.depth.get();
+    l.depth.set(depth + 1);
+    if depth == 0 {
+        let pins = l.pins.get().wrapping_add(1);
+        l.pins.set(pins);
+        let epoch = if pins % EPOCH_REFRESH == 0 {
+            let e = l.shared.epoch.load(Ordering::Relaxed);
+            l.cached_epoch.set(e);
+            e
+        } else {
+            l.cached_epoch.get()
+        };
+        // Publish the pinned epoch, then raise a store→load barrier so the
+        // publication is visible before any subsequent read of shared
+        // state (equivalent to the classic per-pin SeqCst store, but the
+        // fence cost is paid once and the store stays plain).
+        l.shared.slots[l.slot].store(epoch, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        // Periodically help the epoch forward.
+        if pins % ADVANCE_EVERY == 0 {
+            l.shared.try_advance();
+        }
+    }
+    Guard {
+        local,
+        _not_send: std::marker::PhantomData,
+    }
 }
 
 impl Handle {
     /// Pin the current thread into the domain. While the returned [`Guard`]
     /// lives, memory retired *after* this point is guaranteed to stay
     /// mapped. Guards nest.
+    #[inline]
     pub fn pin(&self) -> Guard {
-        with_local(&self.shared, |local| {
-            if local.depth == 0 {
-                let e = self.shared.epoch.load(Ordering::Acquire);
-                self.shared.slots[local.slot].store(e, Ordering::SeqCst);
-                local.pins += 1;
-                // Periodically help the epoch forward.
-                if local.pins % 128 == 0 {
-                    self.shared.try_advance();
-                }
-            }
-            local.depth += 1;
-        });
-        Guard {
-            shared: Arc::clone(&self.shared),
-            _not_send: std::marker::PhantomData,
-        }
+        pin_shared(&self.shared)
     }
 
     /// Current global epoch (diagnostic).
@@ -327,26 +461,39 @@ impl Handle {
 
 /// RAII pin into a reclamation domain.
 ///
-/// `!Send`: the pin is accounted in the creating thread's participant slot.
+/// `!Send`: the pin is accounted in the creating thread's participant slot,
+/// and the guard dereferences that thread's participant record on drop.
 pub struct Guard {
-    shared: Arc<Shared>,
+    local: *const Local,
     _not_send: std::marker::PhantomData<*mut ()>,
 }
 
 impl Guard {
+    /// This guard's participant record.
+    #[inline]
+    fn local(&self) -> &Local {
+        // Safety: the guard is !Send, so we are on the creating thread; the
+        // record outlives the guard (pruning skips depth > 0, and the
+        // registry's teardown cannot run while a guard — a stack value —
+        // still exists... see `LocalRegistry` for the TLS-order caveat).
+        unsafe { &*self.local }
+    }
+
     /// Defer an arbitrary closure until no pinned thread can still hold
     /// references from before this call.
     pub fn defer(&self, f: impl FnOnce() + Send + 'static) {
-        let epoch = self.shared.epoch.load(Ordering::Acquire);
-        self.shared.deferred_count.fetch_add(1, Ordering::Relaxed);
-        with_local(&self.shared, |local| {
-            local.current_bag(epoch).items.push(Box::new(f));
-            let total: usize = local.bags.iter().map(|b| b.items.len()).sum();
-            if total >= COLLECT_THRESHOLD {
-                self.shared.try_advance();
-                local.collect();
-            }
-        });
+        let l = self.local();
+        let epoch = l.shared.epoch.load(Ordering::Acquire);
+        l.shared.deferred_count.fetch_add(1, Ordering::Relaxed);
+        let total: usize = {
+            let mut bags = l.bags.borrow_mut();
+            Local::current_bag(&mut bags, epoch).items.push(Box::new(f));
+            bags.iter().map(|b| b.items.len()).sum()
+        };
+        if total >= COLLECT_THRESHOLD {
+            l.shared.try_advance();
+            l.collect();
+        }
     }
 
     /// Retire a boxed object: its destructor runs once reclamation is safe.
@@ -369,13 +516,14 @@ impl Guard {
 }
 
 impl Drop for Guard {
+    #[inline]
     fn drop(&mut self) {
-        with_local(&self.shared, |local| {
-            local.depth -= 1;
-            if local.depth == 0 {
-                self.shared.slots[local.slot].store(SLOT_IDLE, Ordering::SeqCst);
-            }
-        });
+        let l = self.local();
+        let depth = l.depth.get() - 1;
+        l.depth.set(depth);
+        if depth == 0 {
+            l.shared.slots[l.slot].store(SLOT_IDLE, Ordering::Release);
+        }
     }
 }
 
@@ -541,5 +689,130 @@ mod tests {
         let e0 = c.epoch();
         c.flush();
         assert!(c.epoch() > e0);
+    }
+
+    #[test]
+    fn cached_epoch_catches_up_within_refresh_bound() {
+        let c = Collector::new();
+        // Register this thread, then advance the global epoch while the
+        // thread's cached epoch goes stale.
+        drop(c.pin());
+        for _ in 0..5 {
+            c.flush();
+        }
+        // Within EPOCH_REFRESH pins the published epoch must equal the
+        // global one again (otherwise the epoch could be held back forever
+        // by a pin-happy thread).
+        let mut caught_up = false;
+        for _ in 0..=EPOCH_REFRESH {
+            let g = c.pin();
+            let published = c
+                .shared
+                .slots
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .find(|&e| e < SLOT_IDLE)
+                .expect("slot pinned while guard held");
+            drop(g);
+            if published == c.epoch() {
+                caught_up = true;
+                break;
+            }
+        }
+        assert!(caught_up, "published epoch never refreshed");
+    }
+
+    #[test]
+    fn two_domains_on_one_thread_stay_independent() {
+        let c1 = Collector::new();
+        let c2 = Collector::new();
+        let (count1, make1) = drop_counter();
+        let (count2, make2) = drop_counter();
+        // Interleave pins across domains, including nesting.
+        let g1 = c1.pin();
+        let g2 = c2.pin();
+        g1.retire_box(Box::new(make1()));
+        g2.retire_box(Box::new(make2()));
+        drop(g1);
+        drop(g2);
+        for _ in 0..4 {
+            c1.flush();
+        }
+        assert_eq!(count1.load(Ordering::Relaxed), 1);
+        // Domain 2 has not been flushed: its garbage must be untouched
+        // until its own flush runs.
+        assert_eq!(count2.load(Ordering::Relaxed), 0);
+        for _ in 0..4 {
+            c2.flush();
+        }
+        assert_eq!(count2.load(Ordering::Relaxed), 1);
+    }
+
+    /// Interleaving stress in lieu of a loom model (no loom shim in this
+    /// workspace): readers validate a sentinel through an atomic pointer
+    /// while a writer continuously swaps and retires the pointee. Any
+    /// premature reclamation shows up as a poisoned sentinel (the
+    /// destructor zeroes it before the memory is returned).
+    #[test]
+    fn swap_retire_stress_never_frees_under_a_pin() {
+        use std::sync::atomic::{AtomicBool, AtomicPtr};
+
+        const SENTINEL: u64 = 0xA5A5_A5A5_A5A5_A5A5;
+        struct Poisoned(u64);
+        impl Drop for Poisoned {
+            fn drop(&mut self) {
+                self.0 = 0; // poison before the allocator reuses it
+            }
+        }
+
+        let c = Collector::new();
+        let slot = Arc::new(AtomicPtr::new(Box::into_raw(Box::new(Poisoned(SENTINEL)))));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = c.handle();
+                let slot = Arc::clone(&slot);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let g = h.pin();
+                        let p = slot.load(Ordering::Acquire);
+                        // Safety: p was published while we are pinned, so
+                        // its retirement cannot have been collected yet.
+                        let v = unsafe { (*p).0 };
+                        assert_eq!(v, SENTINEL, "read a reclaimed object");
+                        drop(g);
+                    }
+                })
+            })
+            .collect();
+
+        let writer = {
+            let h = c.handle();
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    let fresh = Box::into_raw(Box::new(Poisoned(SENTINEL)));
+                    let old = slot.swap(fresh, Ordering::AcqRel);
+                    let g = h.pin();
+                    // Safety: `old` came from Box::into_raw and is now
+                    // unreachable through `slot`.
+                    unsafe { g.retire_ptr(old) };
+                    drop(g);
+                }
+            })
+        };
+        writer.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        for _ in 0..4 {
+            c.flush();
+        }
+        // Safety: the final pointee is unreachable by now; free it.
+        drop(unsafe { Box::from_raw(slot.load(Ordering::Acquire)) });
+        assert_eq!(c.deferred(), 0);
     }
 }
