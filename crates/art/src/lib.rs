@@ -28,6 +28,10 @@ pub use tree::{ArtStats, ArtTree, DEFAULT_EXPANSION_THRESHOLD, DEFAULT_SAMPLE_IN
 
 use optiql::{McsRwLock, OptLock, OptiQL, OptiQLNor, PthreadRwLock};
 
+optiql_index_api::impl_concurrent_index! {
+    impl [L: optiql::IndexLock] for ArtTree<L>
+}
+
 /// ART with centralized optimistic locks (the paper's OptLock baseline).
 pub type ArtOptLock = ArtTree<OptLock>;
 /// ART with OptiQL on every node (§6.2).

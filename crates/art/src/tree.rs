@@ -23,6 +23,8 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use optiql::olc::{IndexStats, OptimisticGuard, RestartLoop, SharedIndexStats};
+use optiql::stats::Event;
 use optiql::{IndexLock, WriteStrategy};
 use optiql_reclaim::{Collector, Guard};
 
@@ -37,7 +39,6 @@ pub const DEFAULT_SAMPLE_INV: u32 = 10;
 /// Internal atomic counters; snapshotted into [`ArtStats`].
 #[derive(Default)]
 struct StatsInner {
-    restarts: AtomicU64,
     grows: AtomicU64,
     prefix_splits: AtomicU64,
     lazy_expansions: AtomicU64,
@@ -48,8 +49,8 @@ struct StatsInner {
 /// Snapshot of an ART's structural-event counters (relaxed, monotone).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArtStats {
-    /// Operation restarts (failed validation / upgrade / admission).
-    pub restarts: u64,
+    /// Unified operation/restart accounting (shared OLC protocol).
+    pub index: IndexStats,
     /// Node growths (N4→N16→N48→N256).
     pub grows: u64,
     /// Compressed-path splits on prefix mismatch.
@@ -60,32 +61,6 @@ pub struct ArtStats {
     pub contention_expansions: u64,
     /// Path collapses after deletes.
     pub collapses: u64,
-}
-
-struct Restart<'a> {
-    attempts: u32,
-    stats: &'a StatsInner,
-}
-
-impl<'a> Restart<'a> {
-    fn new(stats: &'a StatsInner) -> Self {
-        Restart { attempts: 0, stats }
-    }
-    #[inline]
-    fn pause(&mut self) {
-        self.attempts += 1;
-        if self.attempts > 1 {
-            self.stats.restarts.fetch_add(1, Ordering::Relaxed);
-            optiql::stats::record(optiql::stats::Event::IndexRestartArt);
-        }
-        if self.attempts > 3 {
-            std::thread::yield_now();
-        } else if self.attempts > 1 {
-            for _ in 0..(1 << self.attempts.min(8)) {
-                std::hint::spin_loop();
-            }
-        }
-    }
 }
 
 thread_local! {
@@ -114,6 +89,7 @@ pub struct ArtTree<L: IndexLock> {
     size: AtomicUsize,
     collector: Collector,
     stats: StatsInner,
+    index_stats: SharedIndexStats,
     expansion_threshold: u32,
     sample_inv: u32,
 }
@@ -143,6 +119,7 @@ impl<L: IndexLock> ArtTree<L> {
             size: AtomicUsize::new(0),
             collector: Collector::new(),
             stats: StatsInner::default(),
+            index_stats: SharedIndexStats::new(),
             expansion_threshold: threshold,
             sample_inv,
         }
@@ -166,13 +143,23 @@ impl<L: IndexLock> ArtTree<L> {
     /// Snapshot the structural-event counters.
     pub fn stats(&self) -> ArtStats {
         ArtStats {
-            restarts: self.stats.restarts.load(Ordering::Relaxed),
+            index: self.index_stats(),
             grows: self.stats.grows.load(Ordering::Relaxed),
             prefix_splits: self.stats.prefix_splits.load(Ordering::Relaxed),
             lazy_expansions: self.stats.lazy_expansions.load(Ordering::Relaxed),
             contention_expansions: self.stats.contention_expansions.load(Ordering::Relaxed),
             collapses: self.stats.collapses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot the unified operation/restart accounting.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index_stats.snapshot()
+    }
+
+    #[inline]
+    fn restart_loop(&self) -> RestartLoop<'_> {
+        RestartLoop::new(&self.index_stats, Event::IndexRestartArt)
     }
 
     #[inline]
@@ -183,13 +170,6 @@ impl<L: IndexLock> ArtTree<L> {
     #[inline]
     fn root(&self) -> &ArtNode<L> {
         unsafe { &*self.root }
-    }
-
-    #[inline]
-    fn abandon(&self, n: &ArtNode<L>, v: u64) {
-        if L::PESSIMISTIC {
-            n.lock.r_unlock(v);
-        }
     }
 
     /// Retire an inner node through the epoch collector.
@@ -210,13 +190,14 @@ impl<L: IndexLock> ArtTree<L> {
 
     /// Point lookup.
     pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.index_stats.record_op();
         let kb = key_bytes(key);
         let _g = self.collector.pin();
-        let mut rs = Restart::new(&self.stats);
+        let mut rs = self.restart_loop();
         'restart: loop {
             rs.pause();
             let mut node = self.root();
-            let Some(mut v) = node.lock.r_lock() else {
+            let Some(mut g) = OptimisticGuard::read(&node.lock) else {
                 continue 'restart;
             };
             let mut depth = 0usize;
@@ -225,7 +206,7 @@ impl<L: IndexLock> ArtTree<L> {
                 if pl > 0 {
                     let m = node.prefix_match_len(&kb, depth);
                     if m < pl {
-                        if !node.lock.r_unlock(v) {
+                        if !g.validate() {
                             continue 'restart;
                         }
                         return None;
@@ -235,11 +216,11 @@ impl<L: IndexLock> ArtTree<L> {
                 debug_assert!(depth < KEY_LEN);
                 let b = kb[depth];
                 let child = node.find_child(b);
-                if !node.lock.recheck(v) {
+                if !g.recheck() {
                     continue 'restart;
                 }
                 if child.is_null() {
-                    if !node.lock.r_unlock(v) {
+                    if !g.validate() {
                         continue 'restart;
                     }
                     return None;
@@ -247,22 +228,22 @@ impl<L: IndexLock> ArtTree<L> {
                 if is_kv(child) {
                     let kv = unsafe { as_kv(child) };
                     let (k, val) = (kv.key, kv.value());
-                    if !node.lock.r_unlock(v) {
+                    if !g.validate() {
                         continue 'restart;
                     }
                     return (k == key).then_some(val);
                 }
                 let ci = unsafe { &*child };
-                let Some(cv) = ci.lock.r_lock() else {
-                    self.abandon(node, v);
+                let Some(cg) = OptimisticGuard::read(&ci.lock) else {
+                    g.abandon();
                     continue 'restart;
                 };
-                if !node.lock.r_unlock(v) {
-                    self.abandon(ci, cv);
+                if !g.validate() {
+                    cg.abandon();
                     continue 'restart;
                 }
                 node = ci;
-                v = cv;
+                g = cg;
                 depth += 1;
             }
         }
@@ -272,12 +253,13 @@ impl<L: IndexLock> ArtTree<L> {
 
     /// Replace the value of an existing key; `None` if absent.
     pub fn update(&self, key: u64, val: u64) -> Option<u64> {
+        self.index_stats.record_op();
         if L::PESSIMISTIC {
             return self.update_pessimistic(key, val);
         }
         let kb = key_bytes(key);
         let g = self.collector.pin();
-        let mut rs = Restart::new(&self.stats);
+        let mut rs = self.restart_loop();
         let direct = matches!(
             L::STRATEGY,
             WriteStrategy::DirectLock | WriteStrategy::DirectLockAor
@@ -446,6 +428,7 @@ impl<L: IndexLock> ArtTree<L> {
 
     /// Insert or overwrite; returns the previous value if the key existed.
     pub fn insert(&self, key: u64, val: u64) -> Option<u64> {
+        self.index_stats.record_op();
         let old = if L::PESSIMISTIC {
             self.insert_pessimistic(key, val)
         } else {
@@ -460,7 +443,7 @@ impl<L: IndexLock> ArtTree<L> {
     fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
         let kb = key_bytes(key);
         let g = self.collector.pin();
-        let mut rs = Restart::new(&self.stats);
+        let mut rs = self.restart_loop();
         'restart: loop {
             rs.pause();
             let mut parent: Option<(&ArtNode<L>, u64, u8)> = None;
@@ -683,6 +666,7 @@ impl<L: IndexLock> ArtTree<L> {
 
     /// Remove a key; returns the removed value.
     pub fn remove(&self, key: u64) -> Option<u64> {
+        self.index_stats.record_op();
         let old = if L::PESSIMISTIC {
             self.remove_pessimistic(key)
         } else {
@@ -697,7 +681,7 @@ impl<L: IndexLock> ArtTree<L> {
     fn remove_optimistic(&self, key: u64) -> Option<u64> {
         let kb = key_bytes(key);
         let g = self.collector.pin();
-        let mut rs = Restart::new(&self.stats);
+        let mut rs = self.restart_loop();
         'restart: loop {
             rs.pause();
             let mut parent: Option<(&ArtNode<L>, u64, u8)> = None;
@@ -874,13 +858,14 @@ impl<L: IndexLock> ArtTree<L> {
     /// as a whole is not a serializable snapshot (matching the range-query
     /// semantics index benchmarks such as YCSB-E assume).
     pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        self.index_stats.record_op();
         let mut out = Vec::new();
         if limit == 0 {
             return out;
         }
         let _g = self.collector.pin();
         let sb = key_bytes(start);
-        let mut rs = Restart::new(&self.stats);
+        let mut rs = self.restart_loop();
         loop {
             out.clear();
             if self.scan_node(self.root, &sb, 0, true, limit, &mut out, None) {

@@ -22,7 +22,8 @@ fn dense_inserts_grow_nodes() {
         "expected at least one full growth chain: {s:?}"
     );
     assert!(s.lazy_expansions > 0, "dense keys split lazy leaves: {s:?}");
-    assert_eq!(s.restarts, 0, "single-threaded: no restarts");
+    assert_eq!(s.index.restarts, 0, "single-threaded: no restarts");
+    assert_eq!(s.index.ops, 300, "one recorded op per public insert");
 }
 
 #[test]

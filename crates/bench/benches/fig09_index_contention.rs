@@ -10,7 +10,7 @@
 //! only marginally in update-only.
 
 use optiql::IndexLock;
-use optiql_bench::{banner, header, mops, r2, row};
+use optiql_bench::{banner, header, mops, r2, row_extra};
 use optiql_harness::{env, preload, run, ConcurrentIndex, KeyDist, Mix, WorkloadConfig};
 
 fn sweep<I: ConcurrentIndex>(
@@ -25,12 +25,17 @@ fn sweep<I: ConcurrentIndex>(
             let mut cfg = WorkloadConfig::new(t, mix, KeyDist::self_similar_02(), keys);
             cfg.duration = env::duration();
             cfg.sample_every = 0;
+            let before = index.index_stats();
             let (r, _) = run(index, &cfg);
-            row(
+            // Unified restart accounting from the shared OLC protocol:
+            // the same restarts/op column for both index structures.
+            let d = index.index_stats().since(&before);
+            row_extra(
                 "fig09",
                 &format!("{index_name}/{mix_name}/{lock_name}"),
                 t,
                 r2(mops(r.throughput())),
+                format!("{:.4}", d.restarts_per_op()),
             );
         }
     }
@@ -60,7 +65,13 @@ fn main() {
         "fig09",
         "Index throughput, skewed workload (self-similar 0.2, dense keys)",
     );
-    header(&["figure", "index/workload/lock", "threads", "Mops/s"]);
+    header(&[
+        "figure",
+        "index/workload/lock",
+        "threads",
+        "Mops/s",
+        "restarts/op",
+    ]);
     let threads = env::thread_counts();
     let keys = env::preload_keys();
 

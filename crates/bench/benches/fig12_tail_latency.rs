@@ -30,6 +30,7 @@ fn sweep<I: ConcurrentIndex>(
             cfg.duration = env::duration();
             cfg.sample_every = 16; // dense sampling for stable tails
             optiql_harness::stats::reset();
+            let before = index.index_stats();
             let (_, hist) = run(index, &cfg);
             for (pct, ns) in hist.paper_percentiles() {
                 println!(
@@ -38,8 +39,19 @@ fn sweep<I: ConcurrentIndex>(
                 );
             }
             // Tail latency correlates with traversal restarts (rejected or
-            // invalidated readers retry from the root); surface the lock-
-            // layer counters behind each percentile row when available.
+            // invalidated readers retry from the root). The unified
+            // protocol accounting is always on — one consistent restart
+            // line for both index structures.
+            let d = index.index_stats().since(&before);
+            println!(
+                "# {index_name}/{mix_name}/{t}t/{lock_name}: ops={} restarts={} \
+                 restarts/op={:.4} yields={}",
+                d.ops,
+                d.restarts,
+                d.restarts_per_op(),
+                d.escalations,
+            );
+            // Lock-layer event detail when the cfg-gated counters are in.
             if optiql_harness::stats::ENABLED {
                 use optiql_harness::stats::Event;
                 let s = optiql_harness::stats::snapshot();

@@ -1,0 +1,63 @@
+//! Extension: plain vs. hash-partitioned (sharded) index throughput.
+//!
+//! Runs YCSB-A (50/50 Zipfian) and YCSB-C (read-only) over both OptiQL
+//! indexes behind `ShardedIndex<N>` for a sweep of shard counts;
+//! `shards = 1` is the degenerate facade and serves as the plain
+//! baseline. Partitioning attacks the same problem as OptiQL from the
+//! other side — fewer threads per lock instead of a better lock — so the
+//! interesting read is how much the facade still gains once the lock
+//! itself no longer collapses.
+
+use optiql_bench::{banner, header, mops, r2, row_extra};
+use optiql_harness::{env, preload, run, ConcurrentIndex, KeyDist, Mix, WorkloadConfig};
+use optiql_sharded::ShardedIndex;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKLOADS: [(&str, Mix); 2] = [("YCSB-A", Mix::YCSB_A), ("YCSB-C", Mix::YCSB_C)];
+
+fn sweep<I: ConcurrentIndex>(index: &I, series: &str, keys: u64) {
+    let threads = *env::thread_counts().last().unwrap();
+    preload(
+        index,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    for (name, mix) in WORKLOADS {
+        let mut cfg = WorkloadConfig::new(threads, mix, KeyDist::Zipfian { theta: 0.99 }, keys);
+        cfg.duration = env::duration();
+        cfg.sample_every = 0;
+        let before = index.index_stats();
+        let (r, _) = run(index, &cfg);
+        let d = index.index_stats().since(&before);
+        row_extra(
+            "sharded",
+            &format!("{series}/{name}"),
+            threads,
+            r2(mops(r.throughput())),
+            format!("{:.4}", d.restarts_per_op()),
+        );
+    }
+}
+
+fn main() {
+    banner(
+        "sharded",
+        "Plain vs. sharded facade, YCSB A/C, Zipfian(0.99), max threads",
+    );
+    header(&[
+        "figure",
+        "index/shards/workload",
+        "threads",
+        "Mops/s",
+        "restarts/op",
+    ]);
+    let keys = env::preload_keys().min(2_000_000);
+
+    for n in SHARD_COUNTS {
+        let tree: ShardedIndex<optiql_btree::BTreeOptiQL> = ShardedIndex::new(n);
+        sweep(&tree, &format!("B+-tree/OptiQL/shards{n}"), keys);
+    }
+    for n in SHARD_COUNTS {
+        let art: ShardedIndex<optiql_art::ArtOptiQL> = ShardedIndex::new(n);
+        sweep(&art, &format!("ART/OptiQL/shards{n}"), keys);
+    }
+}

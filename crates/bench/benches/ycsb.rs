@@ -6,6 +6,7 @@
 use optiql::IndexLock;
 use optiql_bench::{banner, header, mops, r2, row_extra};
 use optiql_harness::{env, preload, run, ConcurrentIndex, KeyDist, Mix, WorkloadConfig};
+use optiql_sharded::ShardedIndex;
 
 fn sweep<I: ConcurrentIndex>(index: &I, index_name: &str, lock_name: &str, keys: u64) {
     let threads = *env::thread_counts().last().unwrap();
@@ -64,4 +65,21 @@ fn main() {
 
     art_config::<optiql::OptLock>("OptLock", keys);
     art_config::<optiql::OptiQL>("OptiQL", keys);
+
+    // The same OptiQL trees behind the hash-partitioned facade: every
+    // workload (including YCSB-E's fan-out scans) runs unmodified.
+    let shards = optiql_sharded::DEFAULT_SHARDS;
+    let tree: ShardedIndex<optiql_btree::BTreeOptiQL> = ShardedIndex::new(shards);
+    preload(
+        &tree,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    sweep(&tree, "B+-tree", &format!("OptiQL/sharded{shards}"), keys);
+
+    let art: ShardedIndex<optiql_art::ArtOptiQL> = ShardedIndex::new(shards);
+    preload(
+        &art,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    sweep(&art, "ART", &format!("OptiQL/sharded{shards}"), keys);
 }

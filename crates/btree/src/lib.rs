@@ -34,6 +34,11 @@ pub use tree::{BPlusTree, TreeStats};
 
 use optiql::{McsRwLock, OptLock, OptiCLH, OptiQL, OptiQLAor, OptiQLNor, PthreadRwLock};
 
+optiql_index_api::impl_concurrent_index! {
+    impl [IL: optiql::IndexLock, LL: optiql::IndexLock, const IC: usize, const LC: usize]
+        for BPlusTree<IL, LL, IC, LC>
+}
+
 /// Capacity presets derived from target node sizes (paper §7.4 sweeps
 /// 256 B – 16 KB). An entry is 16 bytes (8-byte key + 8-byte value /
 /// child pointer); roughly 16 bytes go to the header.

@@ -31,6 +31,8 @@
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
+use optiql::olc::{IndexStats, RestartLoop, SharedIndexStats};
+use optiql::stats::Event;
 use optiql::{IndexLock, WriteStrategy};
 use optiql_reclaim::{Collector, Guard};
 
@@ -39,7 +41,6 @@ use crate::node::{as_inner, as_leaf, is_leaf, Inner, Leaf, NodeBase};
 /// Internal atomic counters; snapshotted into [`TreeStats`].
 #[derive(Default)]
 struct StatsInner {
-    restarts: AtomicU64,
     leaf_splits: AtomicU64,
     inner_splits: AtomicU64,
     root_splits: AtomicU64,
@@ -48,14 +49,14 @@ struct StatsInner {
     root_collapses: AtomicU64,
 }
 
-/// Snapshot of a tree's structural-event counters. Counters are updated
-/// with relaxed atomics; under concurrency a snapshot is approximate but
-/// monotone. Useful for analyzing restart behaviour (e.g. OptLock's
-/// upgrade retries vs OptiQL's queued waits) and SMO frequency.
+/// Snapshot of a tree's event counters. Counters are updated with relaxed
+/// atomics; under concurrency a snapshot is approximate but monotone.
+/// Operation/restart accounting is the workspace-wide
+/// [`IndexStats`]; the structural (SMO) counters are tree-specific.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TreeStats {
-    /// Operation restarts (failed validation / upgrade / admission).
-    pub restarts: u64,
+    /// Unified operation/restart accounting (`optiql::olc::IndexStats`).
+    pub index: IndexStats,
     /// Leaf splits.
     pub leaf_splits: u64,
     /// Inner-node splits.
@@ -70,35 +71,6 @@ pub struct TreeStats {
     pub root_collapses: u64,
 }
 
-/// Restart pacing: back off to the scheduler after a burst of restarts so
-/// oversubscribed hosts make progress. Also feeds the restart counter.
-struct Restart<'a> {
-    attempts: u32,
-    stats: &'a StatsInner,
-}
-
-impl<'a> Restart<'a> {
-    fn new(stats: &'a StatsInner) -> Self {
-        Restart { attempts: 0, stats }
-    }
-
-    #[inline]
-    fn pause(&mut self) {
-        self.attempts += 1;
-        if self.attempts > 1 {
-            self.stats.restarts.fetch_add(1, Ordering::Relaxed);
-            optiql::stats::record(optiql::stats::Event::IndexRestartBtree);
-        }
-        if self.attempts > 3 {
-            std::thread::yield_now();
-        } else if self.attempts > 1 {
-            for _ in 0..(1 << self.attempts.min(8)) {
-                std::hint::spin_loop();
-            }
-        }
-    }
-}
-
 /// Concurrent B+-tree keyed by `u64` with `u64` payloads (the paper's
 /// 8-byte-key / 8-byte-value configuration).
 ///
@@ -109,6 +81,7 @@ pub struct BPlusTree<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: us
     size: AtomicUsize,
     collector: Collector,
     stats: StatsInner,
+    index_stats: SharedIndexStats,
     _locks: std::marker::PhantomData<(IL, LL)>,
 }
 
@@ -144,6 +117,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             size: AtomicUsize::new(0),
             collector: Collector::new(),
             stats: StatsInner::default(),
+            index_stats: SharedIndexStats::new(),
             _locks: std::marker::PhantomData,
         }
     }
@@ -167,7 +141,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// Snapshot the structural-event counters.
     pub fn stats(&self) -> TreeStats {
         TreeStats {
-            restarts: self.stats.restarts.load(Ordering::Relaxed),
+            index: self.index_stats(),
             leaf_splits: self.stats.leaf_splits.load(Ordering::Relaxed),
             inner_splits: self.stats.inner_splits.load(Ordering::Relaxed),
             root_splits: self.stats.root_splits.load(Ordering::Relaxed),
@@ -175,6 +149,16 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             leaf_unlinks: self.stats.leaf_unlinks.load(Ordering::Relaxed),
             root_collapses: self.stats.root_collapses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot the unified operation/restart accounting.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index_stats.snapshot()
+    }
+
+    #[inline]
+    fn restart_loop(&self) -> RestartLoop<'_> {
+        RestartLoop::new(&self.index_stats, Event::IndexRestartBtree)
     }
 
     #[inline]
@@ -220,7 +204,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// Read-lock the current root, restarting internally until the locked
     /// node is still the root. Returns `(node, version)`.
     #[inline]
-    unsafe fn lock_root_shared(&self, rs: &mut Restart<'_>) -> (*mut NodeBase, u64) {
+    unsafe fn lock_root_shared(&self, rs: &mut RestartLoop<'_>) -> (*mut NodeBase, u64) {
         loop {
             let node = self.root.load(Ordering::Acquire);
             if let Some(v) = unsafe { self.node_r_lock(node) } {
@@ -237,7 +221,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
     /// Point lookup.
     pub fn lookup(&self, key: u64) -> Option<u64> {
-        let mut rs = Restart::new(&self.stats);
+        self.index_stats.record_op();
+        let mut rs = self.restart_loop();
         let _g = self.collector.pin();
         'restart: loop {
             rs.pause();
@@ -293,7 +278,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
     /// Shared descent for update (`val = Some`) and remove (`val = None`).
     fn write_existing(&self, key: u64, val: Option<u64>) -> Option<u64> {
-        let mut rs = Restart::new(&self.stats);
+        self.index_stats.record_op();
+        let mut rs = self.restart_loop();
         let g = self.collector.pin();
         'restart: loop {
             rs.pause();
@@ -509,6 +495,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
     /// Insert or overwrite; returns the previous value if the key existed.
     pub fn insert(&self, key: u64, val: u64) -> Option<u64> {
+        self.index_stats.record_op();
         let old = if LL::PESSIMISTIC {
             self.insert_pessimistic(key, val)
         } else {
@@ -521,7 +508,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     }
 
     fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
-        let mut rs = Restart::new(&self.stats);
+        let mut rs = self.restart_loop();
         let _g = self.collector.pin();
         'restart: loop {
             rs.pause();
@@ -696,7 +683,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     }
 
     fn insert_pessimistic(&self, key: u64, val: u64) -> Option<u64> {
-        let mut rs = Restart::new(&self.stats);
+        let mut rs = self.restart_loop();
         let _g = self.collector.pin();
         'restart: loop {
             rs.pause();
@@ -804,11 +791,12 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// Collect up to `limit` entries with keys in `[start, u64::MAX]`, in
     /// ascending key order.
     pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        self.index_stats.record_op();
         let mut out = Vec::with_capacity(limit.min(1024));
         let mut from = start;
         let _g = self.collector.pin();
         while out.len() < limit {
-            let mut rs = Restart::new(&self.stats);
+            let mut rs = self.restart_loop();
             let mut batch = Vec::new();
             // Descend to the leaf containing `from`, remembering the
             // tightest upper separator on the path.

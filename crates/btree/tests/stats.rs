@@ -22,16 +22,21 @@ fn single_threaded_restarts_are_exactly_smo_retries() {
     // Every inner/root split restarts the descent, except the very first
     // root-leaf split which completes its insert in place.
     assert_eq!(
-        after_insert.restarts,
+        after_insert.index.restarts,
         after_insert.inner_splits + after_insert.root_splits - 1,
         "uncontended restarts must equal SMO retries: {after_insert:?}"
+    );
+    assert_eq!(
+        after_insert.index.ops, 20_000,
+        "one recorded op per public insert"
     );
     // Lookups and updates perform no SMOs: the counter must not move.
     for k in 0..20_000u64 {
         t.lookup(k);
         t.update(k, k + 1);
     }
-    assert_eq!(t.stats().restarts, after_insert.restarts);
+    assert_eq!(t.stats().index.restarts, after_insert.index.restarts);
+    assert_eq!(t.stats().index.ops, 60_000);
 }
 
 #[test]

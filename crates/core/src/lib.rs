@@ -16,9 +16,11 @@
 //! (centralized optimistic "OptLock", TTS, MCS, a fair queue-based
 //! reader-writer MCS packed into 8 bytes, a pthread-style pessimistic
 //! rwlock, ticket locks and backoff variants), the queue-node pool with
-//! compact ID ↔ pointer translation, and the unified [`traits::IndexLock`]
+//! compact ID ↔ pointer translation, the unified [`traits::IndexLock`]
 //! interface that the companion index crates (`optiql-btree`, `optiql-art`)
-//! build their lock-coupling protocols on.
+//! build their lock-coupling protocols on, and the shared OLC restart
+//! protocol ([`olc`]: restart pacing, optimistic read guards, unified
+//! per-index accounting) those crates drive their `'restart:` loops with.
 //!
 //! ## Quick start
 //!
@@ -66,6 +68,7 @@ pub mod clh;
 pub mod guard;
 pub mod mcs;
 pub mod mcs_rw;
+pub mod olc;
 pub mod optiql;
 pub mod optlock;
 pub mod pthread;
@@ -81,6 +84,7 @@ pub use crate::clh::{OptiCLH, OptiCLHNor, OptiClhCore};
 pub use crate::guard::{read_critical, try_read_critical, XGuard};
 pub use crate::mcs::McsLock;
 pub use crate::mcs_rw::McsRwLock;
+pub use crate::olc::{IndexStats, OptimisticGuard, RestartLoop, SharedIndexStats};
 pub use crate::optiql::{OptiQL, OptiQLAor, OptiQLCore, OptiQLNor};
 pub use crate::optlock::{OptLock, OptLockBackoff};
 pub use crate::pthread::PthreadRwLock;

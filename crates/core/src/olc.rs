@@ -1,0 +1,423 @@
+//! Shared optimistic-lock-coupling (OLC) restart protocol.
+//!
+//! Every index built on the lock family traverses optimistically and
+//! restarts from the root when validation fails (paper §6). The restart
+//! *pacing* — how long to wait before retrying, and when to hand the CPU
+//! back to the scheduler — is index-independent policy, so it lives here
+//! instead of being re-implemented per tree:
+//!
+//! * [`RestartLoop`] — a bounded restart budget with a three-step
+//!   escalation ladder: a free first attempt, a short spin burst, a
+//!   truncated-exponential [`Backoff`](crate::backoff::Backoff) window,
+//!   and finally `thread::yield_now` so oversubscribed hosts make
+//!   progress. Each counted restart feeds the cfg-gated
+//!   [`stats`](crate::stats) event taxonomy *and* the owning index's
+//!   [`SharedIndexStats`].
+//! * [`OptimisticGuard`] — an RAII-free (plain-value) read guard pairing
+//!   an [`IndexLock`] with the version snapshot taken at `r_lock`,
+//!   encapsulating the validate / recheck / abandon discipline that the
+//!   lock-coupling protocols repeat at every node.
+//! * [`SharedIndexStats`] / [`IndexStats`] — the unified per-index
+//!   accounting (operations, restarts, scheduler escalations) shared by
+//!   every index, so benchmarks print one consistent restart column no
+//!   matter which structure is underneath.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backoff::Backoff;
+use crate::stats::Event;
+use crate::traits::{IndexLock, WriteToken};
+
+/// Pauses (attempts) that are free: the operation's first try never
+/// waits or counts as a restart.
+pub const FREE_ATTEMPTS: u32 = 1;
+/// Last pause served by the short spin burst ([`SPIN_HINTS`] hints).
+pub const SPIN_BUDGET: u32 = 2;
+/// Last pause served by the exponential [`Backoff`] window; beyond this
+/// the loop escalates to `thread::yield_now`.
+pub const BACKOFF_BUDGET: u32 = 3;
+/// Spin-loop hints issued per pause during the spin phase.
+pub const SPIN_HINTS: u32 = 4;
+/// Initial backoff window (spin-loop hints) for the backoff phase.
+pub const BACKOFF_MIN: u32 = 8;
+/// Backoff truncation cap.
+pub const BACKOFF_MAX: u32 = 1024;
+
+/// Which rung of the escalation ladder the most recent
+/// [`RestartLoop::pause`] executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPhase {
+    /// No wait: either no pause has happened yet, or the free first try.
+    Free,
+    /// Short fixed spin burst.
+    Spin,
+    /// Truncated exponential backoff window.
+    Backoff,
+    /// Scheduler yield (the restart budget below is exhausted).
+    Yield,
+}
+
+/// Atomic per-index operation/restart accounting. Owned by each index
+/// (or index shard); snapshot with [`SharedIndexStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct SharedIndexStats {
+    restarts: AtomicU64,
+    ops: AtomicU64,
+    escalations: AtomicU64,
+}
+
+impl SharedIndexStats {
+    /// A zeroed accounting block.
+    pub const fn new() -> Self {
+        SharedIndexStats {
+            restarts: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            escalations: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one completed index operation (lookup/insert/update/remove/
+    /// scan). Relaxed; call once per public entry point.
+    #[inline]
+    pub fn record_op(&self) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_restart(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_escalation(&self) {
+        self.escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate (relaxed, monotone) snapshot.
+    pub fn snapshot(&self) -> IndexStats {
+        IndexStats {
+            restarts: self.restarts.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            escalations: self.escalations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of the unified index accounting: one struct for every index
+/// type, replacing per-tree restart counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Traversal restarts (failed validation / upgrade / admission),
+    /// excluding each operation's free first attempt.
+    pub restarts: u64,
+    /// Completed operations (all kinds).
+    pub ops: u64,
+    /// Restart pauses that escalated past spinning to a scheduler yield.
+    pub escalations: u64,
+}
+
+impl IndexStats {
+    /// Accumulate another snapshot (e.g. summing shards of a partitioned
+    /// index).
+    pub fn merge(&mut self, other: IndexStats) {
+        self.restarts += other.restarts;
+        self.ops += other.ops;
+        self.escalations += other.escalations;
+    }
+
+    /// Per-field difference `self - earlier` (saturating), for interval
+    /// accounting between two snapshots.
+    pub fn since(&self, earlier: &IndexStats) -> IndexStats {
+        IndexStats {
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            ops: self.ops.saturating_sub(earlier.ops),
+            escalations: self.escalations.saturating_sub(earlier.escalations),
+        }
+    }
+
+    /// Restarts per completed operation (0 when no operation ran).
+    pub fn restarts_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.restarts as f64 / self.ops as f64
+        }
+    }
+}
+
+impl std::ops::Add for IndexStats {
+    type Output = IndexStats;
+    fn add(mut self, rhs: IndexStats) -> IndexStats {
+        self.merge(rhs);
+        self
+    }
+}
+
+/// Restart pacing for one index operation.
+///
+/// Create one per operation, call [`pause`](RestartLoop::pause) at the
+/// top of the `'restart:` loop, and the ladder takes care of the rest:
+/// the first pause is free, subsequent pauses spin, back off, and
+/// finally yield, while feeding both the owning index's
+/// [`SharedIndexStats`] and the cfg-gated [`stats`](crate::stats) event
+/// given at construction.
+pub struct RestartLoop<'a> {
+    attempts: u32,
+    backoff: Backoff,
+    stats: &'a SharedIndexStats,
+    event: Event,
+}
+
+impl<'a> RestartLoop<'a> {
+    /// A fresh loop reporting restarts to `stats` and recording `event`
+    /// (e.g. [`Event::IndexRestartBtree`]) per counted restart.
+    pub fn new(stats: &'a SharedIndexStats, event: Event) -> Self {
+        RestartLoop {
+            attempts: 0,
+            backoff: Backoff::new(BACKOFF_MIN, BACKOFF_MAX),
+            stats,
+            event,
+        }
+    }
+
+    /// Pauses taken so far (equals traversal attempts started).
+    #[inline]
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Ladder rung the most recent [`pause`](RestartLoop::pause) executed
+    /// ([`RestartPhase::Free`] before the first).
+    #[inline]
+    pub fn phase(&self) -> RestartPhase {
+        if self.attempts <= FREE_ATTEMPTS {
+            RestartPhase::Free
+        } else if self.attempts <= SPIN_BUDGET {
+            RestartPhase::Spin
+        } else if self.attempts <= BACKOFF_BUDGET {
+            RestartPhase::Backoff
+        } else {
+            RestartPhase::Yield
+        }
+    }
+
+    /// Wait according to the escalation ladder; counts a restart on every
+    /// pause after the first.
+    #[inline]
+    pub fn pause(&mut self) {
+        self.attempts += 1;
+        match self.phase() {
+            RestartPhase::Free => {}
+            RestartPhase::Spin => {
+                self.count_restart();
+                for _ in 0..SPIN_HINTS {
+                    std::hint::spin_loop();
+                }
+            }
+            RestartPhase::Backoff => {
+                self.count_restart();
+                self.backoff.wait();
+            }
+            RestartPhase::Yield => {
+                self.count_restart();
+                self.stats.record_escalation();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[inline]
+    fn count_restart(&self) {
+        self.stats.record_restart();
+        crate::stats::record(self.event);
+    }
+}
+
+/// An optimistic (or pessimistic-shared) read of one [`IndexLock`],
+/// carrying the version snapshot the validation discipline needs.
+///
+/// The guard is deliberately a plain value, not RAII: optimistic reads
+/// have no cleanup on the happy path, and the lock-coupling protocols
+/// need precise control over *when* validation happens. The consuming
+/// methods make the state machine explicit:
+///
+/// * [`validate`](OptimisticGuard::validate) — end the read and report
+///   whether the data read under it is consistent (`r_unlock`);
+/// * [`abandon`](OptimisticGuard::abandon) — drop the read on a restart
+///   path (free for optimistic locks, releases the shared lock for
+///   pessimistic ones);
+/// * [`try_upgrade`](OptimisticGuard::try_upgrade) — convert the read
+///   into exclusive ownership; on failure the read is abandoned.
+#[must_use = "an optimistic read must be validated or abandoned"]
+pub struct OptimisticGuard<'a, L: IndexLock> {
+    lock: &'a L,
+    version: u64,
+}
+
+impl<'a, L: IndexLock> OptimisticGuard<'a, L> {
+    /// Begin a read (`acquire_sh`). `None` tells the caller to restart;
+    /// pessimistic locks block and always succeed.
+    #[inline]
+    pub fn read(lock: &'a L) -> Option<Self> {
+        let version = lock.r_lock()?;
+        Some(OptimisticGuard { lock, version })
+    }
+
+    /// The version snapshot taken at [`read`](OptimisticGuard::read).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Re-validate mid-read without ending it (Algorithm 4 line 13).
+    #[inline]
+    pub fn recheck(&self) -> bool {
+        self.lock.recheck(self.version)
+    }
+
+    /// End the read: validate the snapshot (optimistic) or release the
+    /// shared lock (pessimistic, always `true`).
+    #[inline]
+    pub fn validate(self) -> bool {
+        self.lock.r_unlock(self.version)
+    }
+
+    /// Abandon the read on a restart path. Free for optimistic locks;
+    /// releases the shared lock for pessimistic ones.
+    #[inline]
+    pub fn abandon(self) {
+        if L::PESSIMISTIC {
+            self.lock.r_unlock(self.version);
+        }
+    }
+
+    /// Try to convert the read into exclusive ownership (§6.2). On
+    /// success the read is transferred into the write; on failure the
+    /// read is abandoned and the caller restarts.
+    #[inline]
+    pub fn try_upgrade(self) -> Option<WriteToken> {
+        match self.lock.try_upgrade(self.version) {
+            Some(t) => Some(t),
+            None => {
+                self.abandon();
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optlock::OptLock;
+    use crate::pthread::PthreadRwLock;
+    use crate::ExclusiveLock;
+
+    #[test]
+    fn ladder_escalates_free_spin_backoff_yield() {
+        let stats = SharedIndexStats::new();
+        let mut rs = RestartLoop::new(&stats, Event::IndexRestartBtree);
+        assert_eq!(rs.phase(), RestartPhase::Free);
+        rs.pause(); // first try: free
+        assert_eq!(rs.phase(), RestartPhase::Free);
+        assert_eq!(stats.snapshot().restarts, 0, "first attempt is free");
+        rs.pause();
+        assert_eq!(rs.phase(), RestartPhase::Spin);
+        rs.pause();
+        assert_eq!(rs.phase(), RestartPhase::Backoff);
+        rs.pause();
+        assert_eq!(rs.phase(), RestartPhase::Yield);
+        rs.pause();
+        assert_eq!(rs.phase(), RestartPhase::Yield, "yield is terminal");
+        let s = stats.snapshot();
+        assert_eq!(rs.attempts(), 5);
+        assert_eq!(s.restarts, 4, "every pause after the first counts");
+        assert_eq!(s.escalations, 2, "two pauses yielded");
+    }
+
+    #[test]
+    fn restart_budget_constants_are_ordered() {
+        const {
+            assert!(FREE_ATTEMPTS < SPIN_BUDGET);
+            assert!(SPIN_BUDGET < BACKOFF_BUDGET);
+            assert!(BACKOFF_MIN <= BACKOFF_MAX);
+        }
+    }
+
+    #[test]
+    fn index_stats_merge_and_since() {
+        let a = IndexStats {
+            restarts: 5,
+            ops: 100,
+            escalations: 1,
+        };
+        let b = IndexStats {
+            restarts: 2,
+            ops: 50,
+            escalations: 0,
+        };
+        let sum = a + b;
+        assert_eq!(sum.restarts, 7);
+        assert_eq!(sum.ops, 150);
+        assert_eq!(sum.escalations, 1);
+        let d = sum.since(&b);
+        assert_eq!(d.ops, 100);
+        assert_eq!(d.restarts, 5);
+        // since() saturates instead of underflowing.
+        assert_eq!(b.since(&sum).ops, 0);
+        assert!((a.restarts_per_op() - 0.05).abs() < 1e-12);
+        assert_eq!(IndexStats::default().restarts_per_op(), 0.0);
+    }
+
+    #[test]
+    fn ops_accounting_is_relaxed_and_monotone() {
+        let stats = SharedIndexStats::new();
+        for _ in 0..10 {
+            stats.record_op();
+        }
+        assert_eq!(stats.snapshot().ops, 10);
+        assert_eq!(stats.snapshot().restarts, 0);
+    }
+
+    #[test]
+    fn guard_validates_unchanged_data() {
+        let lock = OptLock::default();
+        let g = OptimisticGuard::read(&lock).expect("free lock admits readers");
+        assert!(g.recheck());
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn guard_detects_concurrent_writer() {
+        let lock = OptLock::default();
+        let g = OptimisticGuard::read(&lock).expect("free lock admits readers");
+        let t = lock.x_lock();
+        lock.x_unlock(t);
+        assert!(!g.recheck());
+        assert!(!g.validate());
+    }
+
+    #[test]
+    fn guard_upgrade_transfers_the_read() {
+        let lock = OptLock::default();
+        let g = OptimisticGuard::read(&lock).expect("free lock");
+        let t = g.try_upgrade().expect("unchanged: upgrade succeeds");
+        assert!(lock.is_locked_ex());
+        lock.x_unlock(t);
+        // A stale guard can no longer upgrade.
+        let g1 = OptimisticGuard::read(&lock).expect("free lock");
+        let t2 = lock.x_lock();
+        lock.x_unlock(t2);
+        assert!(g1.try_upgrade().is_none());
+    }
+
+    #[test]
+    fn guard_abandon_releases_pessimistic_readers() {
+        let lock = PthreadRwLock::default();
+        let g = OptimisticGuard::read(&lock).expect("shared grant");
+        g.abandon();
+        // If abandon leaked the shared lock this x_lock would deadlock.
+        let t = lock.x_lock();
+        lock.x_unlock(t);
+    }
+}

@@ -12,70 +12,14 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use optiql::IndexLock;
-
 use crate::dist::{KeyDist, KeySpace};
 use crate::latency::Histogram;
 use crate::pin::pin_thread;
 
-/// A concurrent `u64 → u64` index: the interface both paper indexes expose.
-pub trait ConcurrentIndex: Send + Sync {
-    /// Insert or overwrite a key.
-    fn insert(&self, k: u64, v: u64) -> Option<u64>;
-    /// Update an existing key.
-    fn update(&self, k: u64, v: u64) -> Option<u64>;
-    /// Point lookup.
-    fn lookup(&self, k: u64) -> Option<u64>;
-    /// Remove a key.
-    fn remove(&self, k: u64) -> Option<u64>;
-    /// Range scan: number of entries with keys ≥ `start`, up to `limit`
-    /// (YCSB-E style). Indexes without range support return 0.
-    fn scan_count(&self, start: u64, limit: usize) -> usize {
-        let _ = (start, limit);
-        0
-    }
-}
-
-impl<IL, LL, const IC: usize, const LC: usize> ConcurrentIndex
-    for optiql_btree::BPlusTree<IL, LL, IC, LC>
-where
-    IL: IndexLock,
-    LL: IndexLock,
-{
-    fn insert(&self, k: u64, v: u64) -> Option<u64> {
-        optiql_btree::BPlusTree::insert(self, k, v)
-    }
-    fn update(&self, k: u64, v: u64) -> Option<u64> {
-        optiql_btree::BPlusTree::update(self, k, v)
-    }
-    fn lookup(&self, k: u64) -> Option<u64> {
-        optiql_btree::BPlusTree::lookup(self, k)
-    }
-    fn remove(&self, k: u64) -> Option<u64> {
-        optiql_btree::BPlusTree::remove(self, k)
-    }
-    fn scan_count(&self, start: u64, limit: usize) -> usize {
-        optiql_btree::BPlusTree::scan(self, start, limit).len()
-    }
-}
-
-impl<L: IndexLock> ConcurrentIndex for optiql_art::ArtTree<L> {
-    fn insert(&self, k: u64, v: u64) -> Option<u64> {
-        optiql_art::ArtTree::insert(self, k, v)
-    }
-    fn update(&self, k: u64, v: u64) -> Option<u64> {
-        optiql_art::ArtTree::update(self, k, v)
-    }
-    fn lookup(&self, k: u64) -> Option<u64> {
-        optiql_art::ArtTree::lookup(self, k)
-    }
-    fn remove(&self, k: u64) -> Option<u64> {
-        optiql_art::ArtTree::remove(self, k)
-    }
-    fn scan_count(&self, start: u64, limit: usize) -> usize {
-        optiql_art::ArtTree::scan(self, start, limit).len()
-    }
-}
+// The index interface lives in `optiql-index-api` (both trees implement it
+// there); re-exported so existing `optiql_harness::ConcurrentIndex` /
+// `workload::ConcurrentIndex` imports keep working.
+pub use optiql_index_api::ConcurrentIndex;
 
 /// Operation mix in percent (sums to 100).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

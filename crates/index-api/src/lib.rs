@@ -1,0 +1,206 @@
+//! # optiql-index-api — the index-agnostic concurrent-index surface
+//!
+//! Both paper indexes (`optiql-btree`, `optiql-art`) expose the same
+//! `u64 → u64` interface; this crate owns that interface so everything
+//! above the trees — the benchmark harness, the sharded facade, examples,
+//! tests — is written once against [`ConcurrentIndex`] and runs unmodified
+//! over any index (or composition of indexes).
+//!
+//! The workspace layering is strictly one-directional:
+//!
+//! ```text
+//! optiql (core: locks + olc protocol)
+//!    └── optiql-index-api (this crate: the trait)
+//!           ├── optiql-btree, optiql-art (indexes implement it)
+//!           ├── optiql-sharded (facade: ShardedIndex<I: ConcurrentIndex>)
+//!           └── optiql-harness / optiql-bench (consumers)
+//! ```
+//!
+//! Index crates implement the trait with [`impl_concurrent_index!`], which
+//! delegates every method to the inherent methods of the same names —
+//! keeping the two impl blocks from drifting apart, as the previous
+//! hand-rolled copies in the harness did.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use optiql::olc::IndexStats;
+
+/// A concurrent `u64 → u64` index: the interface both paper indexes (and
+/// any facade over them) expose.
+///
+/// All methods take `&self`: implementations synchronize internally (the
+/// whole point of the lock protocols underneath). `scan_count` is
+/// **required** — an index without range support must say so explicitly
+/// instead of silently reporting zero, which previously made YCSB-E
+/// numbers look plausible while scanning nothing.
+pub trait ConcurrentIndex: Send + Sync {
+    /// Insert or overwrite a key; returns the previous value if present.
+    fn insert(&self, k: u64, v: u64) -> Option<u64>;
+
+    /// Update an existing key; returns the previous value, `None` if the
+    /// key is absent (no insert happens).
+    fn update(&self, k: u64, v: u64) -> Option<u64>;
+
+    /// Point lookup.
+    fn lookup(&self, k: u64) -> Option<u64>;
+
+    /// Remove a key; returns the removed value.
+    fn remove(&self, k: u64) -> Option<u64>;
+
+    /// Range scan: number of entries with keys ≥ `start`, up to `limit`
+    /// (YCSB-E style).
+    fn scan_count(&self, start: u64, limit: usize) -> usize;
+
+    /// Number of entries (maintained counter; exact when quiescent).
+    fn len(&self) -> usize;
+
+    /// True iff the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Unified operation/restart accounting
+    /// ([`optiql::olc::IndexStats`]). Composite indexes aggregate their
+    /// parts; plain wrappers may return the default.
+    fn index_stats(&self) -> IndexStats {
+        IndexStats::default()
+    }
+}
+
+/// Implement [`ConcurrentIndex`] for an index type by delegating to its
+/// inherent methods (`insert`, `update`, `lookup`, `remove`, `scan`,
+/// `len`, `index_stats`).
+///
+/// `scan_count` delegates to the inherent `scan(start, limit)` returning
+/// `Vec<(u64, u64)>` — both trees already materialize the entries, so the
+/// count is honest by construction.
+///
+/// ```ignore
+/// optiql_index_api::impl_concurrent_index! {
+///     impl [L: optiql::IndexLock] for crate::ArtTree<L>
+/// }
+/// ```
+#[macro_export]
+macro_rules! impl_concurrent_index {
+    (impl [$($generics:tt)*] for $ty:ty) => {
+        impl<$($generics)*> $crate::ConcurrentIndex for $ty {
+            #[inline]
+            fn insert(&self, k: u64, v: u64) -> Option<u64> {
+                <$ty>::insert(self, k, v)
+            }
+            #[inline]
+            fn update(&self, k: u64, v: u64) -> Option<u64> {
+                <$ty>::update(self, k, v)
+            }
+            #[inline]
+            fn lookup(&self, k: u64) -> Option<u64> {
+                <$ty>::lookup(self, k)
+            }
+            #[inline]
+            fn remove(&self, k: u64) -> Option<u64> {
+                <$ty>::remove(self, k)
+            }
+            #[inline]
+            fn scan_count(&self, start: u64, limit: usize) -> usize {
+                <$ty>::scan(self, start, limit).len()
+            }
+            #[inline]
+            fn len(&self) -> usize {
+                <$ty>::len(self)
+            }
+            #[inline]
+            fn index_stats(&self) -> $crate::IndexStats {
+                <$ty>::index_stats(self)
+            }
+        }
+    };
+}
+
+/// Reference implementation for models and tests: a mutex-protected
+/// `BTreeMap`. Sequentially consistent, obviously correct, slow — exactly
+/// what a differential test wants on the other side of the diff.
+pub mod model {
+    use super::ConcurrentIndex;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// `Mutex<BTreeMap>` as a [`ConcurrentIndex`].
+    #[derive(Debug, Default)]
+    pub struct ModelIndex {
+        map: Mutex<BTreeMap<u64, u64>>,
+    }
+
+    impl ModelIndex {
+        /// An empty model.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Entries with keys ≥ `start`, up to `limit`, in key order.
+        pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+            self.map
+                .lock()
+                .unwrap()
+                .range(start..)
+                .take(limit)
+                .map(|(k, v)| (*k, *v))
+                .collect()
+        }
+    }
+
+    impl ConcurrentIndex for ModelIndex {
+        fn insert(&self, k: u64, v: u64) -> Option<u64> {
+            self.map.lock().unwrap().insert(k, v)
+        }
+        fn update(&self, k: u64, v: u64) -> Option<u64> {
+            let mut m = self.map.lock().unwrap();
+            m.get_mut(&k).map(|slot| std::mem::replace(slot, v))
+        }
+        fn lookup(&self, k: u64) -> Option<u64> {
+            self.map.lock().unwrap().get(&k).copied()
+        }
+        fn remove(&self, k: u64) -> Option<u64> {
+            self.map.lock().unwrap().remove(&k)
+        }
+        fn scan_count(&self, start: u64, limit: usize) -> usize {
+            self.scan(start, limit).len()
+        }
+        fn len(&self) -> usize {
+            self.map.lock().unwrap().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::model::ModelIndex;
+    use super::*;
+
+    #[test]
+    fn model_index_implements_the_trait_honestly() {
+        let m = ModelIndex::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.update(2, 20), None, "update never inserts");
+        assert_eq!(m.lookup(1), Some(11));
+        assert_eq!(m.len(), 1);
+        m.insert(5, 50);
+        m.insert(3, 30);
+        assert_eq!(m.scan_count(2, 10), 2);
+        assert_eq!(m.scan_count(0, 2), 2, "limit caps the count");
+        assert_eq!(m.remove(1), Some(11));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.index_stats(), IndexStats::default());
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let m = ModelIndex::new();
+        let dynref: &dyn ConcurrentIndex = &m;
+        dynref.insert(7, 70);
+        assert_eq!(dynref.lookup(7), Some(70));
+        assert!(!dynref.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Differential testing of the sharded facade.
+//!
+//! Property tests check that `ShardedIndex<I>` over real trees behaves
+//! exactly like a `Mutex<BTreeMap>` model under arbitrary single-threaded
+//! operation sequences — the facade must be invisible apart from
+//! partitioning. A concurrent test then drives disjoint and overlapping
+//! key sets through the shards and verifies the final state.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use optiql_art::ArtOptiQL;
+use optiql_btree::BTreeOptiQL;
+use optiql_index_api::ConcurrentIndex;
+use optiql_sharded::ShardedIndex;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Update(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+    ScanCount(u64, usize),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+        (0..key_space).prop_map(Op::Remove),
+        (0..key_space).prop_map(Op::Lookup),
+        (0..key_space, 0..96usize).prop_map(|(k, n)| Op::ScanCount(k, n)),
+    ]
+}
+
+fn run_model<I: ConcurrentIndex>(sharded: &ShardedIndex<I>, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                assert_eq!(sharded.insert(k, v), model.insert(k, v), "insert {k}");
+            }
+            Op::Update(k, v) => {
+                let expect = model.get_mut(&k).map(|slot| std::mem::replace(slot, v));
+                assert_eq!(sharded.update(k, v), expect, "update {k}");
+            }
+            Op::Remove(k) => {
+                assert_eq!(sharded.remove(k), model.remove(&k), "remove {k}");
+            }
+            Op::Lookup(k) => {
+                assert_eq!(sharded.lookup(k), model.get(&k).copied(), "lookup {k}");
+            }
+            Op::ScanCount(k, n) => {
+                // Hash partitioning destroys global order but not counts:
+                // the merged scan_count must equal the model's.
+                let expect = model.range(k..).take(n).count();
+                assert_eq!(sharded.scan_count(k, n), expect, "scan_count {k} {n}");
+            }
+        }
+    }
+    assert_eq!(sharded.len(), model.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Small key space + small B+-tree nodes: ops collide across shards
+    // and exercise splits/merges inside each shard.
+    #[test]
+    fn sharded_btree_matches_model(ops in prop::collection::vec(op_strategy(512), 1..600)) {
+        let s: ShardedIndex<BTreeOptiQL<4, 4>> = ShardedIndex::new(4);
+        run_model(&s, &ops);
+    }
+
+    #[test]
+    fn sharded_art_matches_model(ops in prop::collection::vec(op_strategy(512), 1..600)) {
+        let s: ShardedIndex<ArtOptiQL> = ShardedIndex::new(4);
+        run_model(&s, &ops);
+    }
+
+    // Shard count 1 degenerates to the plain index; the facade must be a
+    // no-op wrapper there too.
+    #[test]
+    fn single_shard_matches_model(ops in prop::collection::vec(op_strategy(256), 1..400)) {
+        let s: ShardedIndex<BTreeOptiQL<4, 4>> = ShardedIndex::new(1);
+        run_model(&s, &ops);
+    }
+
+    // Wide keys stress the hash mapping (high bits significant).
+    #[test]
+    fn wide_keyspace_matches_model(ops in prop::collection::vec(op_strategy(u64::MAX), 1..300)) {
+        let s: ShardedIndex<BTreeOptiQL<6, 6>> = ShardedIndex::new(8);
+        run_model(&s, &ops);
+    }
+}
+
+#[test]
+fn concurrent_disjoint_writers_and_readers() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::new(8);
+    let per_thread = 20_000u64;
+    let threads = 4u64;
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Writers own disjoint key ranges; the hash spreads each range
+        // over every shard, so shards see true concurrent mixes.
+        let writers: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = &s;
+                scope.spawn(move || {
+                    let base = t * per_thread;
+                    for k in base..base + per_thread {
+                        assert_eq!(s.insert(k, k + 1), None);
+                    }
+                    for k in (base..base + per_thread).step_by(2) {
+                        assert_eq!(s.remove(k), Some(k + 1));
+                    }
+                })
+            })
+            .collect();
+        // A reader hammers lookups/scans concurrently; values must always
+        // be consistent (absent, or key + 1).
+        let reader = scope.spawn(|| {
+            let total = threads * per_thread;
+            let mut probes = 0u64;
+            while !stop.load(Ordering::Acquire) || probes < 10_000 {
+                let k = probes.wrapping_mul(0x9E37_79B9_7F4A_7C15) % total;
+                if let Some(v) = s.lookup(k) {
+                    assert_eq!(v, k + 1, "reader saw torn value for {k}");
+                }
+                let _ = s.scan_count(k, 16);
+                probes += 1;
+            }
+        });
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        reader.join().unwrap();
+    });
+
+    // Final state: exactly the odd keys survive.
+    assert_eq!(s.len() as u64, threads * per_thread / 2);
+    for t in 0..threads {
+        let base = t * per_thread;
+        assert_eq!(s.lookup(base), None, "even keys removed");
+        assert_eq!(s.lookup(base + 1), Some(base + 2), "odd keys survive");
+    }
+    let stats = s.index_stats();
+    assert!(
+        stats.ops >= threads * per_thread,
+        "aggregated ops must cover every write: {stats:?}"
+    );
+}
