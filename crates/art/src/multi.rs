@@ -1,0 +1,481 @@
+//! Batched, software-pipelined ART operations (memory-level parallelism).
+//!
+//! Same execution model as the B+-tree's batched engine: a batch of keys
+//! is processed as a group of in-flight state machines advanced
+//! round-robin, each turn moving one operation one tree level and ending
+//! right after prefetching the node it will touch next, so one group keeps
+//! up to `GROUP` cache misses outstanding instead of one.
+//!
+//! Each in-flight descent is the scalar OLC protocol re-expressed as a
+//! state machine over [`OptimisticGuard`]s: read-guard the child, then
+//! validate the parent guard behind it. ART adds one wrinkle the B+-tree
+//! does not have — tagged KV-leaf children. Reading `kv.key` is itself a
+//! potential cache miss, so a chosen KV child gets its own pipeline state:
+//! the turn that discovers it prefetches the leaf line and yields; the
+//! next turn reads the key/value and validates.
+//!
+//! Structural cases (prefix splits, node growth — both need the parent
+//! held) and repeatedly-failing ops fall back to the scalar path against
+//! cache-warm nodes. Lazy expansion and same-key overwrite only need the
+//! current node and are handled inline. Pessimistic lock configurations
+//! bypass pipelining: their reads hold real shared locks, which must not
+//! be parked across turns.
+
+use std::sync::atomic::Ordering;
+
+use optiql::olc::OptimisticGuard;
+use optiql::stats::{self, Event};
+use optiql::IndexLock;
+
+use crate::node::{as_kv, is_kv, key_bytes, prefetch_child, ArtNode, KvLeaf, NodeType, KEY_LEN};
+use crate::tree::ArtTree;
+
+/// Operations interleaved per pipeline group (see the B+-tree engine for
+/// the sizing rationale).
+pub(crate) const GROUP: usize = 8;
+
+/// Pipelined restarts per op before completing it on the scalar path.
+const PIPELINE_ATTEMPTS: u32 = 3;
+
+/// One in-flight operation. `Enter`: `child` (an inner node) was chosen
+/// under `parent` and prefetched; next turn guards it. `Kv`: `child` (a
+/// tagged KV leaf) was chosen and its line prefetched; next turn reads it.
+enum OpSt<'t, L: IndexLock> {
+    Start,
+    Enter {
+        parent: OptimisticGuard<'t, L>,
+        child: *mut ArtNode<L>,
+        depth: usize,
+    },
+    Kv {
+        node: &'t ArtNode<L>,
+        guard: OptimisticGuard<'t, L>,
+        child: *mut ArtNode<L>,
+        byte: u8,
+        depth: usize,
+    },
+    Done(Option<u64>),
+}
+
+/// Outcome of one turn of an in-flight op.
+enum Turn<'t, L: IndexLock> {
+    Next(OpSt<'t, L>),
+    Restart,
+}
+
+impl<L: IndexLock> ArtTree<L> {
+    /// Batched point lookups; `result[i] == lookup(keys[i])`, order
+    /// preserved. Pipelines `GROUP` descents with interleaved prefetch.
+    pub fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        stats::record(Event::BatchIssued);
+        if L::PESSIMISTIC || keys.len() < 2 {
+            return keys.iter().map(|&k| self.lookup(k)).collect();
+        }
+        let _g = self.collector.pin();
+        let mut out = Vec::with_capacity(keys.len());
+        let mut restarts = 0u64;
+        for group in keys.chunks(GROUP) {
+            let mut st: [OpSt<'_, L>; GROUP] = std::array::from_fn(|_| OpSt::Start);
+            let mut attempts = [0u32; GROUP];
+            let mut pending = group.len();
+            while pending > 0 {
+                stats::record(Event::BatchPrefetchRound);
+                for (i, &key) in group.iter().enumerate() {
+                    if let OpSt::Done(_) = st[i] {
+                        continue;
+                    }
+                    let turn = match std::mem::replace(&mut st[i], OpSt::Start) {
+                        OpSt::Start => {
+                            if attempts[i] >= PIPELINE_ATTEMPTS {
+                                Turn::Next(OpSt::Done(self.lookup_impl(key)))
+                            } else {
+                                self.lk_start(key)
+                            }
+                        }
+                        OpSt::Enter {
+                            parent,
+                            child,
+                            depth,
+                        } => self.lk_enter(key, parent, child, depth),
+                        OpSt::Kv { guard, child, .. } => self.lk_kv(key, guard, child),
+                        OpSt::Done(_) => unreachable!(),
+                    };
+                    match turn {
+                        Turn::Next(next) => {
+                            if let OpSt::Done(_) = next {
+                                pending -= 1;
+                            }
+                            st[i] = next;
+                        }
+                        Turn::Restart => {
+                            attempts[i] += 1;
+                            restarts += 1;
+                            stats::record(Event::BatchOpRestart);
+                        }
+                    }
+                }
+            }
+            for s in st.iter().take(group.len()) {
+                match s {
+                    OpSt::Done(r) => out.push(*r),
+                    _ => unreachable!("pipeline drained with op not Done"),
+                }
+            }
+        }
+        self.index_stats.record_ops(keys.len() as u64);
+        self.index_stats.record_restarts(restarts);
+        out
+    }
+
+    /// Batched inserts, equivalent to applying `pairs` in order (a
+    /// duplicate key later in the batch observes the earlier write).
+    pub fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+        stats::record(Event::BatchIssued);
+        if L::PESSIMISTIC || pairs.len() < 2 {
+            return pairs.iter().map(|&(k, v)| self.insert(k, v)).collect();
+        }
+        let _g = self.collector.pin();
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut restarts = 0u64;
+        for group in pairs.chunks(GROUP) {
+            let mut st: [OpSt<'_, L>; GROUP] = std::array::from_fn(|_| OpSt::Start);
+            let mut attempts = [0u32; GROUP];
+            // Ops whose key already occurs earlier in this group run
+            // scalar, in order, after the group drains — preserving the
+            // in-order batch semantics. (Groups are sequential, so only
+            // intra-group duplicates can race.)
+            let mut deferred = [false; GROUP];
+            let mut pending = 0usize;
+            for (j, &(k, _)) in group.iter().enumerate() {
+                deferred[j] = group[..j].iter().any(|&(e, _)| e == k);
+                pending += usize::from(!deferred[j]);
+            }
+            while pending > 0 {
+                stats::record(Event::BatchPrefetchRound);
+                for (i, &(key, val)) in group.iter().enumerate() {
+                    if deferred[i] {
+                        continue;
+                    }
+                    if let OpSt::Done(_) = st[i] {
+                        continue;
+                    }
+                    let turn = match std::mem::replace(&mut st[i], OpSt::Start) {
+                        OpSt::Start => {
+                            if attempts[i] >= PIPELINE_ATTEMPTS {
+                                Turn::Next(OpSt::Done(self.insert_optimistic(key, val)))
+                            } else {
+                                self.in_start(key, val)
+                            }
+                        }
+                        OpSt::Enter {
+                            parent,
+                            child,
+                            depth,
+                        } => self.in_enter(key, val, parent, child, depth),
+                        OpSt::Kv {
+                            node,
+                            guard,
+                            child,
+                            byte,
+                            depth,
+                        } => self.in_kv(key, val, node, guard, child, byte, depth),
+                        OpSt::Done(_) => unreachable!(),
+                    };
+                    match turn {
+                        Turn::Next(next) => {
+                            if let OpSt::Done(_) = next {
+                                pending -= 1;
+                            }
+                            st[i] = next;
+                        }
+                        Turn::Restart => {
+                            attempts[i] += 1;
+                            restarts += 1;
+                            stats::record(Event::BatchOpRestart);
+                        }
+                    }
+                }
+            }
+            for (j, &(k, v)) in group.iter().enumerate() {
+                if deferred[j] {
+                    st[j] = OpSt::Done(self.insert_optimistic(k, v));
+                }
+            }
+            for s in st.iter().take(group.len()) {
+                match s {
+                    OpSt::Done(r) => out.push(*r),
+                    _ => unreachable!("pipeline drained with op not Done"),
+                }
+            }
+        }
+        let added = out.iter().filter(|r| r.is_none()).count();
+        if added > 0 {
+            self.size.fetch_add(added, Ordering::Relaxed);
+        }
+        self.index_stats.record_ops(pairs.len() as u64);
+        self.index_stats.record_restarts(restarts);
+        out
+    }
+
+    // --- lookup turns -----------------------------------------------------
+
+    /// First turn: guard the root (never replaced, always cache-hot) and
+    /// advance one level.
+    #[inline]
+    fn lk_start(&self, key: u64) -> Turn<'_, L> {
+        let node = self.root();
+        let Some(g) = OptimisticGuard::read(&node.lock) else {
+            return Turn::Restart;
+        };
+        self.lk_advance(key, node, g, 0)
+    }
+
+    /// Later turns: guard the prefetched child, validate the parent guard
+    /// behind it (the OLC coupling step), and advance one more level.
+    #[inline]
+    fn lk_enter<'t>(
+        &'t self,
+        key: u64,
+        parent: OptimisticGuard<'t, L>,
+        child: *mut ArtNode<L>,
+        depth: usize,
+    ) -> Turn<'t, L> {
+        let ci = unsafe { &*child };
+        let Some(cg) = OptimisticGuard::read(&ci.lock) else {
+            parent.abandon();
+            return Turn::Restart;
+        };
+        if !parent.validate() {
+            cg.abandon();
+            return Turn::Restart;
+        }
+        self.lk_advance(key, ci, cg, depth)
+    }
+
+    /// KV turn: the leaf line was prefetched last turn; read it and
+    /// validate the node it was found under.
+    #[inline]
+    fn lk_kv<'t>(
+        &self,
+        key: u64,
+        guard: OptimisticGuard<'t, L>,
+        child: *mut ArtNode<L>,
+    ) -> Turn<'t, L> {
+        let kv = unsafe { as_kv(child) };
+        let (k, val) = (kv.key, kv.value());
+        if !guard.validate() {
+            return Turn::Restart;
+        }
+        Turn::Next(OpSt::Done((k == key).then_some(val)))
+    }
+
+    /// One descent step at `(node, g, depth)`: mirrors one iteration of
+    /// the scalar `lookup` loop, but yields after prefetching the chosen
+    /// child instead of entering it.
+    #[inline]
+    fn lk_advance<'t>(
+        &self,
+        key: u64,
+        node: &'t ArtNode<L>,
+        g: OptimisticGuard<'t, L>,
+        mut depth: usize,
+    ) -> Turn<'t, L> {
+        let kb = key_bytes(key);
+        let pl = node.prefix_len();
+        if pl > 0 {
+            let m = node.prefix_match_len(&kb, depth);
+            if m < pl {
+                if !g.validate() {
+                    return Turn::Restart;
+                }
+                return Turn::Next(OpSt::Done(None));
+            }
+            depth += pl;
+        }
+        debug_assert!(depth < KEY_LEN);
+        let b = kb[depth];
+        let child = node.find_child(b);
+        if !g.recheck() {
+            g.abandon();
+            return Turn::Restart;
+        }
+        if child.is_null() {
+            if !g.validate() {
+                return Turn::Restart;
+            }
+            return Turn::Next(OpSt::Done(None));
+        }
+        prefetch_child(child);
+        if is_kv(child) {
+            return Turn::Next(OpSt::Kv {
+                node,
+                guard: g,
+                child,
+                byte: b,
+                depth,
+            });
+        }
+        Turn::Next(OpSt::Enter {
+            parent: g,
+            child,
+            depth: depth + 1,
+        })
+    }
+
+    // --- insert turns -----------------------------------------------------
+
+    /// First insert turn: guard the root and advance.
+    #[inline]
+    fn in_start(&self, key: u64, val: u64) -> Turn<'_, L> {
+        let node = self.root();
+        let Some(g) = OptimisticGuard::read(&node.lock) else {
+            return Turn::Restart;
+        };
+        self.in_advance(key, val, node, g, 0)
+    }
+
+    /// Later insert turns: guard the prefetched inner child, validate the
+    /// parent guard behind it, and advance. The parent validation is
+    /// load-bearing, not just the lookup protocol copied over: during the
+    /// yield since `find_child`, a prefix split may relocate the child one
+    /// level down and shorten its prefix — the child guard would then be
+    /// taken on the *post-split* version, so no later check would catch
+    /// the now-stale `depth`. Validating the parent pins the child's
+    /// position as of the moment its guard was acquired.
+    #[inline]
+    fn in_enter<'t>(
+        &'t self,
+        key: u64,
+        val: u64,
+        parent: OptimisticGuard<'t, L>,
+        child: *mut ArtNode<L>,
+        depth: usize,
+    ) -> Turn<'t, L> {
+        let ci = unsafe { &*child };
+        let Some(cg) = OptimisticGuard::read(&ci.lock) else {
+            parent.abandon();
+            return Turn::Restart;
+        };
+        if !parent.validate() {
+            cg.abandon();
+            return Turn::Restart;
+        }
+        self.in_advance(key, val, ci, cg, depth)
+    }
+
+    /// KV turn of an insert: overwrite on a key match, otherwise perform
+    /// the lazy-expansion split inline (it only needs the current node
+    /// exclusively, like the scalar path).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn in_kv<'t>(
+        &self,
+        key: u64,
+        val: u64,
+        node: &'t ArtNode<L>,
+        guard: OptimisticGuard<'t, L>,
+        child: *mut ArtNode<L>,
+        byte: u8,
+        depth: usize,
+    ) -> Turn<'t, L> {
+        let kv = unsafe { as_kv(child) };
+        if kv.key == key {
+            let Some(t) = guard.try_upgrade() else {
+                return Turn::Restart;
+            };
+            let old = kv.set_value(val);
+            node.lock.x_unlock(t);
+            return Turn::Next(OpSt::Done(Some(old)));
+        }
+        // Lazy-expansion split: push both keys below a fresh Node4.
+        let kb = key_bytes(key);
+        let okb = key_bytes(kv.key);
+        let mut d = depth + 1;
+        while d < KEY_LEN && okb[d] == kb[d] {
+            d += 1;
+        }
+        // A path-consistent KV leaf diverges above KEY_LEN; d == KEY_LEN
+        // means the captured state went stale (the guard would fail the
+        // upgrade below anyway) — restart instead of indexing past the key.
+        debug_assert!(d < KEY_LEN, "distinct keys must diverge");
+        if d >= KEY_LEN {
+            guard.abandon();
+            return Turn::Restart;
+        }
+        let Some(t) = guard.try_upgrade() else {
+            return Turn::Restart;
+        };
+        self.note_lazy_expansion();
+        let new4p = ArtNode::<L>::alloc(NodeType::N4);
+        let new4 = unsafe { &*new4p };
+        new4.set_prefix(&kb[depth + 1..d]);
+        new4.insert_child(okb[d], child);
+        new4.insert_child(kb[d], KvLeaf::alloc::<L>(key, val));
+        node.replace_child(byte, new4p);
+        node.lock.x_unlock(t);
+        Turn::Next(OpSt::Done(None))
+    }
+
+    /// One insert descent step. Cases needing the parent exclusively
+    /// (prefix split, node growth) complete on the scalar path; the
+    /// empty-slot insert happens inline on this already-prefetched node.
+    #[inline]
+    fn in_advance<'t>(
+        &self,
+        key: u64,
+        val: u64,
+        node: &'t ArtNode<L>,
+        g: OptimisticGuard<'t, L>,
+        mut depth: usize,
+    ) -> Turn<'t, L> {
+        let kb = key_bytes(key);
+        let pl = node.prefix_len();
+        if pl > 0 {
+            let m = node.prefix_match_len(&kb, depth);
+            if m < pl {
+                // Prefix split needs the parent held; scalar handles it.
+                g.abandon();
+                return Turn::Next(OpSt::Done(self.insert_optimistic(key, val)));
+            }
+            depth += pl;
+        }
+        debug_assert!(depth < KEY_LEN);
+        let b = kb[depth];
+        let child = node.find_child(b);
+        // Fill level read inside the validated window (see the scalar
+        // path for why it must precede the recheck).
+        let full = node.is_full();
+        if !g.recheck() {
+            g.abandon();
+            return Turn::Restart;
+        }
+        if child.is_null() {
+            if full {
+                // Growing replaces the node in its parent; scalar handles.
+                g.abandon();
+                return Turn::Next(OpSt::Done(self.insert_optimistic(key, val)));
+            }
+            let Some(t) = g.try_upgrade() else {
+                return Turn::Restart;
+            };
+            node.insert_child(b, KvLeaf::alloc::<L>(key, val));
+            node.lock.x_unlock(t);
+            return Turn::Next(OpSt::Done(None));
+        }
+        prefetch_child(child);
+        if is_kv(child) {
+            return Turn::Next(OpSt::Kv {
+                node,
+                guard: g,
+                child,
+                byte: b,
+                depth,
+            });
+        }
+        Turn::Next(OpSt::Enter {
+            parent: g,
+            child,
+            depth: depth + 1,
+        })
+    }
+}

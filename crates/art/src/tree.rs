@@ -86,10 +86,10 @@ fn sample(denominator: u32) -> bool {
 /// Adaptive radix tree keyed by `u64` with `u64` payloads.
 pub struct ArtTree<L: IndexLock> {
     root: *mut ArtNode<L>,
-    size: AtomicUsize,
-    collector: Collector,
+    pub(crate) size: AtomicUsize,
+    pub(crate) collector: Collector,
     stats: StatsInner,
-    index_stats: SharedIndexStats,
+    pub(crate) index_stats: SharedIndexStats,
     expansion_threshold: u32,
     sample_inv: u32,
 }
@@ -168,8 +168,15 @@ impl<L: IndexLock> ArtTree<L> {
     }
 
     #[inline]
-    fn root(&self) -> &ArtNode<L> {
+    pub(crate) fn root(&self) -> &ArtNode<L> {
         unsafe { &*self.root }
+    }
+
+    /// Count one lazy-expansion split (the batched engine performs them
+    /// inline, outside this module).
+    #[inline]
+    pub(crate) fn note_lazy_expansion(&self) {
+        self.count_stat(&self.stats.lazy_expansions);
     }
 
     /// Retire an inner node through the epoch collector.
@@ -191,6 +198,13 @@ impl<L: IndexLock> ArtTree<L> {
     /// Point lookup.
     pub fn lookup(&self, key: u64) -> Option<u64> {
         self.index_stats.record_op();
+        self.lookup_impl(key)
+    }
+
+    /// Lookup body without the per-op accounting: shared by the scalar
+    /// entry point and the batched engine's fallback path (which accounts
+    /// once per batch).
+    pub(crate) fn lookup_impl(&self, key: u64) -> Option<u64> {
         let kb = key_bytes(key);
         let _g = self.collector.pin();
         let mut rs = self.restart_loop();
@@ -359,6 +373,11 @@ impl<L: IndexLock> ArtTree<L> {
                 let Some(cv) = ci.lock.r_lock() else {
                     continue 'restart;
                 };
+                // OLC coupling: re-validate the parent after locking the
+                // child (see `insert_optimistic` for the relocation race).
+                if !node.lock.recheck(v) {
+                    continue 'restart;
+                }
                 parent = Some((node, v));
                 node = ci;
                 v = cv;
@@ -440,7 +459,7 @@ impl<L: IndexLock> ArtTree<L> {
         old
     }
 
-    fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
+    pub(crate) fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
         let kb = key_bytes(key);
         let g = self.collector.pin();
         let mut rs = self.restart_loop();
@@ -563,6 +582,14 @@ impl<L: IndexLock> ArtTree<L> {
                 let Some(cv) = ci.lock.r_lock() else {
                     continue 'restart;
                 };
+                // OLC coupling: re-validate the parent *after* locking the
+                // child. Between the recheck above and the child r_lock, a
+                // concurrent prefix split may relocate `ci` one level down
+                // (shortening its prefix); `cv` was read post-split, so
+                // nothing later would catch the stale `depth`.
+                if !node.lock.recheck(v) {
+                    continue 'restart;
+                }
                 parent = Some((node, v, b));
                 node = ci;
                 v = cv;
@@ -763,6 +790,14 @@ impl<L: IndexLock> ArtTree<L> {
                 let Some(cv) = ci.lock.r_lock() else {
                     continue 'restart;
                 };
+                // OLC coupling: re-validate the parent *after* locking the
+                // child. Between the recheck above and the child r_lock, a
+                // concurrent prefix split may relocate `ci` one level down
+                // (shortening its prefix); `cv` was read post-split, so
+                // nothing later would catch the stale `depth`.
+                if !node.lock.recheck(v) {
+                    continue 'restart;
+                }
                 parent = Some((node, v, b));
                 node = ci;
                 v = cv;

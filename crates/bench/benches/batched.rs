@@ -1,0 +1,147 @@
+//! Extension: batched lookups with software-pipelined group prefetch.
+//!
+//! A pointer-chasing descent stalls on one cache miss per level; the
+//! batched engines interleave up to 8 in-flight descents per group,
+//! prefetching each op's next node before yielding the core to the next
+//! op, so the misses overlap (memory-level parallelism). This target
+//! sweeps the batch size on uniform YCSB-C over both trees, plain and
+//! behind the sharded facade, and reports each point's speedup over the
+//! scalar `lookup` loop (`batch = 1`). The gain is per *thread* — it does
+//! not need concurrency to show up — and grows with the working set,
+//! since it only hides misses that actually occur; run with a large
+//! `OPTIQL_BENCH_KEYS` to push the tree past the last-level cache.
+//!
+//! A second series times `multi_insert` bulk-loading a fresh tree, where
+//! the same pipeline overlaps the descent misses ahead of each leaf
+//! write.
+
+use std::time::Instant;
+
+use optiql_bench::{banner, header, mops, r2, row_extra};
+use optiql_harness::{env, preload, run, ConcurrentIndex, KeyDist, Mix, WorkloadConfig};
+use optiql_sharded::ShardedIndex;
+
+const BATCHES: [usize; 5] = [1, 4, 8, 16, 32];
+
+/// Uniform YCSB-C through the workload driver at each batch size;
+/// returns Mops/s per point.
+fn lookup_sweep<I: ConcurrentIndex>(index: &I, series: &str, keys: u64) {
+    let threads = *env::thread_counts().last().unwrap();
+    preload(
+        index,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    let mut base = 0.0f64;
+    for batch in BATCHES {
+        let mut cfg = WorkloadConfig::new(threads, Mix::YCSB_C, KeyDist::Uniform, keys);
+        cfg.duration = env::duration();
+        cfg.sample_every = 0;
+        cfg.batch = batch;
+        let before = index.index_stats();
+        let (r, _) = run(index, &cfg);
+        let d = index.index_stats().since(&before);
+        let m = mops(r.throughput());
+        if batch == 1 {
+            base = m;
+        }
+        let speedup = if base > 0.0 { m / base } else { 0.0 };
+        row_extra(
+            "batched",
+            &format!("{series}/lookup"),
+            batch,
+            r2(m),
+            format!("{}x r/op={:.4}", r2(speedup), d.restarts_per_op()),
+        );
+    }
+    batch_event_note(series);
+}
+
+/// Bulk-load `keys` fresh pairs through `multi_insert` in chunks of
+/// `batch` (`1` = the scalar `insert` loop) into a tree built by `make`.
+fn insert_sweep<I: ConcurrentIndex>(make: impl Fn() -> I, series: &str, keys: u64) {
+    let pairs: Vec<(u64, u64)> = (0..keys).map(|k| (k, k.wrapping_add(1))).collect();
+    let mut base = 0.0f64;
+    for batch in BATCHES {
+        let index = make();
+        let t0 = Instant::now();
+        if batch == 1 {
+            for &(k, v) in &pairs {
+                index.insert(k, v);
+            }
+        } else {
+            for chunk in pairs.chunks(batch) {
+                index.multi_insert(chunk);
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(index.len() as u64, keys, "bulk load must insert every key");
+        let m = mops(keys as f64 / secs);
+        if batch == 1 {
+            base = m;
+        }
+        let speedup = if base > 0.0 { m / base } else { 0.0 };
+        row_extra(
+            "batched",
+            &format!("{series}/insert"),
+            batch,
+            r2(m),
+            format!("{}x", r2(speedup)),
+        );
+    }
+}
+
+/// With the `stats` feature on, print the batch-engine event counters
+/// accumulated so far (batches issued, in-batch restarts, pipeline
+/// rounds) as a comment row.
+fn batch_event_note(series: &str) {
+    if optiql_harness::stats::ENABLED {
+        use optiql_harness::stats::Event;
+        let s = optiql_harness::stats::snapshot();
+        println!(
+            "# {series}: batch_issued={} batch_op_restart={} batch_prefetch_round={}",
+            s.get(Event::BatchIssued),
+            s.get(Event::BatchOpRestart),
+            s.get(Event::BatchPrefetchRound),
+        );
+        optiql_harness::stats::reset();
+    }
+}
+
+fn main() {
+    banner(
+        "batched",
+        "Batched multi_lookup/multi_insert vs scalar, uniform YCSB-C, group prefetch",
+    );
+    header(&[
+        "figure",
+        "index/variant/op",
+        "batch",
+        "Mops/s",
+        "speedup restarts/op",
+    ]);
+    let keys = env::preload_keys();
+    let shards = optiql_sharded::DEFAULT_SHARDS;
+
+    let tree: optiql_btree::BTreeOptiQL = optiql_btree::BTreeOptiQL::new();
+    lookup_sweep(&tree, "B+-tree/OptiQL/plain", keys);
+    drop(tree);
+    let tree: ShardedIndex<optiql_btree::BTreeOptiQL> = ShardedIndex::new(shards);
+    lookup_sweep(&tree, &format!("B+-tree/OptiQL/sharded{shards}"), keys);
+    drop(tree);
+
+    let art: optiql_art::ArtOptiQL = optiql_art::ArtOptiQL::new();
+    lookup_sweep(&art, "ART/OptiQL/plain", keys);
+    drop(art);
+    let art: ShardedIndex<optiql_art::ArtOptiQL> = ShardedIndex::new(shards);
+    lookup_sweep(&art, &format!("ART/OptiQL/sharded{shards}"), keys);
+    drop(art);
+
+    // Bulk-load series: smaller key count (each point rebuilds the tree).
+    let load_keys = keys.min(2_000_000);
+    insert_sweep(
+        || -> optiql_btree::BTreeOptiQL { optiql_btree::BTreeOptiQL::new() },
+        "B+-tree/OptiQL/plain",
+        load_keys,
+    );
+    insert_sweep(optiql_art::ArtOptiQL::new, "ART/OptiQL/plain", load_keys);
+}

@@ -14,6 +14,9 @@ fn sweep<I: ConcurrentIndex>(index: &I, index_name: &str, lock_name: &str, keys:
         let mut cfg = WorkloadConfig::new(threads, mix, KeyDist::Zipfian { theta: 0.99 }, keys);
         cfg.duration = env::duration();
         cfg.sample_every = 0;
+        // OPTIQL_BENCH_BATCH > 1 routes the lookup share of every mix
+        // through the pipelined multi_lookup path.
+        cfg.batch = env::batch_size();
         let (r, _) = run(index, &cfg);
         row_extra(
             "ycsb",

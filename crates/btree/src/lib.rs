@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod multi;
 pub mod node;
 pub mod tree;
 

@@ -78,7 +78,7 @@ fn sorted_prefix_len(keys: &[AtomicU64], n: usize, pred: impl Fn(u64) -> bool) -
 /// version, so the fetch overlaps the validation instead of stalling the
 /// descent.
 #[inline(always)]
-fn prefetch_node(p: *const NodeBase) {
+pub(crate) fn prefetch_node(p: *const NodeBase) {
     #[cfg(target_arch = "x86_64")]
     // Safety: prefetch is a pure hint and is architecturally defined to
     // never fault, whatever the address points at.
@@ -86,6 +86,24 @@ fn prefetch_node(p: *const NodeBase) {
         use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
         _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
         _mm_prefetch::<_MM_HINT_T0>((p as *const i8).wrapping_add(64));
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Prefetch the *tail* of a node (lines 2 and 3 of a 256-byte node). The
+/// batched engine has a whole pipeline round between choosing a child and
+/// touching it, so it can afford to pull the entire node — key array tails
+/// and the value/child array — not just the header two lines that
+/// [`prefetch_node`] fetches on the latency-sensitive scalar path.
+#[inline(always)]
+pub(crate) fn prefetch_node_rest(p: *const NodeBase) {
+    #[cfg(target_arch = "x86_64")]
+    // Safety: as above — prefetch never faults.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>((p as *const i8).wrapping_add(128));
+        _mm_prefetch::<_MM_HINT_T0>((p as *const i8).wrapping_add(192));
     }
     #[cfg(not(target_arch = "x86_64"))]
     let _ = p;

@@ -77,11 +77,11 @@ pub struct TreeStats {
 /// `IC` is the inner-node child capacity, `LC` the leaf entry capacity; see
 /// [`crate::node_size`] for byte-size presets.
 pub struct BPlusTree<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> {
-    root: AtomicPtr<NodeBase>,
-    size: AtomicUsize,
-    collector: Collector,
+    pub(crate) root: AtomicPtr<NodeBase>,
+    pub(crate) size: AtomicUsize,
+    pub(crate) collector: Collector,
     stats: StatsInner,
-    index_stats: SharedIndexStats,
+    pub(crate) index_stats: SharedIndexStats,
     _locks: std::marker::PhantomData<(IL, LL)>,
 }
 
@@ -157,7 +157,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     }
 
     #[inline]
-    fn restart_loop(&self) -> RestartLoop<'_> {
+    pub(crate) fn restart_loop(&self) -> RestartLoop<'_> {
         RestartLoop::new(&self.index_stats, Event::IndexRestartBtree)
     }
 
@@ -169,7 +169,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     // --- lock-type dispatch on type-erased node pointers -----------------
 
     #[inline]
-    unsafe fn node_r_lock(&self, p: *mut NodeBase) -> Option<u64> {
+    pub(crate) unsafe fn node_r_lock(&self, p: *mut NodeBase) -> Option<u64> {
         unsafe {
             if is_leaf(p) {
                 as_leaf::<LL, LC>(p).lock.r_lock()
@@ -180,7 +180,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     }
 
     #[inline]
-    unsafe fn node_r_unlock(&self, p: *mut NodeBase, v: u64) -> bool {
+    pub(crate) unsafe fn node_r_unlock(&self, p: *mut NodeBase, v: u64) -> bool {
         unsafe {
             if is_leaf(p) {
                 as_leaf::<LL, LC>(p).lock.r_unlock(v)
@@ -193,7 +193,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// Release an abandoned read on a restart path. Free for optimistic
     /// locks; releases the shared lock for pessimistic ones.
     #[inline]
-    unsafe fn node_abandon(&self, p: *mut NodeBase, v: u64) {
+    pub(crate) unsafe fn node_abandon(&self, p: *mut NodeBase, v: u64) {
         if IL::PESSIMISTIC {
             unsafe {
                 self.node_r_unlock(p, v);
@@ -222,6 +222,13 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// Point lookup.
     pub fn lookup(&self, key: u64) -> Option<u64> {
         self.index_stats.record_op();
+        self.lookup_impl(key)
+    }
+
+    /// Lookup body without the per-op accounting: shared by the scalar
+    /// entry point and the batched engine's fallback path (which accounts
+    /// once per batch).
+    pub(crate) fn lookup_impl(&self, key: u64) -> Option<u64> {
         let mut rs = self.restart_loop();
         let _g = self.collector.pin();
         'restart: loop {
@@ -507,7 +514,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
         old
     }
 
-    fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
+    pub(crate) fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
         let mut rs = self.restart_loop();
         let _g = self.collector.pin();
         'restart: loop {

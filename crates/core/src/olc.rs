@@ -83,6 +83,22 @@ impl SharedIndexStats {
         self.ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count `n` completed index operations at once. Batched (`multi_*`)
+    /// entry points use this to amortize accounting to one atomic RMW per
+    /// batch instead of one per key.
+    #[inline]
+    pub fn record_ops(&self, n: u64) {
+        self.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` restarts at once. The pipelined batch engines track
+    /// restarts in a local counter while ops are in flight and publish the
+    /// total here when the batch drains.
+    #[inline]
+    pub fn record_restarts(&self, n: u64) {
+        self.restarts.fetch_add(n, Ordering::Relaxed);
+    }
+
     #[inline]
     fn record_restart(&self) {
         self.restarts.fetch_add(1, Ordering::Relaxed);

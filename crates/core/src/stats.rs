@@ -63,10 +63,19 @@ pub enum Event {
     IndexRestartArt,
     /// A queue-node allocation found the 1024-node pool exhausted.
     QnodeExhausted,
+    /// A batched (`multi_*`) index call was issued (one event per batch,
+    /// regardless of batch size).
+    BatchIssued,
+    /// One in-flight operation of a pipelined batch restarted from the
+    /// root (failed validation / admission / upgrade).
+    BatchOpRestart,
+    /// One round-robin pass over a pipeline group (each pending op
+    /// advanced one step, prefetching its next node before yielding).
+    BatchPrefetchRound,
 }
 
 /// Number of distinct [`Event`] kinds.
-pub const EVENT_COUNT: usize = 14;
+pub const EVENT_COUNT: usize = 17;
 
 /// Every event, in counter-index order (for iteration / display).
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
@@ -84,6 +93,9 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::IndexRestartBtree,
     Event::IndexRestartArt,
     Event::QnodeExhausted,
+    Event::BatchIssued,
+    Event::BatchOpRestart,
+    Event::BatchPrefetchRound,
 ];
 
 impl Event {
@@ -104,6 +116,9 @@ impl Event {
             Event::IndexRestartBtree => "btree_restart",
             Event::IndexRestartArt => "art_restart",
             Event::QnodeExhausted => "qnode_exhausted",
+            Event::BatchIssued => "batch_issued",
+            Event::BatchOpRestart => "batch_op_restart",
+            Event::BatchPrefetchRound => "batch_prefetch_round",
         }
     }
 }

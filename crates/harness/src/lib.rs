@@ -97,6 +97,13 @@ pub mod env {
     pub fn preload_keys() -> u64 {
         var_u64("OPTIQL_BENCH_KEYS").unwrap_or(if full() { 10_000_000 } else { 1_000_000 })
     }
+
+    /// Lookups per batched call for the YCSB workload benches. Default 1
+    /// (scalar); override with `OPTIQL_BENCH_BATCH` to route the lookup
+    /// share of the mix through `multi_lookup`.
+    pub fn batch_size() -> usize {
+        var_u64("OPTIQL_BENCH_BATCH").unwrap_or(1).max(1) as usize
+    }
 }
 
 #[cfg(test)]

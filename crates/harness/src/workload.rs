@@ -122,6 +122,12 @@ pub struct WorkloadConfig {
     pub preload: u64,
     /// Record one latency sample every `n` operations (0 disables).
     pub sample_every: u32,
+    /// Lookups per batched call. `1` (the default) issues scalar
+    /// `lookup`s; larger values collect `batch` sampled keys and issue
+    /// one `multi_lookup`, exercising the pipelined descent engines.
+    /// Only the lookup share of the mix is batched — write ops stay
+    /// scalar.
+    pub batch: usize,
 }
 
 impl WorkloadConfig {
@@ -136,6 +142,7 @@ impl WorkloadConfig {
             keyspace: KeySpace::Dense,
             preload,
             sample_every: 64,
+            batch: 1,
         }
     }
 }
@@ -207,6 +214,7 @@ pub fn run<I: ConcurrentIndex>(index: &I, cfg: &WorkloadConfig) -> (WorkloadResu
                     let mut next_insert =
                         cfg.preload + tid as u64 * (u64::MAX / 1024 / cfg.threads as u64);
                     let mut op_counter = 0u32;
+                    let mut batch_buf: Vec<u64> = Vec::with_capacity(cfg.batch.max(1));
                     barrier.wait();
                     while !stop.load(Ordering::Relaxed) {
                         let die = rng.random_range(0..100);
@@ -216,11 +224,22 @@ pub fn run<I: ConcurrentIndex>(index: &I, cfg: &WorkloadConfig) -> (WorkloadResu
                         };
                         let t0 = sample_this.then(Instant::now);
                         if die < cfg.mix.lookup {
-                            let k = cfg.keyspace.key(sampler.sample(&mut rng));
-                            if index.lookup(k).is_some() {
-                                out.lookup_hits += 1;
+                            if cfg.batch > 1 {
+                                batch_buf.clear();
+                                for _ in 0..cfg.batch {
+                                    batch_buf.push(cfg.keyspace.key(sampler.sample(&mut rng)));
+                                }
+                                let res = index.multi_lookup(&batch_buf);
+                                out.lookup_hits +=
+                                    res.iter().filter(|r| r.is_some()).count() as u64;
+                                out.lookups += cfg.batch as u64;
+                            } else {
+                                let k = cfg.keyspace.key(sampler.sample(&mut rng));
+                                if index.lookup(k).is_some() {
+                                    out.lookup_hits += 1;
+                                }
+                                out.lookups += 1;
                             }
-                            out.lookups += 1;
                         } else if die < cfg.mix.lookup + cfg.mix.update {
                             let k = cfg.keyspace.key(sampler.sample(&mut rng));
                             index.update(k, rng.random());
@@ -343,6 +362,30 @@ mod tests {
         preload(&art, &cfg);
         let (r, _) = run(&art, &cfg);
         assert!(r.updates > 0);
+        art.check_invariants();
+    }
+
+    #[test]
+    fn batched_read_only_workload_hits_every_lookup() {
+        let tree: BTreeOptiQL = BTreeOptiQL::new();
+        let mut cfg = quick_cfg(Mix::READ_ONLY);
+        cfg.batch = 8;
+        preload(&tree, &cfg);
+        let (r, _) = run(&tree, &cfg);
+        assert!(r.lookups > 0);
+        assert_eq!(r.lookups % 8, 0, "lookups counted in whole batches");
+        assert_eq!(r.lookups, r.lookup_hits, "dense preload: all hits");
+    }
+
+    #[test]
+    fn batched_lookups_mix_with_scalar_writes_on_art() {
+        let art: ArtOptiQL = ArtOptiQL::new();
+        let mut cfg = quick_cfg(Mix::READ_HEAVY);
+        cfg.batch = 16;
+        preload(&art, &cfg);
+        let (r, _) = run(&art, &cfg);
+        assert!(r.lookups > 0 && r.updates > 0);
+        assert_eq!(r.lookups, r.lookup_hits);
         art.check_invariants();
     }
 

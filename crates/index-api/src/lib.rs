@@ -66,6 +66,29 @@ pub trait ConcurrentIndex: Send + Sync {
     fn index_stats(&self) -> IndexStats {
         IndexStats::default()
     }
+
+    /// Batched point lookups: `result[i] == self.lookup(keys[i])`, order
+    /// preserved.
+    ///
+    /// The default is a scalar loop, so every implementation keeps
+    /// working; the paper indexes override it with a software-pipelined
+    /// descent that interleaves ~8 lookups round-robin, prefetching each
+    /// op's next node before switching to the others, so one batch keeps
+    /// several cache misses outstanding (memory-level parallelism).
+    fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        keys.iter().map(|&k| self.lookup(k)).collect()
+    }
+
+    /// Batched inserts, equivalent to applying `pairs` **in order**:
+    /// `result[i]` is what `self.insert(pairs[i].0, pairs[i].1)` would
+    /// have returned at that point in the sequence (so a duplicate key
+    /// later in the batch sees the value written earlier in the batch).
+    ///
+    /// Default is a scalar loop; pipelined overrides must preserve the
+    /// in-order semantics.
+    fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+        pairs.iter().map(|&(k, v)| self.insert(k, v)).collect()
+    }
 }
 
 /// Implement [`ConcurrentIndex`] for an index type by delegating to its
@@ -112,6 +135,14 @@ macro_rules! impl_concurrent_index {
             #[inline]
             fn index_stats(&self) -> $crate::IndexStats {
                 <$ty>::index_stats(self)
+            }
+            #[inline]
+            fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+                <$ty>::multi_lookup(self, keys)
+            }
+            #[inline]
+            fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+                <$ty>::multi_insert(self, pairs)
             }
         }
     };
@@ -193,6 +224,18 @@ mod tests {
         assert_eq!(m.remove(1), Some(11));
         assert_eq!(m.remove(1), None);
         assert_eq!(m.index_stats(), IndexStats::default());
+    }
+
+    #[test]
+    fn default_multi_methods_match_scalar_semantics() {
+        let m = ModelIndex::new();
+        // Duplicate key within the batch: the second insert must observe
+        // the first one's value, and the lookup batch must be ordered.
+        let inserted = m.multi_insert(&[(1, 10), (2, 20), (1, 11)]);
+        assert_eq!(inserted, vec![None, None, Some(10)]);
+        let got = m.multi_lookup(&[2, 9, 1, 1]);
+        assert_eq!(got, vec![Some(20), None, Some(11), Some(11)]);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

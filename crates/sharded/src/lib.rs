@@ -138,6 +138,61 @@ impl<I: ConcurrentIndex> ConcurrentIndex for ShardedIndex<I> {
         }
         total
     }
+    /// Partition the batch by shard, dispatch one sub-batch per shard (so
+    /// each shard's pipelined engine sees a dense batch), and scatter the
+    /// results back to their original positions.
+    fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        if self.shards.len() == 1 {
+            return self.shards[0].multi_lookup(keys);
+        }
+        let n = self.shards.len();
+        let mut sub: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut pos: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &k) in keys.iter().enumerate() {
+            let s = self.shard_of(k);
+            sub[s].push(k);
+            pos[s].push(i);
+        }
+        let mut out = vec![None; keys.len()];
+        for (s, shard) in self.shards.iter().enumerate() {
+            if sub[s].is_empty() {
+                continue;
+            }
+            let res = shard.multi_lookup(&sub[s]);
+            for (&i, r) in pos[s].iter().zip(res) {
+                out[i] = r;
+            }
+        }
+        out
+    }
+    /// As [`multi_lookup`](ConcurrentIndex::multi_lookup), for inserts.
+    /// Order within each shard's sub-batch follows batch order, and equal
+    /// keys always hash to the same shard, so the in-order semantics of
+    /// duplicate keys are preserved across the partition.
+    fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+        if self.shards.len() == 1 {
+            return self.shards[0].multi_insert(pairs);
+        }
+        let n = self.shards.len();
+        let mut sub: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+        let mut pos: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &(k, v)) in pairs.iter().enumerate() {
+            let s = self.shard_of(k);
+            sub[s].push((k, v));
+            pos[s].push(i);
+        }
+        let mut out = vec![None; pairs.len()];
+        for (s, shard) in self.shards.iter().enumerate() {
+            if sub[s].is_empty() {
+                continue;
+            }
+            let res = shard.multi_insert(&sub[s]);
+            for (&i, r) in pos[s].iter().zip(res) {
+                out[i] = r;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +271,23 @@ mod tests {
         assert_eq!(s.scan_count(0, 17), 17, "limit caps the merged count");
         assert_eq!(s.scan_count(90, 1_000), 10);
         assert_eq!(s.scan_count(100, 1_000), 0);
+    }
+
+    #[test]
+    fn multi_ops_preserve_batch_order_across_shards() {
+        let s: ShardedIndex<ModelIndex> = ShardedIndex::new(4);
+        let pairs: Vec<(u64, u64)> = (0..100u64).map(|k| (k, k + 1)).collect();
+        assert!(s.multi_insert(&pairs).iter().all(|r| r.is_none()));
+        // Overwrite batch with an intra-batch duplicate: the second write
+        // to key 7 must observe the first one's value.
+        let got = s.multi_insert(&[(7, 70), (7, 71), (200, 1)]);
+        assert_eq!(got, vec![Some(8), Some(70), None]);
+        let keys: Vec<u64> = vec![99, 7, 200, 7, 1_000, 0];
+        assert_eq!(
+            s.multi_lookup(&keys),
+            vec![Some(100), Some(71), Some(1), Some(71), None, Some(1)]
+        );
+        assert_eq!(s.len(), 101);
     }
 
     #[test]
