@@ -375,6 +375,7 @@ impl<L: IndexLock> ArtTree<L> {
                 };
                 // OLC coupling: re-validate the parent after locking the
                 // child (see `insert_optimistic` for the relocation race).
+                #[cfg(not(feature = "bug-pr4-revert"))]
                 if !node.lock.recheck(v) {
                     continue 'restart;
                 }
@@ -587,6 +588,7 @@ impl<L: IndexLock> ArtTree<L> {
                 // concurrent prefix split may relocate `ci` one level down
                 // (shortening its prefix); `cv` was read post-split, so
                 // nothing later would catch the stale `depth`.
+                #[cfg(not(feature = "bug-pr4-revert"))]
                 if !node.lock.recheck(v) {
                     continue 'restart;
                 }
@@ -795,6 +797,7 @@ impl<L: IndexLock> ArtTree<L> {
                 // concurrent prefix split may relocate `ci` one level down
                 // (shortening its prefix); `cv` was read post-split, so
                 // nothing later would catch the stale `depth`.
+                #[cfg(not(feature = "bug-pr4-revert"))]
                 if !node.lock.recheck(v) {
                     continue 'restart;
                 }
@@ -955,6 +958,9 @@ impl<L: IndexLock> ArtTree<L> {
             // or growth) and `depth` is no longer its effective depth.
             if let Some((pn, pv)) = parent {
                 if !pn.lock.recheck(pv) {
+                    if L::PESSIMISTIC {
+                        node.lock.r_unlock(ver);
+                    }
                     return false;
                 }
             }
@@ -979,19 +985,26 @@ impl<L: IndexLock> ArtTree<L> {
             if !node.lock.recheck(ver) {
                 continue;
             }
+            // Pessimistic r_lock takes a real shared hold (and a queue
+            // node); every exit below must pair it with r_unlock or the
+            // next writer blocks forever. Optimistic locks hold nothing —
+            // their validation stays recheck-based.
             match (bounded, prefix_cmp) {
-                (true, std::cmp::Ordering::Less) => return true, // whole subtree < start
+                (true, std::cmp::Ordering::Less) => {
+                    // Whole subtree < start.
+                    if L::PESSIMISTIC {
+                        node.lock.r_unlock(ver);
+                    }
+                    return true;
+                }
                 (true, std::cmp::Ordering::Greater) => {
                     // Whole subtree > start: collect unbounded.
-                    return self.scan_children(
-                        &kids,
-                        sb,
-                        depth + pl,
-                        false,
-                        limit,
-                        out,
-                        (node, ver),
-                    );
+                    let ok =
+                        self.scan_children(&kids, sb, depth + pl, false, limit, out, (node, ver));
+                    if L::PESSIMISTIC {
+                        node.lock.r_unlock(ver);
+                    }
+                    return ok;
                 }
                 _ => {
                     let next_depth = depth + pl;
@@ -1021,6 +1034,9 @@ impl<L: IndexLock> ArtTree<L> {
                         if !ok {
                             break;
                         }
+                    }
+                    if L::PESSIMISTIC {
+                        node.lock.r_unlock(ver);
                     }
                     return ok;
                 }

@@ -802,8 +802,11 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
         let mut out = Vec::with_capacity(limit.min(1024));
         let mut from = start;
         let _g = self.collector.pin();
+        let mut rs = self.restart_loop();
         while out.len() < limit {
-            let mut rs = self.restart_loop();
+            // Fresh ladder per leaf: a restart storm on one leaf must not
+            // leave the loop escalated for the rest of the range.
+            rs.reset();
             let mut batch = Vec::new();
             // Descend to the leaf containing `from`, remembering the
             // tightest upper separator on the path.

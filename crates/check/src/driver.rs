@@ -1,0 +1,555 @@
+//! The sweep driver: every lock, every index, one seeded harness.
+//!
+//! A [`Target`] is a named constructor for some [`ConcurrentIndex`]
+//! under test. [`targets`] enumerates the full matrix:
+//!
+//! * both trees (tiny-node B+-tree and ART) under each of the nine
+//!   [`IndexLock`](optiql::IndexLock) implementations,
+//! * [`OptRegister`] under the same nine (isolating the lock protocol
+//!   from tree structure),
+//! * [`LockRegister`] under the five writer-only locks (MCS, TTS,
+//!   TTS-Backoff, Ticket, Ticket-Split),
+//! * the sharded facade, and the batched `multi_*` paths.
+//!
+//! [`run_target`] runs one `(target, seed)` cell: workers execute
+//! deterministic op scripts derived from `(seed, worker slot)` through a
+//! [`ThreadRecorder`]-over-[`ChaosIndex`] stack while the seeded chaos
+//! layer perturbs lock-level schedules; the merged history then goes to
+//! the Wing–Gong checker. Everything a run did is reconstructible from
+//! its seed — [`Failure`] carries exactly that, and [`sweep`] re-runs a
+//! failing seed verbatim to demonstrate replay.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use optiql_index_api::ConcurrentIndex;
+
+use crate::chaos::ChaosIndex;
+use crate::history::{Recorder, ThreadRecorder};
+use crate::linearize::{check_logs, CheckSummary, Violation};
+use crate::register::{LockRegister, OptRegister};
+
+/// Key capacity of the register targets; sweeps must keep
+/// `key_space <= REGISTER_CAP`.
+pub const REGISTER_CAP: usize = 4096;
+
+/// Workload shape for one run. The same config + seed reproduces the
+/// same per-worker op scripts and the same chaos schedule.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations issued per worker.
+    pub ops_per_thread: usize,
+    /// Keys are drawn uniformly from `0..key_space`. Sized so per-key
+    /// histories stay far below [`crate::linearize::MAX_OPS_PER_KEY`].
+    pub key_space: u64,
+    /// Spread each drawn key's bits across byte positions (see
+    /// [`spread_key`]) so the ART sees a sparse multi-level radix
+    /// structure whose compressed prefixes split and collapse
+    /// continuously, instead of a dense last-byte-only cluster that goes
+    /// structurally quiet after warmup.
+    pub clustered: bool,
+    /// Enable the seeded chaos layer (disable to measure the recorder
+    /// alone or to bisect whether a failure needs perturbation).
+    pub chaos: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            threads: 4,
+            ops_per_thread: 1000,
+            key_space: 128,
+            clustered: false,
+            chaos: true,
+        }
+    }
+}
+
+/// One named index-under-test.
+pub struct Target {
+    /// Stable name, usable with the CLI's `--target` substring filter.
+    pub name: &'static str,
+    /// Coarse family: `btree`, `art`, `optreg`, `lockreg`, `sharded`,
+    /// `batched`.
+    pub group: &'static str,
+    /// Batch size for `multi_*` issue; 1 means scalar ops.
+    pub batch: usize,
+    make: fn() -> Arc<dyn ConcurrentIndex>,
+}
+
+impl Target {
+    /// Construct a fresh instance of the index under test.
+    pub fn build(&self) -> Arc<dyn ConcurrentIndex> {
+        (self.make)()
+    }
+}
+
+// Tiny nodes (fanout 4) keep structural modifications constant under the
+// small checkable keyspace: 128 keys split a 4-entry leaf tree dozens of
+// levels-and-times over, which is the whole point.
+type TinyTree<IL, LL> = optiql_btree::BPlusTree<IL, LL, 4, 4>;
+
+fn mk_btree<LL: optiql::IndexLock>() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(TinyTree::<optiql::OptLock, LL>::new())
+}
+fn mk_btree_pess<L: optiql::IndexLock>() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(TinyTree::<L, L>::new())
+}
+fn mk_art<L: optiql::IndexLock>() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(optiql_art::ArtTree::<L>::new())
+}
+fn mk_optreg<L: optiql::IndexLock>() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(OptRegister::<L>::new(REGISTER_CAP))
+}
+fn mk_lockreg<L: optiql::ExclusiveLock>() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(LockRegister::<L>::new(REGISTER_CAP))
+}
+fn mk_sharded_btree() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(optiql_sharded::ShardedIndex::with_shards(4, |_| {
+        TinyTree::<optiql::OptLock, optiql::OptiQL>::new()
+    }))
+}
+fn mk_sharded_art() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(optiql_sharded::ShardedIndex::with_shards(4, |_| {
+        optiql_art::ArtTree::<optiql::OptiQL>::new()
+    }))
+}
+
+/// The full target matrix.
+pub fn targets() -> Vec<Target> {
+    macro_rules! t {
+        ($name:literal, $group:literal, $batch:expr, $make:expr) => {
+            Target {
+                name: $name,
+                group: $group,
+                batch: $batch,
+                make: $make,
+            }
+        };
+    }
+    use ::optiql::*;
+    vec![
+        // B+-tree: each optimistic leaf lock over OptLock inners, plus
+        // the two pessimistic all-the-way-down configurations.
+        t!("btree-optlock", "btree", 1, mk_btree::<OptLock>),
+        t!(
+            "btree-optlock-backoff",
+            "btree",
+            1,
+            mk_btree::<OptLockBackoff>
+        ),
+        t!("btree-optiql", "btree", 1, mk_btree::<OptiQL>),
+        t!("btree-optiql-nor", "btree", 1, mk_btree::<OptiQLNor>),
+        t!("btree-optiql-aor", "btree", 1, mk_btree::<OptiQLAor>),
+        t!("btree-opticlh", "btree", 1, mk_btree::<OptiCLH>),
+        t!("btree-opticlh-nor", "btree", 1, mk_btree::<OptiCLHNor>),
+        t!("btree-mcs-rw", "btree", 1, mk_btree_pess::<McsRwLock>),
+        t!("btree-pthread", "btree", 1, mk_btree_pess::<PthreadRwLock>),
+        // ART under all nine index locks.
+        t!("art-optlock", "art", 1, mk_art::<OptLock>),
+        t!("art-optlock-backoff", "art", 1, mk_art::<OptLockBackoff>),
+        t!("art-optiql", "art", 1, mk_art::<OptiQL>),
+        t!("art-optiql-nor", "art", 1, mk_art::<OptiQLNor>),
+        t!("art-optiql-aor", "art", 1, mk_art::<OptiQLAor>),
+        t!("art-opticlh", "art", 1, mk_art::<OptiCLH>),
+        t!("art-opticlh-nor", "art", 1, mk_art::<OptiCLHNor>),
+        t!("art-mcs-rw", "art", 1, mk_art::<McsRwLock>),
+        t!("art-pthread", "art", 1, mk_art::<PthreadRwLock>),
+        // Register arrays: the lock protocol in isolation.
+        t!("optreg-optlock", "optreg", 1, mk_optreg::<OptLock>),
+        t!(
+            "optreg-optlock-backoff",
+            "optreg",
+            1,
+            mk_optreg::<OptLockBackoff>
+        ),
+        t!("optreg-optiql", "optreg", 1, mk_optreg::<OptiQL>),
+        t!("optreg-optiql-nor", "optreg", 1, mk_optreg::<OptiQLNor>),
+        t!("optreg-optiql-aor", "optreg", 1, mk_optreg::<OptiQLAor>),
+        t!("optreg-opticlh", "optreg", 1, mk_optreg::<OptiCLH>),
+        t!("optreg-opticlh-nor", "optreg", 1, mk_optreg::<OptiCLHNor>),
+        t!("optreg-mcs-rw", "optreg", 1, mk_optreg::<McsRwLock>),
+        t!("optreg-pthread", "optreg", 1, mk_optreg::<PthreadRwLock>),
+        // Writer-only locks, reachable by no index: register arrays make
+        // "every lock" literal.
+        t!("lockreg-mcs", "lockreg", 1, mk_lockreg::<McsLock>),
+        t!("lockreg-tts", "lockreg", 1, mk_lockreg::<TtsLock>),
+        t!(
+            "lockreg-tts-backoff",
+            "lockreg",
+            1,
+            mk_lockreg::<TtsBackoff>
+        ),
+        t!("lockreg-ticket", "lockreg", 1, mk_lockreg::<TicketLock>),
+        t!(
+            "lockreg-ticket-split",
+            "lockreg",
+            1,
+            mk_lockreg::<TicketLockSplit>
+        ),
+        // The sharded facade over both trees.
+        t!("sharded-btree-optiql", "sharded", 1, mk_sharded_btree),
+        t!("sharded-art-optiql", "sharded", 1, mk_sharded_art),
+        // Batched multi_* paths (group prefetch pipeline).
+        t!("batched-btree-optiql", "batched", 8, mk_btree::<OptiQL>),
+        t!("batched-art-optiql", "batched", 8, mk_art::<OptiQL>),
+        t!("batched-sharded-btree", "batched", 8, mk_sharded_btree),
+    ]
+}
+
+/// A failed `(target, seed)` cell: everything needed to replay it.
+#[derive(Debug)]
+pub struct Failure {
+    /// Name of the failing target.
+    pub target: &'static str,
+    /// Seed of the failing run.
+    pub seed: u64,
+    /// Config of the failing run.
+    pub cfg: CheckConfig,
+    /// The checker's counterexample.
+    pub violation: Box<Violation>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "FAIL {} seed={} (threads={} ops={} keys={} clustered={} chaos={})",
+            self.target,
+            self.seed,
+            self.cfg.threads,
+            self.cfg.ops_per_thread,
+            self.cfg.key_space,
+            self.cfg.clustered,
+            self.cfg.chaos,
+        )?;
+        write!(f, "{}", self.violation)?;
+        write!(
+            f,
+            "replay: cargo run -p optiql-check -- --target {} --seed {} \
+             --threads {} --ops {} --keys {}{}{}",
+            self.target,
+            self.seed,
+            self.cfg.threads,
+            self.cfg.ops_per_thread,
+            self.cfg.key_space,
+            if self.cfg.clustered {
+                " --clustered"
+            } else {
+                ""
+            },
+            if self.cfg.chaos { "" } else { " --no-chaos" },
+        )
+    }
+}
+
+/// A passed `(target, seed)` cell.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Checker aggregates for the run.
+    pub summary: CheckSummary,
+    /// Total ticks the recorder issued (2 per recorded event).
+    pub ticks: u64,
+}
+
+// The chaos configuration is process-global (one seed, one generation),
+// so concurrent run_target calls — e.g. `cargo test` running two
+// #[test]s in parallel — would perturb each other's schedules and break
+// seed determinism. One run at a time, process-wide.
+static RUN_GATE: Mutex<()> = Mutex::new(());
+
+/// Injectively spread `k`'s bits two-per-byte across the key's byte
+/// positions, producing a sparse radix-4 trie shape: 128 dense indices
+/// become keys diverging at bytes 7, 6, 5 and 4 of the big-endian
+/// encoding. Under a mixed insert/remove workload the ART's compressed
+/// paths for these keys split and collapse continuously — the structural
+/// churn the dense mapping (divergence only in the last byte) settles
+/// out of after warmup.
+pub fn spread_key(k: u64) -> u64 {
+    let mut key = 0u64;
+    for byte in 0..8 {
+        key |= ((k >> (2 * byte)) & 0x3) << (8 * byte);
+    }
+    key
+}
+
+/// SplitMix64: the workload generator's only randomness. Deterministic
+/// per `(seed, worker slot)`, independent of thread interleaving.
+#[inline]
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One worker's deterministic op script: ~40% lookups, ~30% inserts,
+/// ~15% updates, ~14% removes, ~1% scans, with `multi_*` buffering when
+/// `batch > 1`. Values are globally unique (`slot << 40 | op index`) so
+/// the checker can distinguish every write.
+fn run_script<I: ConcurrentIndex>(ix: &I, slot: usize, seed: u64, batch: usize, cfg: &CheckConfig) {
+    let mut state =
+        seed ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    let mut lookups: Vec<u64> = Vec::new();
+    let mut inserts: Vec<(u64, u64)> = Vec::new();
+    for i in 0..cfg.ops_per_thread {
+        let r = splitmix(&mut state);
+        let mut key = (r >> 32) % cfg.key_space;
+        if cfg.clustered {
+            key = spread_key(key);
+        }
+        let v = ((slot as u64) << 40) | i as u64;
+        match r % 100 {
+            0..=39 => {
+                if batch > 1 {
+                    lookups.push(key);
+                    if lookups.len() >= batch {
+                        ix.multi_lookup(&lookups);
+                        lookups.clear();
+                    }
+                } else {
+                    ix.lookup(key);
+                }
+            }
+            40..=69 => {
+                if batch > 1 {
+                    inserts.push((key, v));
+                    if inserts.len() >= batch {
+                        ix.multi_insert(&inserts);
+                        inserts.clear();
+                    }
+                } else {
+                    ix.insert(key, v);
+                }
+            }
+            70..=84 => {
+                ix.update(key, v);
+            }
+            85..=98 => {
+                ix.remove(key);
+            }
+            _ => {
+                // Unrecorded; exercises range traversal concurrently
+                // with structural modifications, and perturbs timing.
+                ix.scan_count(key, 8);
+            }
+        }
+    }
+    if !lookups.is_empty() {
+        ix.multi_lookup(&lookups);
+    }
+    if !inserts.is_empty() {
+        ix.multi_insert(&inserts);
+    }
+}
+
+/// Run one `(target, seed)` cell and check the history it records.
+pub fn run_target(t: &Target, seed: u64, cfg: &CheckConfig) -> Result<RunReport, Failure> {
+    assert!(cfg.threads >= 1, "need at least one worker");
+    assert!(
+        cfg.key_space >= 1 && cfg.key_space as usize <= REGISTER_CAP,
+        "key_space must be in 1..={REGISTER_CAP}"
+    );
+    assert!(
+        !cfg.clustered || cfg.key_space <= 1 << 16,
+        "spread_key covers 16 index bits"
+    );
+    let _gate = RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    if cfg.chaos {
+        crate::chaos::configure(seed);
+    } else {
+        crate::chaos::disable();
+    }
+
+    // Spread keys overflow the register targets' direct-mapped capacity;
+    // clustering only changes radix structure anyway, which registers
+    // don't have. Dense keys there, deterministically.
+    let cfg = CheckConfig {
+        clustered: cfg.clustered && !matches!(t.group, "optreg" | "lockreg"),
+        ..cfg.clone()
+    };
+    let cfg = &cfg;
+
+    let index = t.build();
+    let chaosed = Arc::new(ChaosIndex::new(index));
+    let recorder = Recorder::new();
+    let barrier = Arc::new(Barrier::new(cfg.threads));
+
+    let logs: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|slot| {
+                let chaosed = Arc::clone(&chaosed);
+                let recorder = Arc::clone(&recorder);
+                let barrier = Arc::clone(&barrier);
+                let batch = t.batch;
+                s.spawn(move || {
+                    crate::chaos::register_thread(slot as u64);
+                    let tr = ThreadRecorder::new(chaosed, recorder, slot as u32);
+                    barrier.wait();
+                    run_script(&tr, slot, seed, batch, cfg);
+                    tr.into_log()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    crate::chaos::disable();
+    let ticks = recorder.now();
+    match check_logs(logs) {
+        Ok(summary) => Ok(RunReport { summary, ticks }),
+        Err(violation) => Err(Failure {
+            target: t.name,
+            seed,
+            cfg: cfg.clone(),
+            violation,
+        }),
+    }
+}
+
+/// Sweep `targets × seeds`. On a failure, the failing seed is re-run
+/// verbatim (same target, same seed, same config) to demonstrate
+/// deterministic replay; both the original and the replay outcome are
+/// reported through `progress`.
+///
+/// Returns all failures (original runs only — replays are advisory).
+pub fn sweep(
+    targets: &[Target],
+    seeds: &[u64],
+    cfg: &CheckConfig,
+    mut progress: impl FnMut(SweepEvent<'_>),
+) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    for t in targets {
+        for &seed in seeds {
+            match run_target(t, seed, cfg) {
+                Ok(report) => progress(SweepEvent::Pass {
+                    target: t.name,
+                    seed,
+                    report,
+                }),
+                Err(failure) => {
+                    progress(SweepEvent::Fail { failure: &failure });
+                    let replay = run_target(t, seed, cfg);
+                    progress(SweepEvent::Replay {
+                        target: t.name,
+                        seed,
+                        reproduced: replay.is_err(),
+                    });
+                    failures.push(failure);
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Progress callbacks from [`sweep`].
+pub enum SweepEvent<'a> {
+    /// A cell passed.
+    Pass {
+        /// Target name.
+        target: &'static str,
+        /// Seed checked.
+        seed: u64,
+        /// Checker aggregates.
+        report: RunReport,
+    },
+    /// A cell failed; the violation is attached.
+    Fail {
+        /// The failure (also returned from [`sweep`]).
+        failure: &'a Failure,
+    },
+    /// The verbatim re-run of a failing cell finished.
+    Replay {
+        /// Target name.
+        target: &'static str,
+        /// Seed replayed.
+        seed: u64,
+        /// Whether the replay failed again.
+        reproduced: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_names_are_unique_and_groups_known() {
+        let ts = targets();
+        let mut names: Vec<&str> = ts.iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ts.len(), "duplicate target name");
+        for t in &ts {
+            assert!(
+                ["btree", "art", "optreg", "lockreg", "sharded", "batched"].contains(&t.group),
+                "unknown group {} on {}",
+                t.group,
+                t.name
+            );
+            assert!(t.batch >= 1);
+        }
+        // "All ten locks": 9 index locks + 5 writer-only locks appear.
+        assert_eq!(ts.iter().filter(|t| t.group == "btree").count(), 9);
+        assert_eq!(ts.iter().filter(|t| t.group == "art").count(), 9);
+        assert_eq!(ts.iter().filter(|t| t.group == "optreg").count(), 9);
+        assert_eq!(ts.iter().filter(|t| t.group == "lockreg").count(), 5);
+    }
+
+    #[test]
+    fn scripts_are_seed_deterministic() {
+        // Two single-threaded runs of the same seed against the model
+        // index must record identical histories (modulo tick values).
+        let cfg = CheckConfig {
+            threads: 1,
+            ops_per_thread: 200,
+            key_space: 16,
+            clustered: false,
+            chaos: false,
+        };
+        let run = || {
+            let rec = Recorder::new();
+            let tr = ThreadRecorder::new(
+                optiql_index_api::model::ModelIndex::new(),
+                Arc::clone(&rec),
+                0,
+            );
+            run_script(&tr, 0, 99, 1, &cfg);
+            tr.into_log()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!((x.key, x.op, x.out), (y.key, y.op, y.out));
+        }
+    }
+
+    #[test]
+    fn model_index_passes_a_cell() {
+        // The reference implementation must sail through the harness.
+        let t = Target {
+            name: "model",
+            group: "sharded",
+            batch: 1,
+            make: || Arc::new(optiql_index_api::model::ModelIndex::new()),
+        };
+        let cfg = CheckConfig {
+            threads: 3,
+            ops_per_thread: 300,
+            key_space: 32,
+            clustered: true,
+            chaos: true,
+        };
+        let report = run_target(&t, 7, &cfg).expect("model index is linearizable");
+        assert!(report.summary.events > 0);
+        assert!(report.summary.keys > 0);
+        assert!(report.summary.max_ops_per_key <= crate::linearize::MAX_OPS_PER_KEY);
+    }
+}

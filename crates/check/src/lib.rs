@@ -1,0 +1,58 @@
+//! # optiql-check — linearizability checking and seeded chaos schedules
+//!
+//! The workspace's correctness harness: run every lock and every index
+//! under deterministic, seed-replayable schedule perturbation, record
+//! complete invoke/return histories, and verify them against the
+//! sequential register specification with a Wing–Gong linearizability
+//! checker.
+//!
+//! The pipeline, end to end:
+//!
+//! ```text
+//!   seed ──► chaos schedule (per-thread SplitMix64 streams)
+//!             │ yields/spins at lock events + around index ops
+//!   workers ─► ThreadRecorder ─► ChaosIndex ─► index under test
+//!             │ invoke/return tick windows, per-thread epochs
+//!   join ────► partition_by_key ─► check_key (Wing–Gong + memoization)
+//!             │
+//!   pass ───► CheckSummary        fail ──► Violation + replay command
+//! ```
+//!
+//! Quick start:
+//!
+//! ```
+//! use optiql_check::{run_target, targets, CheckConfig};
+//!
+//! let cfg = CheckConfig {
+//!     threads: 2,
+//!     ops_per_thread: 150,
+//!     key_space: 32,
+//!     clustered: false,
+//!     chaos: true,
+//! };
+//! let ts = targets();
+//! let t = ts.iter().find(|t| t.name == "btree-optiql").unwrap();
+//! let report = run_target(t, 42, &cfg).expect("linearizable");
+//! assert!(report.summary.events > 0);
+//! ```
+//!
+//! The binary sweeps the whole matrix: `cargo run -p optiql-check`, or
+//! `cargo run -p optiql-check -- --seed N --target btree-optiql` to
+//! replay one cell. See `TESTING.md` at the repo root.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chaos;
+pub mod driver;
+pub mod history;
+pub mod linearize;
+pub mod register;
+
+pub use chaos::ChaosIndex;
+pub use driver::{
+    run_target, sweep, targets, CheckConfig, Failure, RunReport, SweepEvent, Target, REGISTER_CAP,
+};
+pub use history::{partition_by_key, HistEvent, Op, Recorder, ThreadRecorder};
+pub use linearize::{check_key, check_logs, CheckSummary, Violation, MAX_OPS_PER_KEY};
+pub use register::{LockRegister, OptRegister};

@@ -1,0 +1,366 @@
+//! Wing–Gong-style linearizability checking over per-key register
+//! histories.
+//!
+//! Every recorded key is an independent register whose sequential
+//! specification is tiny — all four operations return the *previous*
+//! value and deterministically produce the next state:
+//!
+//! | op          | returns    | next state                        |
+//! |-------------|------------|-----------------------------------|
+//! | `insert(v)` | prev       | `Some(v)`                         |
+//! | `update(v)` | prev       | `Some(v)` if present, else absent |
+//! | `remove`    | prev       | `None`                            |
+//! | `lookup`    | prev/state | unchanged                         |
+//!
+//! The checker is the classical Wing & Gong (1993) search: repeatedly
+//! pick a *minimal* pending operation (one no other pending operation
+//! returned before), check its observed result against the register
+//! state, apply it, and recurse; backtrack when stuck. Memoizing on
+//! `(completed-set, state)` — Lowe's optimization — keeps the search
+//! polynomial in practice for register histories. Per-key partitioning
+//! bounds each search to the handful of events that touched that key.
+//!
+//! A failed search produces a [`Violation`]: the longest linearizable
+//! prefix the search found and the window of pending operations none of
+//! which can linearize next — exactly the evidence a human needs to see
+//! *which* overlap is impossible.
+
+use std::collections::HashSet;
+
+use crate::history::{HistEvent, Op};
+
+/// Maximum operations per key the search supports (the completed set is
+/// a `u128` bitmask). Drivers size their key spaces to stay well below
+/// this; exceeding it is a configuration error, not a soundness hole.
+pub const MAX_OPS_PER_KEY: usize = 128;
+
+/// Sequential register semantics: expected return is always the state
+/// before the op; returns the state after.
+#[inline]
+fn next_state(op: Op, state: Option<u64>) -> Option<u64> {
+    match op {
+        Op::Insert(v) => Some(v),
+        Op::Update(v) => state.map(|_| v),
+        Op::Remove => None,
+        Op::Lookup => state,
+    }
+}
+
+/// Evidence that one key's history admits no linearization.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The key whose history is not linearizable.
+    pub key: u64,
+    /// Total operations recorded for the key.
+    pub total_ops: usize,
+    /// The longest linearizable prefix found, in linearization order.
+    pub linearized: Vec<HistEvent>,
+    /// Register state after that prefix.
+    pub state: Option<u64>,
+    /// Pending operations at the stuck point (the violating window),
+    /// sorted by invoke tick.
+    pub window: Vec<HistEvent>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "linearizability violation on key {}: no order explains the history",
+            self.key
+        )?;
+        writeln!(
+            f,
+            "  longest linearizable prefix: {}/{} ops, register = {:?}",
+            self.linearized.len(),
+            self.total_ops,
+            self.state
+        )?;
+        if !self.linearized.is_empty() {
+            writeln!(f, "  linearized prefix (in linearization order):")?;
+            let skip = self.linearized.len().saturating_sub(8);
+            if skip > 0 {
+                writeln!(f, "    ... {skip} earlier ops elided ...")?;
+            }
+            for e in &self.linearized[skip..] {
+                writeln!(f, "    {e}")?;
+            }
+        }
+        writeln!(
+            f,
+            "  stuck window ({} pending ops, none can linearize next):",
+            self.window.len()
+        )?;
+        for e in &self.window {
+            writeln!(f, "    {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate result of checking one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Distinct keys checked.
+    pub keys: usize,
+    /// Total operations across all keys.
+    pub events: usize,
+    /// Largest single-key history seen.
+    pub max_ops_per_key: usize,
+}
+
+/// Check one key's history (sorted by invoke tick) for linearizability.
+pub fn check_key(key: u64, history: &[HistEvent]) -> Result<(), Box<Violation>> {
+    let n = history.len();
+    assert!(
+        n <= MAX_OPS_PER_KEY,
+        "key {key}: {n} ops exceed MAX_OPS_PER_KEY={MAX_OPS_PER_KEY}; \
+         enlarge the key space or shorten the run"
+    );
+    if n == 0 {
+        return Ok(());
+    }
+    let full: u128 = if n == MAX_OPS_PER_KEY {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
+
+    // Iterative DFS with an explicit stack of (done-mask, state, path).
+    // `path` is only materialized for the best prefix seen, to keep the
+    // hot search allocation-free.
+    let mut memo: HashSet<(u128, Option<u64>)> = HashSet::new();
+    let mut best_done: u128 = 0;
+    let mut best_state: Option<u64> = None;
+    let mut best_path: Vec<usize> = Vec::new();
+
+    // Stack frames: the current path as indices, rebuilt incrementally.
+    // frame = (done, state, next candidate index to try).
+    let mut path: Vec<usize> = Vec::new();
+    let mut stack: Vec<(u128, Option<u64>, usize)> = vec![(0, None, 0)];
+    memo.insert((0, None));
+
+    while let Some(&mut (done, state, ref mut cursor)) = stack.last_mut() {
+        if done == full {
+            return Ok(());
+        }
+        // Minimal ops: invoke tick strictly before the earliest return
+        // among pending ops (ticks are unique, and an op's own return
+        // cannot precede its invoke, so this is exactly "no pending op
+        // returned before I was invoked").
+        let min_ret = (0..n)
+            .filter(|i| done & (1u128 << i) == 0)
+            .map(|i| history[i].ret)
+            .min()
+            .expect("not full, so something is pending");
+
+        let mut advanced = false;
+        while *cursor < n {
+            let i = *cursor;
+            *cursor += 1;
+            if done & (1u128 << i) != 0 {
+                continue;
+            }
+            let e = &history[i];
+            if e.invoke > min_ret {
+                continue; // not minimal: another pending op returned first
+            }
+            if e.out != state {
+                continue; // observed result contradicts the register
+            }
+            let ndone = done | (1u128 << i);
+            let nstate = next_state(e.op, state);
+            if !memo.insert((ndone, nstate)) {
+                continue; // already explored an equivalent configuration
+            }
+            if ndone.count_ones() > best_done.count_ones() {
+                best_done = ndone;
+                best_state = nstate;
+                best_path = path.clone();
+                best_path.push(i);
+            }
+            path.push(i);
+            stack.push((ndone, nstate, 0));
+            advanced = true;
+            break;
+        }
+        if !advanced {
+            stack.pop();
+            path.pop();
+        }
+    }
+
+    let linearized: Vec<HistEvent> = best_path.iter().map(|&i| history[i]).collect();
+    let mut window: Vec<HistEvent> = (0..n)
+        .filter(|i| best_done & (1u128 << i) == 0)
+        .map(|i| history[i])
+        .collect();
+    window.sort_by_key(|e| e.invoke);
+    // The full pending set can be large; the violation is visible in the
+    // earliest overlapping cluster, so cap what we carry around.
+    window.truncate(16);
+    Err(Box::new(Violation {
+        key,
+        total_ops: n,
+        linearized,
+        state: best_state,
+        window,
+    }))
+}
+
+/// Check a whole run: partition per-thread logs by key and run the
+/// Wing–Gong search on every key. Returns the first violation found
+/// (keys are checked in ascending order for determinism).
+pub fn check_logs(logs: Vec<Vec<HistEvent>>) -> Result<CheckSummary, Box<Violation>> {
+    let keys = crate::history::partition_by_key(logs);
+    let mut summary = CheckSummary::default();
+    for (key, history) in &keys {
+        summary.keys += 1;
+        summary.events += history.len();
+        summary.max_ops_per_key = summary.max_ops_per_key.max(history.len());
+        check_key(*key, history)?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: u32, op: Op, out: Option<u64>, invoke: u64, ret: u64) -> HistEvent {
+        HistEvent {
+            thread,
+            key: 0,
+            op,
+            out,
+            invoke,
+            ret,
+        }
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let h = vec![
+            ev(0, Op::Insert(1), None, 0, 1),
+            ev(0, Op::Lookup, Some(1), 2, 3),
+            ev(0, Op::Update(2), Some(1), 4, 5),
+            ev(0, Op::Remove, Some(2), 6, 7),
+            ev(0, Op::Lookup, None, 8, 9),
+            ev(0, Op::Update(9), None, 10, 11),
+        ];
+        assert!(check_key(0, &h).is_ok());
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // t0: insert(5) over [0,10]; t1: lookup -> Some(5) over [1,2].
+        // The lookup returned before the insert did, but they overlap, so
+        // insert-then-lookup is a valid linearization.
+        let h = vec![
+            ev(0, Op::Insert(5), None, 0, 10),
+            ev(1, Op::Lookup, Some(5), 1, 2),
+        ];
+        assert!(check_key(0, &h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_return_is_a_violation() {
+        // insert(5) completed strictly before the lookup began, yet the
+        // lookup observed the initial None: not linearizable.
+        let h = vec![
+            ev(0, Op::Insert(5), None, 0, 1),
+            ev(1, Op::Lookup, None, 2, 3),
+        ];
+        let v = check_key(7, &h).unwrap_err();
+        assert_eq!(v.key, 7);
+        assert_eq!(v.total_ops, 2);
+        assert_eq!(v.linearized.len(), 1, "the insert linearizes, then stuck");
+        let text = v.to_string();
+        assert!(text.contains("violation on key 7"), "{text}");
+        assert!(text.contains("lookup"), "{text}");
+    }
+
+    #[test]
+    fn lost_update_is_a_violation() {
+        // Two non-overlapping inserts, then a lookup that still sees the
+        // first value: the second write was lost.
+        let h = vec![
+            ev(0, Op::Insert(1), None, 0, 1),
+            ev(1, Op::Insert(2), Some(1), 2, 3),
+            ev(0, Op::Lookup, Some(1), 4, 5),
+        ];
+        assert!(check_key(0, &h).is_err());
+    }
+
+    #[test]
+    fn duplicate_observation_is_a_violation() {
+        // Both removes claim to have removed the same value — one of
+        // them must have seen None.
+        let h = vec![
+            ev(0, Op::Insert(9), None, 0, 1),
+            ev(1, Op::Remove, Some(9), 2, 10),
+            ev(2, Op::Remove, Some(9), 3, 11),
+        ];
+        assert!(check_key(0, &h).is_err());
+    }
+
+    #[test]
+    fn update_on_absent_key_does_not_write() {
+        // update on an absent register returns None and must NOT set the
+        // value — a following lookup still sees None.
+        let h = vec![
+            ev(0, Op::Update(4), None, 0, 1),
+            ev(0, Op::Lookup, None, 2, 3),
+        ];
+        assert!(check_key(0, &h).is_ok());
+        // If the index wrongly inserted, the lookup would see Some(4) —
+        // and the checker must reject that.
+        let bad = vec![
+            ev(0, Op::Update(4), None, 0, 1),
+            ev(0, Op::Lookup, Some(4), 2, 3),
+        ];
+        assert!(check_key(0, &bad).is_err());
+    }
+
+    #[test]
+    fn same_window_batch_duplicates_order_by_observation() {
+        // Two inserts from one batch share a window; observations force
+        // insert(10) before insert(11).
+        let h = vec![
+            ev(0, Op::Insert(10), None, 0, 5),
+            ev(0, Op::Insert(11), Some(10), 0, 5),
+            ev(1, Op::Lookup, Some(11), 6, 7),
+        ];
+        assert!(check_key(0, &h).is_ok());
+    }
+
+    #[test]
+    fn deep_overlap_still_linearizes_fast() {
+        // 60 concurrent lookups overlapping one insert: stresses the
+        // memoized search (identical states collapse immediately).
+        let mut h = vec![ev(0, Op::Insert(1), None, 0, 1000)];
+        for i in 0..60 {
+            h.push(ev(1 + i, Op::Lookup, None, 1 + i as u64, 1001 + i as u64));
+        }
+        h.sort_by_key(|e| e.invoke);
+        assert!(check_key(0, &h).is_ok());
+    }
+
+    #[test]
+    fn check_logs_aggregates_and_reports_first_key() {
+        let good = vec![ev(0, Op::Insert(1), None, 0, 1)];
+        let mut bad = vec![
+            ev(0, Op::Insert(5), None, 10, 11),
+            ev(1, Op::Lookup, None, 12, 13),
+        ];
+        for e in &mut bad {
+            e.key = 42;
+        }
+        let err = check_logs(vec![good.clone(), bad]).unwrap_err();
+        assert_eq!(err.key, 42);
+        let ok = check_logs(vec![good]).unwrap();
+        assert_eq!(ok.keys, 1);
+        assert_eq!(ok.events, 1);
+        assert_eq!(ok.max_ops_per_key, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! `optiql-check` CLI: sweep the lock × index matrix under seeded chaos
+//! and check every recorded history for linearizability.
+//!
+//! ```text
+//! cargo run -p optiql-check                       # full sweep, default seeds
+//! cargo run -p optiql-check -- --list             # print the target matrix
+//! cargo run -p optiql-check -- --seed 42          # one seed across all targets
+//! cargo run -p optiql-check -- --target art --seeds 8
+//! cargo run -p optiql-check -- --target btree-optiql --seed 7 \
+//!     --threads 8 --ops 2000 --keys 256           # replay one cell, exactly
+//! ```
+//!
+//! Exit status is non-zero iff any cell fails; a failing cell prints the
+//! checker's counterexample and the verbatim replay command, then is
+//! immediately re-run on the same seed to confirm reproducibility.
+
+use std::process::ExitCode;
+
+use optiql_check::{sweep, targets, CheckConfig, SweepEvent};
+
+struct Args {
+    cfg: CheckConfig,
+    seeds: Vec<u64>,
+    target_filter: Option<String>,
+    list: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: optiql-check [options]\n\
+         \n\
+         options:\n\
+           --seed N        check exactly seed N (repeatable)\n\
+           --seeds N       check seeds 0..N (default 3)\n\
+           --target S      only targets whose name contains S\n\
+           --threads N     worker threads per run (default 4)\n\
+           --ops N         operations per worker (default 1000)\n\
+           --keys N        key space size (default 128)\n\
+           --clustered     spread key bits across byte positions (ART\n\
+                           prefix-split churn; see driver::spread_key)\n\
+           --no-chaos      disable schedule perturbation\n\
+           --list          print the target matrix and exit\n\
+           --quiet         only print failures and the final summary"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cfg: CheckConfig::default(),
+        seeds: Vec::new(),
+        target_filter: None,
+        list: false,
+        quiet: false,
+    };
+    let mut seed_range: Option<u64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {name} needs a numeric argument");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--seed" => args.seeds.push(num("--seed")),
+            "--seeds" => seed_range = Some(num("--seeds")),
+            "--target" => {
+                args.target_filter = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--threads" => args.cfg.threads = num("--threads") as usize,
+            "--ops" => args.cfg.ops_per_thread = num("--ops") as usize,
+            "--keys" => args.cfg.key_space = num("--keys"),
+            "--clustered" => args.cfg.clustered = true,
+            "--no-chaos" => args.cfg.chaos = false,
+            "--list" => args.list = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    if args.seeds.is_empty() {
+        args.seeds = (0..seed_range.unwrap_or(3)).collect();
+    } else if let Some(n) = seed_range {
+        args.seeds.extend(0..n);
+        args.seeds.sort_unstable();
+        args.seeds.dedup();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let all = targets();
+    let selected: Vec<_> = all
+        .into_iter()
+        .filter(|t| {
+            match args.target_filter.as_deref() {
+                Some(f) => t.name.contains(f),
+                None => true,
+            }
+        })
+        .collect();
+
+    if args.list {
+        println!("{} targets:", selected.len());
+        for t in &selected {
+            println!("  {:<24} group={:<8} batch={}", t.name, t.group, t.batch);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if selected.is_empty() {
+        eprintln!(
+            "error: no target matches {:?}; try --list",
+            args.target_filter.as_deref().unwrap_or("")
+        );
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "sweeping {} targets x {} seeds (threads={} ops={} keys={} clustered={} chaos={})",
+        selected.len(),
+        args.seeds.len(),
+        args.cfg.threads,
+        args.cfg.ops_per_thread,
+        args.cfg.key_space,
+        args.cfg.clustered,
+        args.cfg.chaos,
+    );
+
+    let mut cells = 0usize;
+    let failures = sweep(&selected, &args.seeds, &args.cfg, |ev| match ev {
+        SweepEvent::Pass {
+            target,
+            seed,
+            report,
+        } => {
+            cells += 1;
+            if !args.quiet {
+                println!(
+                    "  ok  {target:<24} seed={seed:<4} {} events / {} keys (max {}/key)",
+                    report.summary.events, report.summary.keys, report.summary.max_ops_per_key
+                );
+            }
+        }
+        SweepEvent::Fail { failure } => {
+            cells += 1;
+            println!("{failure}");
+        }
+        SweepEvent::Replay {
+            target,
+            seed,
+            reproduced,
+        } => {
+            println!(
+                "  replay {target} seed={seed}: {}",
+                if reproduced {
+                    "reproduced"
+                } else {
+                    "NOT reproduced (schedule-dependent; re-run with more seeds)"
+                }
+            );
+        }
+    });
+
+    if failures.is_empty() {
+        println!("all {cells} cells linearizable");
+        ExitCode::SUCCESS
+    } else {
+        println!("{} of {cells} cells FAILED", failures.len());
+        ExitCode::FAILURE
+    }
+}

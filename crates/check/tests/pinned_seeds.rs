@@ -1,0 +1,111 @@
+//! Pinned chaos seeds: regression cells that must keep their verdict.
+//!
+//! The PR 4 ART bug (missing parent re-validation after locking the
+//! child during OLC coupling) is kept alive behind the
+//! `bug-pr4-revert` feature as a permanent sensitivity check for this
+//! harness:
+//!
+//! * on main (fix present), the pinned cell passes;
+//! * with the fix backed out (`--features bug-pr4-revert`), the same
+//!   sweep must detect the bug.
+//!
+//! Both run the `optiql-check` binary as a subprocess: the reverted bug
+//! does not merely lose updates, it descends with a stale depth and can
+//! corrupt the heap (SIGSEGV/SIGABRT observed) or wedge the tree — all
+//! of which count as detection, and none of which should take the test
+//! runner down with it.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The pinned cell: found by sweeping `--target art-opt --seeds 10` with
+/// the fix reverted; seed 7 on `art-optlock-backoff` produced a lost
+/// insert (`insert -> None` twice in a row with no remove between).
+const PINNED: &[&str] = &[
+    "--target",
+    "art-optlock-backoff",
+    "--seed",
+    "7",
+    "--threads",
+    "8",
+    "--ops",
+    "1500",
+    "--keys",
+    "128",
+    "--clustered",
+    "--quiet",
+];
+
+fn run_checker(args: &[&str], timeout: Duration) -> Outcome {
+    let mut child: Child = Command::new(env!("CARGO_BIN_EXE_optiql-check"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn optiql-check");
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("wait on optiql-check") {
+            Some(status) if status.success() => return Outcome::Clean,
+            Some(status) => return Outcome::Detected(format!("{status}")),
+            None if start.elapsed() > timeout => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Outcome::Detected("hung past timeout".into());
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+enum Outcome {
+    /// Exit 0 within the timeout: every cell linearizable.
+    Clean,
+    /// Non-zero exit (violation, abort, segfault) or hang: the harness
+    /// flagged the run.
+    Detected(String),
+}
+
+/// On main the pinned cell — and the seeds around it — stay green.
+#[cfg(not(feature = "bug-pr4-revert"))]
+#[test]
+fn pinned_pr4_cell_passes_with_fix_present() {
+    match run_checker(PINNED, Duration::from_secs(120)) {
+        Outcome::Clean => {}
+        Outcome::Detected(how) => panic!(
+            "pinned PR 4 cell failed with the fix present ({how}); \
+             either the fix regressed or the harness grew a false positive"
+        ),
+    }
+}
+
+/// With the fix backed out, the harness must catch the bug. The exact
+/// interleaving is schedule-dependent even under seeded chaos, so the
+/// detection sweep covers the pinned seed's neighborhood (12 seeds
+/// across the optimistic ART targets — locally this flags 2-5 cells
+/// per run and never zero).
+#[cfg(feature = "bug-pr4-revert")]
+#[test]
+fn checker_catches_pr4_bug_when_fix_reverted() {
+    let sweep = [
+        "--target",
+        "art-opt",
+        "--seeds",
+        "12",
+        "--threads",
+        "8",
+        "--ops",
+        "1500",
+        "--keys",
+        "128",
+        "--clustered",
+        "--quiet",
+    ];
+    match run_checker(&sweep, Duration::from_secs(300)) {
+        Outcome::Detected(_) => {}
+        Outcome::Clean => panic!(
+            "fix is reverted (bug-pr4-revert) but the chaos sweep found \
+             nothing; the harness lost its sensitivity to the PR 4 bug"
+        ),
+    }
+}

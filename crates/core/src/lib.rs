@@ -64,6 +64,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod backoff;
+pub mod chaos;
 pub mod clh;
 pub mod guard;
 pub mod mcs;

@@ -217,6 +217,20 @@ impl<'a> RestartLoop<'a> {
         }
     }
 
+    /// Return to the bottom of the ladder: attempts to zero, backoff
+    /// window back to [`BACKOFF_MIN`].
+    ///
+    /// Call after a traversal attempt *succeeds* when reusing one loop
+    /// across successive sub-operations (e.g. a range scan visiting many
+    /// leaves): contention that stalled an earlier sub-operation says
+    /// nothing about the next one, and without the reset a long scan
+    /// that ate its budget early would yield on every later leaf.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+        self.backoff = Backoff::new(BACKOFF_MIN, BACKOFF_MAX);
+    }
+
     /// Wait according to the escalation ladder; counts a restart on every
     /// pause after the first.
     #[inline]

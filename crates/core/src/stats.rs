@@ -271,12 +271,17 @@ mod imp {
 
 /// Record one event on the calling thread's shard.
 ///
-/// Compiles to nothing when the `stats` feature is disabled.
+/// Compiles to nothing when the `stats` feature is disabled. With the
+/// `chaos` feature the same call sites double as schedule-perturbation
+/// points (see [`chaos`](crate::chaos)); the two features are
+/// independent.
 #[inline(always)]
 pub fn record(e: Event) {
     #[cfg(feature = "stats")]
     imp::record(e);
-    #[cfg(not(feature = "stats"))]
+    #[cfg(feature = "chaos")]
+    crate::chaos::perturb(e);
+    #[cfg(not(any(feature = "stats", feature = "chaos")))]
     let _ = e;
 }
 

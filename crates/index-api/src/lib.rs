@@ -148,6 +148,72 @@ macro_rules! impl_concurrent_index {
     };
 }
 
+/// Delegate every trait method through a pointer-like wrapper: a shared
+/// reference or an `Arc` of an index is itself an index, so drivers and
+/// composing wrappers (recorders, chaos layers, shard facades) can hold
+/// `Arc<dyn ConcurrentIndex>` without a bespoke newtype each.
+macro_rules! impl_deref_index {
+    ($(#[$meta:meta])* impl [$($generics:tt)*] for $ty:ty) => {
+        $(#[$meta])*
+        impl<$($generics)*> ConcurrentIndex for $ty {
+            #[inline]
+            fn insert(&self, k: u64, v: u64) -> Option<u64> {
+                (**self).insert(k, v)
+            }
+            #[inline]
+            fn update(&self, k: u64, v: u64) -> Option<u64> {
+                (**self).update(k, v)
+            }
+            #[inline]
+            fn lookup(&self, k: u64) -> Option<u64> {
+                (**self).lookup(k)
+            }
+            #[inline]
+            fn remove(&self, k: u64) -> Option<u64> {
+                (**self).remove(k)
+            }
+            #[inline]
+            fn scan_count(&self, start: u64, limit: usize) -> usize {
+                (**self).scan_count(start, limit)
+            }
+            #[inline]
+            fn len(&self) -> usize {
+                (**self).len()
+            }
+            #[inline]
+            fn is_empty(&self) -> bool {
+                (**self).is_empty()
+            }
+            #[inline]
+            fn index_stats(&self) -> IndexStats {
+                (**self).index_stats()
+            }
+            #[inline]
+            fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+                (**self).multi_lookup(keys)
+            }
+            #[inline]
+            fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+                (**self).multi_insert(pairs)
+            }
+        }
+    };
+}
+
+impl_deref_index! {
+    /// A shared reference to an index is an index.
+    impl ['a, T: ConcurrentIndex + ?Sized] for &'a T
+}
+impl_deref_index! {
+    /// An `Arc` of an index (including `Arc<dyn ConcurrentIndex>`) is an
+    /// index.
+    impl [T: ConcurrentIndex + ?Sized] for std::sync::Arc<T>
+}
+impl_deref_index! {
+    /// A box of an index is an index.
+    impl [T: ConcurrentIndex + ?Sized] for Box<T>
+}
+
 /// Reference implementation for models and tests: a mutex-protected
 /// `BTreeMap`. Sequentially consistent, obviously correct, slow — exactly
 /// what a differential test wants on the other side of the diff.
@@ -245,5 +311,20 @@ mod tests {
         dynref.insert(7, 70);
         assert_eq!(dynref.lookup(7), Some(70));
         assert!(!dynref.is_empty());
+    }
+
+    #[test]
+    fn pointer_wrappers_are_indexes_too() {
+        let arc: std::sync::Arc<dyn ConcurrentIndex> = std::sync::Arc::new(ModelIndex::new());
+        arc.insert(1, 10);
+        assert_eq!(ConcurrentIndex::lookup(&arc, 1), Some(10));
+        let by_ref: &dyn ConcurrentIndex = &arc;
+        assert_eq!(by_ref.len(), 1);
+        let boxed: Box<dyn ConcurrentIndex> = Box::new(ModelIndex::new());
+        assert_eq!(
+            boxed.multi_insert(&[(2, 20), (2, 21)]),
+            vec![None, Some(20)]
+        );
+        assert_eq!(boxed.scan_count(0, 10), 1);
     }
 }

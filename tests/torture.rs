@@ -11,19 +11,29 @@ type TinyOptiQL = BPlusTree<optiql::OptLock, optiql::OptiQL, 4, 4>;
 type TinyOptLock = BPlusTree<optiql::OptLock, optiql::OptLock, 4, 4>;
 type TinyMcsRw = BPlusTree<optiql::McsRwLock, optiql::McsRwLock, 4, 4>;
 
+/// Scale writer counts with the machine, bounded both ways: at least 4
+/// so single-core CI still forces real interleaving through preemption,
+/// at most 16 so wide boxes don't turn exact post-condition sweeps into
+/// a minutes-long run.
+fn torture_threads() -> u64 {
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get() as u64)
+        .clamp(4, 16)
+}
+
 fn smo_storm<IL, LL>(tree: Arc<BPlusTree<IL, LL, 4, 4>>)
 where
     IL: optiql::IndexLock,
     LL: optiql::IndexLock,
 {
-    const THREADS: u64 = 4;
+    let threads: u64 = torture_threads();
     const PER: u64 = 3_000;
-    let hs: Vec<_> = (0..THREADS)
+    let hs: Vec<_> = (0..threads)
         .map(|tid| {
             let t = Arc::clone(&tree);
             std::thread::spawn(move || {
                 // Interleaved key stripes force adjacent-leaf contention.
-                let key = |i: u64| i * THREADS + tid;
+                let key = |i: u64| i * threads + tid;
                 for i in 0..PER {
                     assert_eq!(t.insert(key(i), i), None);
                     // Immediately read back through a fresh traversal.
@@ -44,12 +54,12 @@ where
     for h in hs {
         h.join().unwrap();
     }
-    let expected = (PER / 2 + PER / 4) * THREADS;
+    let expected = (PER / 2 + PER / 4) * threads;
     assert_eq!(tree.len(), expected as usize);
     assert_eq!(tree.check_invariants(), expected as usize);
     // Exact membership.
-    for tid in 0..THREADS {
-        let key = |i: u64| i * THREADS + tid;
+    for tid in 0..threads {
+        let key = |i: u64| i * threads + tid;
         for i in 0..PER {
             let expect = if i < PER / 4 {
                 Some(i + 1)
@@ -86,14 +96,14 @@ fn art_mixed_prefix_storm() {
     // Keys engineered so inserts constantly split prefixes and grow nodes
     // at every level while lookups race.
     let art: Arc<optiql_art::ArtOptiQL> = Arc::new(optiql_art::ArtOptiQL::new());
-    const THREADS: u64 = 4;
+    let threads: u64 = torture_threads();
     const PER: u64 = 2_500;
-    let hs: Vec<_> = (0..THREADS)
+    let hs: Vec<_> = (0..threads)
         .map(|tid| {
             let t = Arc::clone(&art);
             std::thread::spawn(move || {
                 for i in 0..PER {
-                    let base = i * THREADS + tid;
+                    let base = i * threads + tid;
                     // Three families: dense low, byte-6 pairs, sparse high.
                     let k = match i % 3 {
                         0 => base,
@@ -122,14 +132,18 @@ fn btree_scan_during_smo_storm_stays_ordered() {
         tree.insert(k * 2, k);
     }
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let writers: Vec<_> = (0..2)
+    // Writers churn odd-striped keys above the stable range; half the
+    // torture width is plenty since each writer is a tight insert/remove
+    // loop.
+    let writer_n = (torture_threads() / 2).clamp(2, 8);
+    let writers: Vec<_> = (0..writer_n)
         .map(|tid| {
             let t = Arc::clone(&tree);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut i = 0u64;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    let k = 4_001 + (i * 2 + tid) * 2;
+                    let k = 4_001 + (i * writer_n + tid) * 2;
                     t.insert(k, i);
                     t.remove(k);
                     i += 1;
