@@ -1,0 +1,114 @@
+//! Extension: the sharded facade under multi-threaded batched driving —
+//! the threads × shards × batch matrix, in both driving modes.
+//!
+//! The `sharded` target asks "what does partitioning cost a black-box
+//! client?" (every worker samples the whole key space). This target asks
+//! the complementary question: "what does partitioning *buy* a client
+//! that drives it the way a partitioned serving system would?" — the
+//! affine mode (`optiql_harness::affine`), where workers own shards,
+//! pin to cores when the host allows it, batch their lookups through the
+//! partition-then-pipeline `multi_lookup`, and amortize epoch-reclaim
+//! pins over operation groups.
+//!
+//! Matrix: threads (env sweep) × shards {1,2,4,8} × batch {1,16,64},
+//! YCSB-C in both modes for both trees, plus a batch=1 YCSB-A slice to
+//! record write-path behaviour. Rows land in `BENCH_sharded_mt.json`.
+
+use optiql_bench::{banner, header, mops, r2, row_extra};
+use optiql_harness::{
+    env, preload, run, run_affine, ConcurrentIndex, KeyDist, Mix, WorkloadConfig,
+};
+use optiql_sharded::ShardedIndex;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCHES: [usize; 3] = [1, 16, 64];
+
+fn cfg(threads: usize, mix: Mix, batch: usize, keys: u64) -> WorkloadConfig {
+    let mut cfg = WorkloadConfig::new(threads, mix, KeyDist::Zipfian { theta: 0.99 }, keys);
+    cfg.duration = env::duration();
+    cfg.sample_every = 0;
+    cfg.batch = batch;
+    cfg
+}
+
+fn sweep<I: ConcurrentIndex>(index: &ShardedIndex<I>, series: &str, keys: u64) {
+    preload(
+        index,
+        &WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys),
+    );
+    let shards = index.shard_count();
+    // Unmeasured warmup (see benches/sharded.rs): keep first-point cold
+    // misses out of the matrix so shard counts compare like-for-like.
+    {
+        let threads = *env::thread_counts().last().unwrap();
+        let mut warm = cfg(threads, Mix::YCSB_C, 1, keys);
+        warm.duration = std::time::Duration::from_millis(200);
+        let _ = run(index, &warm);
+        let _ = run_affine(index, &warm);
+    }
+    for threads in env::thread_counts() {
+        // Read matrix: both modes, every batch size.
+        for batch in BATCHES {
+            let c = cfg(threads, Mix::YCSB_C, batch, keys);
+            let (r, _) = run(index, &c);
+            row_extra(
+                "sharded_mt",
+                &format!("{series}/blackbox/shards{shards}/batch{batch}/YCSB-C"),
+                threads,
+                r2(mops(r.throughput())),
+                "-",
+            );
+            let (r, rep) = run_affine(index, &c);
+            row_extra(
+                "sharded_mt",
+                &format!("{series}/affine/shards{shards}/batch{batch}/YCSB-C"),
+                threads,
+                r2(mops(r.throughput())),
+                format!("pinned={}/{}", rep.pinned_workers, threads),
+            );
+        }
+        // Write slice: batch=1 YCSB-A in both modes (mutates the index;
+        // runs after the read matrix for this thread count).
+        let c = cfg(threads, Mix::YCSB_A, 1, keys);
+        let (r, _) = run(index, &c);
+        row_extra(
+            "sharded_mt",
+            &format!("{series}/blackbox/shards{shards}/batch1/YCSB-A"),
+            threads,
+            r2(mops(r.throughput())),
+            "-",
+        );
+        let (r, rep) = run_affine(index, &c);
+        row_extra(
+            "sharded_mt",
+            &format!("{series}/affine/shards{shards}/batch1/YCSB-A"),
+            threads,
+            r2(mops(r.throughput())),
+            format!("pinned={}/{}", rep.pinned_workers, threads),
+        );
+    }
+}
+
+fn main() {
+    banner(
+        "sharded_mt",
+        "Sharded facade, threads x shards x batch, black-box vs affine driving",
+    );
+    header(&[
+        "figure",
+        "index/mode/shards/batch/workload",
+        "threads",
+        "Mops/s",
+        "placement",
+    ]);
+    let keys = env::preload_keys().min(2_000_000);
+
+    for n in SHARD_COUNTS {
+        let tree: ShardedIndex<optiql_btree::BTreeOptiQL> = ShardedIndex::new(n);
+        sweep(&tree, "B+-tree/OptiQL", keys);
+    }
+    for n in SHARD_COUNTS {
+        let art: ShardedIndex<optiql_art::ArtOptiQL> = ShardedIndex::new(n);
+        sweep(&art, "ART/OptiQL", keys);
+    }
+}

@@ -138,6 +138,14 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
         self.collector.flush();
     }
 
+    /// A handle to this tree's epoch-reclamation domain. Outer layers pin
+    /// it once around an operation group so the per-operation pins inside
+    /// become cheap nested increments (see
+    /// [`ConcurrentIndex::reclaim_handle`](optiql_index_api::ConcurrentIndex::reclaim_handle)).
+    pub fn reclaim_handle(&self) -> Option<optiql_reclaim::Handle> {
+        Some(self.collector.handle())
+    }
+
     /// Snapshot the structural-event counters.
     pub fn stats(&self) -> TreeStats {
         TreeStats {

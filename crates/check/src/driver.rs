@@ -75,6 +75,11 @@ pub struct Target {
     pub group: &'static str,
     /// Batch size for `multi_*` issue; 1 means scalar ops.
     pub batch: usize,
+    /// Pin each worker to a shard's core (best-effort, via
+    /// [`optiql_sharded::ShardAffinity`]) before it runs its script —
+    /// the placement the affine bench driver uses. On a single-core host
+    /// the pin degrades to a no-op; the target still runs.
+    pub pin_workers: bool,
     make: fn() -> Arc<dyn ConcurrentIndex>,
 }
 
@@ -105,25 +110,38 @@ fn mk_optreg<L: optiql::IndexLock>() -> Arc<dyn ConcurrentIndex> {
 fn mk_lockreg<L: optiql::ExclusiveLock>() -> Arc<dyn ConcurrentIndex> {
     Arc::new(LockRegister::<L>::new(REGISTER_CAP))
 }
+// 4-key blocks: the default block granularity (64Ki keys, sized for
+// bench keyspaces) would drop the checker's whole 128-key space into one
+// shard; 2 block bits stripe it as 32 blocks over all four shards.
+const SHARD_BLOCK_BITS: u32 = 2;
+
 fn mk_sharded_btree() -> Arc<dyn ConcurrentIndex> {
-    Arc::new(optiql_sharded::ShardedIndex::with_shards(4, |_| {
-        TinyTree::<optiql::OptLock, optiql::OptiQL>::new()
-    }))
+    Arc::new(optiql_sharded::ShardedIndex::with_config(
+        4,
+        SHARD_BLOCK_BITS,
+        |_| TinyTree::<optiql::OptLock, optiql::OptiQL>::new(),
+    ))
 }
 fn mk_sharded_art() -> Arc<dyn ConcurrentIndex> {
-    Arc::new(optiql_sharded::ShardedIndex::with_shards(4, |_| {
-        optiql_art::ArtTree::<optiql::OptiQL>::new()
-    }))
+    Arc::new(optiql_sharded::ShardedIndex::with_config(
+        4,
+        SHARD_BLOCK_BITS,
+        |_| optiql_art::ArtTree::<optiql::OptiQL>::new(),
+    ))
 }
 
 /// The full target matrix.
 pub fn targets() -> Vec<Target> {
     macro_rules! t {
         ($name:literal, $group:literal, $batch:expr, $make:expr) => {
+            t!($name, $group, $batch, $make, false)
+        };
+        ($name:literal, $group:literal, $batch:expr, $make:expr, $pin:expr) => {
             Target {
                 name: $name,
                 group: $group,
                 batch: $batch,
+                pin_workers: $pin,
                 make: $make,
             }
         };
@@ -188,13 +206,19 @@ pub fn targets() -> Vec<Target> {
             1,
             mk_lockreg::<TicketLockSplit>
         ),
-        // The sharded facade over both trees.
+        // The sharded facade over both trees, and the same trees with
+        // workers pinned shard-affine (the bench driver's placement):
+        // chaos perturbation must not surface schedules that core
+        // pinning alone can hide, and vice versa.
         t!("sharded-btree-optiql", "sharded", 1, mk_sharded_btree),
         t!("sharded-art-optiql", "sharded", 1, mk_sharded_art),
+        t!("sharded-btree-affine", "sharded", 1, mk_sharded_btree, true),
+        t!("sharded-art-affine", "sharded", 1, mk_sharded_art, true),
         // Batched multi_* paths (group prefetch pipeline).
         t!("batched-btree-optiql", "batched", 8, mk_btree::<OptiQL>),
         t!("batched-art-optiql", "batched", 8, mk_art::<OptiQL>),
         t!("batched-sharded-btree", "batched", 8, mk_sharded_btree),
+        t!("batched-sharded-affine", "batched", 8, mk_sharded_art, true),
     ]
 }
 
@@ -384,8 +408,17 @@ pub fn run_target(t: &Target, seed: u64, cfg: &CheckConfig) -> Result<RunReport,
                 let recorder = Arc::clone(&recorder);
                 let barrier = Arc::clone(&barrier);
                 let batch = t.batch;
+                let pin_workers = t.pin_workers;
                 s.spawn(move || {
                     crate::chaos::register_thread(slot as u64);
+                    if pin_workers {
+                        // Same placement the affine bench driver uses:
+                        // worker -> first owned shard -> that shard's
+                        // core. Best effort; single-core hosts skip it.
+                        let aff = optiql_sharded::ShardAffinity::probe(4);
+                        let owned = aff.shards_of_worker(slot, cfg.threads);
+                        aff.pin_to_shard(owned[0]);
+                    }
                     let tr = ThreadRecorder::new(chaosed, recorder, slot as u32);
                     barrier.wait();
                     run_script(&tr, slot, seed, batch, cfg);
@@ -501,6 +534,18 @@ mod tests {
         assert_eq!(ts.iter().filter(|t| t.group == "art").count(), 9);
         assert_eq!(ts.iter().filter(|t| t.group == "optreg").count(), 9);
         assert_eq!(ts.iter().filter(|t| t.group == "lockreg").count(), 5);
+        // Facade coverage: plain + affine over both trees, and the
+        // batched paths including one sharded-affine cell.
+        assert_eq!(ts.iter().filter(|t| t.group == "sharded").count(), 4);
+        assert_eq!(ts.iter().filter(|t| t.group == "batched").count(), 4);
+        assert_eq!(ts.iter().filter(|t| t.pin_workers).count(), 3);
+        for t in ts.iter().filter(|t| t.pin_workers) {
+            assert!(
+                t.name.contains("affine"),
+                "pinned target {} must say so in its name",
+                t.name
+            );
+        }
     }
 
     #[test]
@@ -538,6 +583,7 @@ mod tests {
             name: "model",
             group: "sharded",
             batch: 1,
+            pin_workers: false,
             make: || Arc::new(optiql_index_api::model::ModelIndex::new()),
         };
         let cfg = CheckConfig {

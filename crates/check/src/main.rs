@@ -98,11 +98,9 @@ fn main() -> ExitCode {
     let all = targets();
     let selected: Vec<_> = all
         .into_iter()
-        .filter(|t| {
-            match args.target_filter.as_deref() {
-                Some(f) => t.name.contains(f),
-                None => true,
-            }
+        .filter(|t| match args.target_filter.as_deref() {
+            Some(f) => t.name.contains(f),
+            None => true,
         })
         .collect();
 

@@ -67,6 +67,32 @@ fn clustered_keys_linearize_on_both_trees() {
     }
 }
 
+/// The sharded-affine targets: workers pinned to their shard's core
+/// (degrading to unpinned on single-core hosts) while the chaos layer
+/// perturbs schedules — the bench driver's placement must not hide or
+/// introduce linearizability violations, under both key shapes (uniform
+/// dense, and the clustered radix-4 spread that keeps ART prefixes
+/// churning).
+#[test]
+fn sharded_affine_targets_linearize_under_chaos() {
+    let all = targets();
+    for name in ["sharded-btree-affine", "sharded-art-affine"] {
+        let t = all.iter().find(|t| t.name == name).unwrap();
+        assert!(t.pin_workers, "{name} must request worker pinning");
+        for clustered in [false, true] {
+            let cfg = CheckConfig {
+                clustered,
+                ..smoke_cfg()
+            };
+            for seed in [0, 1] {
+                if let Err(f) = run_target(t, seed, &cfg) {
+                    panic!("clustered={clustered}: {f}");
+                }
+            }
+        }
+    }
+}
+
 /// Chaos off must also pass (the recorder alone perturbs very little,
 /// so this doubles as a plain stress pass) and must leave the chaos
 /// layer disabled for whoever runs next.

@@ -1,0 +1,313 @@
+//! Affine workload mode: thread-per-core driving of a sharded index.
+//!
+//! [`run`](crate::workload::run) treats the index as a black box: every
+//! worker samples the whole key space, so over a sharded facade every
+//! worker wanders across every shard — alternating reclamation domains
+//! on nearly every operation and dragging all shards' hot sets through
+//! its cache. That is the right *robustness* workload, but it is not how
+//! a partitioned serving system drives a partitioned index.
+//!
+//! [`run_affine`] is the sympathetic mode the facade is designed for:
+//!
+//! * shards are dealt round-robin to workers
+//!   ([`ShardAffinity::shards_of_worker`]); each worker only issues
+//!   operations whose keys route to shards it owns;
+//! * each worker best-effort pins itself to the core its first owned
+//!   shard was placed on (a no-op on single-core or non-Linux hosts);
+//! * workers pre-generate their key pools before the measured phase, so
+//!   sampling and routing rejection never sit on the measured path;
+//! * epoch-reclaim pins are **amortized across operation groups**: a
+//!   worker holds one guard per owned shard
+//!   ([`ConcurrentIndex::reclaim_handle`]) and refreshes them every
+//!   [`GROUP_OPS`] operations, making the per-op pins inside the trees
+//!   nested no-fence depth increments while still bounding how long any
+//!   epoch stays pinned;
+//! * lookups go through `multi_lookup` in batches of `cfg.batch` (the
+//!   facade dispatches each batch as dense per-shard sub-batches through
+//!   the trees' software-pipelined engines); writes stay scalar as in
+//!   the black-box driver.
+//!
+//! The result is the same [`WorkloadResult`] the black-box driver
+//! produces, plus an [`AffineReport`] describing the placement, so bench
+//! targets can print both modes side by side.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use optiql_sharded::ShardedIndex;
+
+use crate::workload::{ConcurrentIndex, WorkloadConfig, WorkloadResult};
+
+/// Operations between group-pin refreshes. Large enough that the pin
+/// publish + fence amortizes to noise, small enough that a shard's epoch
+/// advances promptly (the reclaim regression test bounds the garbage a
+/// parked worker can strand at roughly one group's retirements).
+pub const GROUP_OPS: u32 = 32;
+
+/// Per-worker pre-generated key pool length. Pools are cycled; a pool
+/// much larger than any cache keeps the measured phase from replaying a
+/// cached key sequence.
+const POOL_LEN: usize = 1 << 16;
+
+/// Placement summary returned by [`run_affine`].
+#[derive(Debug, Clone, Default)]
+pub struct AffineReport {
+    /// Logical CPUs the topology probe found.
+    pub cores: usize,
+    /// Workers whose core-pin syscall succeeded.
+    pub pinned_workers: usize,
+    /// Shards owned by each worker.
+    pub shards_per_worker: Vec<usize>,
+}
+
+/// Build one worker's key pool: indices drawn from `cfg.dist`, kept only
+/// if the mapped key routes to a shard in `owned`. Rejection sampling —
+/// ownership covers `|owned| / shards` of the blocks, so the expected
+/// cost is `shards / |owned|` draws per pooled key; the pool is built
+/// before the barrier, off the measured path.
+fn build_pool<I: ConcurrentIndex>(
+    sharded: &ShardedIndex<I>,
+    cfg: &WorkloadConfig,
+    owned: &[usize],
+    rng: &mut SmallRng,
+) -> Vec<u64> {
+    let sampler = cfg.dist.sampler(cfg.preload.max(1));
+    let owns = |s: usize| owned.contains(&s);
+    let mut pool = Vec::with_capacity(POOL_LEN);
+    // Bound the attempts so a pathological ownership/dist combination
+    // (e.g. a skewed distribution whose entire mass routes elsewhere)
+    // degrades to a short pool instead of an infinite loop.
+    let mut attempts = POOL_LEN * sharded.shard_count().max(1) * 8;
+    while pool.len() < POOL_LEN && attempts > 0 {
+        attempts -= 1;
+        let k = cfg.keyspace.key(sampler.sample(rng));
+        if owns(sharded.shard_of(k)) {
+            pool.push(k);
+        }
+    }
+    if pool.is_empty() {
+        // Ownership never matched a sampled key (tiny keyspace under a
+        // coarse router): fall back to direct keys of the first owned
+        // shard's blocks so the worker still drives its shards.
+        let bits = sharded.router().block_bits();
+        for b in 0..1024u64 {
+            let k = b << bits;
+            if owns(sharded.shard_of(k)) {
+                pool.push(k);
+            }
+        }
+    }
+    pool
+}
+
+/// Run the measured phase in affine mode. Panics if `cfg.threads == 0`.
+pub fn run_affine<I: ConcurrentIndex>(
+    sharded: &ShardedIndex<I>,
+    cfg: &WorkloadConfig,
+) -> (WorkloadResult, AffineReport) {
+    assert!(cfg.threads > 0, "affine mode needs at least one worker");
+    let affinity = sharded.affinity();
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|tid| {
+                let stop = Arc::clone(&stop);
+                let barrier = Arc::clone(&barrier);
+                let cfg = cfg.clone();
+                let affinity = affinity.clone();
+                s.spawn(move || {
+                    let owned = affinity.shards_of_worker(tid, cfg.threads);
+                    let pinned = affinity.pin_to_shard(owned[0]);
+                    let mut rng = SmallRng::seed_from_u64(0xAF1E ^ ((tid as u64) << 8));
+                    let pool = build_pool(sharded, &cfg, &owned, &mut rng);
+                    let mut out = WorkloadResult::default();
+                    // One reclaim handle per owned shard that has a
+                    // domain; guards over them are the group pins.
+                    let reclaim: Vec<_> = owned
+                        .iter()
+                        .filter_map(|&sh| sharded.shard_at(sh).reclaim_handle())
+                        .collect();
+                    let mut next_insert =
+                        cfg.preload + tid as u64 * (u64::MAX / 1024 / cfg.threads as u64);
+                    let batch = cfg.batch.max(1);
+                    let mut batch_buf: Vec<u64> = Vec::with_capacity(batch);
+                    let mut cursor = 0usize;
+                    let next_key = |cursor: &mut usize| {
+                        let k = pool[*cursor];
+                        *cursor = (*cursor + 1) % pool.len();
+                        k
+                    };
+                    barrier.wait();
+                    let mut guards: Vec<_> = reclaim.iter().map(|h| h.pin()).collect();
+                    let mut group_ops = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let die = rng.random_range(0..100);
+                        if die < cfg.mix.lookup {
+                            if batch > 1 {
+                                batch_buf.clear();
+                                for _ in 0..batch {
+                                    batch_buf.push(next_key(&mut cursor));
+                                }
+                                let res = sharded.multi_lookup(&batch_buf);
+                                out.lookup_hits +=
+                                    res.iter().filter(|r| r.is_some()).count() as u64;
+                            } else if sharded.lookup(next_key(&mut cursor)).is_some() {
+                                out.lookup_hits += 1;
+                            }
+                            out.lookups += batch as u64;
+                            group_ops += batch as u32;
+                        } else if die < cfg.mix.lookup + cfg.mix.update {
+                            sharded.update(next_key(&mut cursor), rng.random());
+                            out.updates += 1;
+                            group_ops += 1;
+                        } else if die < cfg.mix.lookup + cfg.mix.update + cfg.mix.insert {
+                            // Fresh keys, restricted to owned shards by
+                            // skipping over foreign ones.
+                            let k = loop {
+                                let k = cfg.keyspace.key(next_insert);
+                                next_insert += 1;
+                                if owned.contains(&sharded.shard_of(k)) {
+                                    break k;
+                                }
+                            };
+                            sharded.insert(k, k.wrapping_add(1));
+                            out.inserts += 1;
+                            group_ops += 1;
+                        } else if die
+                            < cfg.mix.lookup + cfg.mix.update + cfg.mix.insert + cfg.mix.remove
+                        {
+                            sharded.remove(next_key(&mut cursor));
+                            out.removes += 1;
+                            group_ops += 1;
+                        } else {
+                            let k = next_key(&mut cursor);
+                            out.scanned_entries += sharded.scan_count(k, 100) as u64;
+                            out.scans += 1;
+                            group_ops += 1;
+                        }
+                        if group_ops >= GROUP_OPS {
+                            // Refresh the group pins: drop every guard
+                            // (letting the shards' epochs advance), then
+                            // re-pin for the next group.
+                            guards.clear();
+                            guards.extend(reclaim.iter().map(|h| h.pin()));
+                            group_ops = 0;
+                        }
+                    }
+                    drop(guards);
+                    (out, pinned)
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Release);
+
+        let mut total = WorkloadResult::default();
+        let mut report = AffineReport {
+            cores: affinity.cores(),
+            pinned_workers: 0,
+            shards_per_worker: (0..cfg.threads)
+                .map(|t| affinity.shards_of_worker(t, cfg.threads).len())
+                .collect(),
+        };
+        for h in handles {
+            let (out, pinned) = h.join().unwrap();
+            report.pinned_workers += usize::from(pinned);
+            total.lookups += out.lookups;
+            total.lookup_hits += out.lookup_hits;
+            total.updates += out.updates;
+            total.inserts += out.inserts;
+            total.removes += out.removes;
+            total.scans += out.scans;
+            total.scanned_entries += out.scanned_entries;
+            total
+                .per_thread_ops
+                .push(out.lookups + out.updates + out.inserts + out.removes + out.scans);
+        }
+        total.elapsed = start.elapsed();
+        (total, report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::KeyDist;
+    use crate::workload::{preload, Mix};
+    use optiql_btree::BTreeOptiQL;
+    use std::time::Duration;
+
+    fn quick_cfg(mix: Mix, threads: usize, batch: usize) -> WorkloadConfig {
+        let mut cfg = WorkloadConfig::new(threads, mix, KeyDist::Uniform, 40_000);
+        cfg.duration = Duration::from_millis(150);
+        cfg.batch = batch;
+        cfg.sample_every = 0;
+        cfg
+    }
+
+    #[test]
+    fn affine_read_only_hits_every_lookup() {
+        let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_block_bits(4, 8);
+        let cfg = quick_cfg(Mix::YCSB_C, 2, 8);
+        preload(&s, &cfg);
+        let (r, rep) = run_affine(&s, &cfg);
+        assert!(r.lookups > 0);
+        assert_eq!(r.lookups, r.lookup_hits, "dense preload: all owned hits");
+        assert_eq!(r.lookups % 8, 0, "lookups issued in whole batches");
+        assert_eq!(rep.shards_per_worker, vec![2, 2]);
+        assert!(rep.cores >= 1);
+    }
+
+    #[test]
+    fn affine_mixed_workload_stays_consistent() {
+        let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_block_bits(4, 8);
+        let cfg = quick_cfg(Mix::new(50, 30, 10, 10), 3, 4);
+        preload(&s, &cfg);
+        let before = s.len();
+        let (r, _) = run_affine(&s, &cfg);
+        assert!(r.lookups > 0 && r.updates > 0);
+        assert!(r.inserts > 0 && r.removes > 0);
+        // Size accounting: preload + inserts - successful removes; we
+        // only know bounds (removes may miss), so sanity-check range.
+        assert!(s.len() <= before + r.inserts as usize);
+    }
+
+    #[test]
+    fn affine_workers_only_touch_owned_shards() {
+        // 4 shards, 4 workers: worker t owns exactly shard t. Preload,
+        // run a write-heavy affine phase, then verify every shard's op
+        // count grew — and that per-shard growth equals what the owning
+        // worker did (ownership is real, not advisory).
+        let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_block_bits(4, 8);
+        let cfg = quick_cfg(Mix::UPDATE_ONLY, 4, 1);
+        preload(&s, &cfg);
+        let mut before = Vec::new();
+        s.for_each_shard(|_, sh| before.push(sh.index_stats().ops));
+        let (r, _) = run_affine(&s, &cfg);
+        let mut after = Vec::new();
+        s.for_each_shard(|_, sh| after.push(sh.index_stats().ops));
+        let grown: u64 = after.iter().zip(&before).map(|(a, b)| a - b).sum();
+        assert_eq!(grown, r.updates, "all updates landed on shards");
+        let touched = after.iter().zip(&before).filter(|(a, b)| a > b).count();
+        assert_eq!(touched, 4, "every worker drove its own shard");
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_block_bits(4, 8);
+        let cfg = quick_cfg(Mix::YCSB_C, 1, 1);
+        preload(&s, &cfg);
+        let (r, rep) = run_affine(&s, &cfg);
+        assert!(r.lookups > 0);
+        assert_eq!(rep.shards_per_worker, vec![4]);
+    }
+}

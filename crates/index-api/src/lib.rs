@@ -25,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use optiql::olc::IndexStats;
+pub use optiql_reclaim::Handle as ReclaimHandle;
 
 /// A concurrent `u64 → u64` index: the interface both paper indexes (and
 /// any facade over them) expose.
@@ -89,6 +90,21 @@ pub trait ConcurrentIndex: Send + Sync {
     fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
         pairs.iter().map(|&(k, v)| self.insert(k, v)).collect()
     }
+
+    /// The epoch-reclamation domain guarding this index's node frees, if
+    /// it has exactly one. A composing layer (sharded facade, batched
+    /// workload driver) holds one pin across a whole operation group so
+    /// the per-operation pins inside become nested depth increments —
+    /// no epoch publication, no store→load fence — amortizing the pin
+    /// cost over the group.
+    ///
+    /// `None` (the default) means "no single domain": either the index
+    /// does not reclaim memory at all (e.g. the model), or it spans
+    /// several domains (e.g. a sharded facade with per-shard domains),
+    /// in which case callers amortize per shard instead.
+    fn reclaim_handle(&self) -> Option<ReclaimHandle> {
+        None
+    }
 }
 
 /// Implement [`ConcurrentIndex`] for an index type by delegating to its
@@ -144,6 +160,10 @@ macro_rules! impl_concurrent_index {
             fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
                 <$ty>::multi_insert(self, pairs)
             }
+            #[inline]
+            fn reclaim_handle(&self) -> Option<$crate::ReclaimHandle> {
+                <$ty>::reclaim_handle(self)
+            }
         }
     };
 }
@@ -195,6 +215,10 @@ macro_rules! impl_deref_index {
             #[inline]
             fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
                 (**self).multi_insert(pairs)
+            }
+            #[inline]
+            fn reclaim_handle(&self) -> Option<ReclaimHandle> {
+                (**self).reclaim_handle()
             }
         }
     };

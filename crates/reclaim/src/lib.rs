@@ -90,6 +90,12 @@ struct Shared {
     epoch: AtomicU64,
     /// Per-participant pinned epoch (`SLOT_FREE`, `SLOT_IDLE`, or an epoch).
     slots: Box<[CachePadded<AtomicU64>]>,
+    /// One past the highest slot index ever registered: epoch scans stop
+    /// here instead of walking all `MAX_PARTICIPANTS` cache-padded lines
+    /// (a 32 KiB sweep) when only a handful of threads participate.
+    /// Monotone — a freed slot stays inside the scanned window, which is
+    /// conservative (an extra `SLOT_FREE` load), never unsound.
+    slot_hwm: AtomicUsize,
     /// Garbage abandoned by exited threads, grouped by retirement epoch.
     orphans: Mutex<Vec<Bag>>,
     /// Diagnostic: objects currently deferred (global, approximate).
@@ -97,11 +103,18 @@ struct Shared {
 }
 
 impl Shared {
+    /// The registered prefix of the slot array.
+    #[inline]
+    fn live_slots(&self) -> &[CachePadded<AtomicU64>] {
+        let hwm = self.slot_hwm.load(Ordering::Acquire).min(self.slots.len());
+        &self.slots[..hwm]
+    }
+
     /// Smallest epoch any pinned thread observes, or the global epoch if
     /// nothing is pinned.
     fn min_pinned(&self) -> u64 {
         let mut min = u64::MAX;
-        for s in self.slots.iter() {
+        for s in self.live_slots() {
             let e = s.load(Ordering::Acquire);
             if e < SLOT_IDLE && e < min {
                 min = e;
@@ -118,7 +131,7 @@ impl Shared {
     /// has observed the current one.
     fn try_advance(&self) -> u64 {
         let global = self.epoch.load(Ordering::Acquire);
-        for s in self.slots.iter() {
+        for s in self.live_slots() {
             let e = s.load(Ordering::Acquire);
             if e < SLOT_IDLE && e != global {
                 return global; // a straggler is still in an older epoch
@@ -181,6 +194,7 @@ impl Collector {
             shared: Arc::new(Shared {
                 epoch: AtomicU64::new(0),
                 slots,
+                slot_hwm: AtomicUsize::new(0),
                 orphans: Mutex::new(Vec::new()),
                 deferred_count: AtomicUsize::new(0),
             }),
@@ -213,21 +227,26 @@ impl Collector {
     /// Advance the epoch and reclaim everything that is safe. Call from a
     /// quiescent point (no guard held by this thread).
     pub fn flush(&self) {
-        // Hand this thread's local bags for this domain to the orphan list
-        // so the collection below can free them.
-        let want = Arc::as_ptr(&self.shared);
-        let _ = REGISTRY.try_with(|r| {
-            if let Ok(reg) = r.try_borrow() {
-                if let Some(local) = reg.locals.iter().find(|l| l.shared_ptr == want) {
-                    local.seal_and_orphan();
-                }
-            }
-        });
-        // Two advances move the frontier past everything already retired.
-        self.shared.try_advance();
-        self.shared.try_advance();
-        self.shared.collect_orphans();
+        flush_shared(&self.shared);
     }
+}
+
+/// Shared flush implementation for [`Collector::flush`] / [`Handle::flush`].
+fn flush_shared(shared: &Arc<Shared>) {
+    // Hand this thread's local bags for this domain to the orphan list
+    // so the collection below can free them.
+    let want = Arc::as_ptr(shared);
+    let _ = REGISTRY.try_with(|r| {
+        if let Ok(reg) = r.try_borrow() {
+            if let Some(local) = reg.locals.iter().find(|l| l.shared_ptr == want) {
+                local.seal_and_orphan();
+            }
+        }
+    });
+    // Two advances move the frontier past everything already retired.
+    shared.try_advance();
+    shared.try_advance();
+    shared.collect_orphans();
 }
 
 /// Shareable handle to a [`Collector`] domain.
@@ -327,21 +346,52 @@ struct LocalRegistry {
 
 impl Drop for LocalRegistry {
     fn drop(&mut self) {
-        // Clear the fast-path pointer *before* the Locals are freed so a
+        // Clear the fast-path pointers *before* the Locals are freed so a
         // pin() from a later TLS destructor cannot dereference a dangling
         // pointer (it will take the slow path instead).
         let _ = ACTIVE.try_with(|c| c.set(ptr::null()));
+        clear_switch_cache();
     }
 }
+
+/// Ways in the per-thread domain-switch cache. Eight covers the sharded
+/// facade's default shard count; larger domain sets degrade to the
+/// registry scan only on conflict misses.
+const SWITCH_WAYS: usize = 8;
 
 thread_local! {
     /// Fast-path pointer to the most recently used domain's [`Local`].
     /// Invariant: when non-null it points into this thread's live
     /// [`REGISTRY`] (cleared before the registry is torn down).
     static ACTIVE: Cell<*const Local> = const { Cell::new(ptr::null()) };
+    /// Direct-mapped domain → [`Local`] cache keyed by a hash of the
+    /// domain pointer, making domain *switches* O(1) instead of a scan of
+    /// every domain the thread ever pinned — a thread striding over a
+    /// many-shard index switches domains on nearly every operation.
+    /// Same validity invariant as [`ACTIVE`]; cleared on every registry
+    /// mutation ([`local_slow`]) and at registry teardown.
+    static SWITCH_CACHE: [Cell<*const Local>; SWITCH_WAYS] =
+        const { [const { Cell::new(ptr::null()) }; SWITCH_WAYS] };
     /// Owner of the [`Local`] records (stable addresses via `Box`).
     static REGISTRY: RefCell<LocalRegistry> =
         const { RefCell::new(LocalRegistry { locals: Vec::new() }) };
+}
+
+/// The [`SWITCH_CACHE`] way for a domain pointer.
+#[inline]
+fn switch_way(want: *const Shared) -> usize {
+    // Fibonacci-spread the pointer bits: allocations are aligned, so the
+    // low bits carry no entropy on their own.
+    ((want as usize).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (usize::BITS - 3)) % SWITCH_WAYS
+}
+
+/// Drop every switch-cache entry (registry about to mutate or die).
+fn clear_switch_cache() {
+    let _ = SWITCH_CACHE.try_with(|m| {
+        for c in m {
+            c.set(ptr::null());
+        }
+    });
 }
 
 /// Locate (or create) this thread's participant record for `shared`.
@@ -356,17 +406,59 @@ fn local_for(shared: &Arc<Shared>) -> *const Local {
             return cached;
         }
     }
-    local_slow(shared, want)
+    local_switch(shared, want)
 }
 
-/// Domain switch / first pin: registry lookup, registration, pruning.
+/// Domain switch between already-registered domains. First probe the
+/// O(1) [`SWITCH_CACHE`]; fall back to a read-only scan of this thread's
+/// participant records on a miss. A sharded index alternates domains on
+/// nearly every operation, so the hit path must stay a couple of loads —
+/// registration and pruning are deferred to [`local_slow`], which
+/// mutates the registry.
+fn local_switch(shared: &Arc<Shared>, want: *const Shared) -> *const Local {
+    let way = switch_way(want);
+    let cached = SWITCH_CACHE
+        .try_with(|m| m[way].get())
+        .unwrap_or(ptr::null());
+    if !cached.is_null() {
+        // Safety: same invariant as ACTIVE — non-null entries point into
+        // this thread's live registry.
+        if unsafe { (*cached).shared_ptr } == want {
+            let _ = ACTIVE.try_with(|c| c.set(cached));
+            return cached;
+        }
+    }
+    let found = REGISTRY
+        .try_with(|r| {
+            // A plain borrow: pin() never runs inside local_slow's
+            // borrow_mut on the same thread, and concurrent threads have
+            // their own registries.
+            let reg = r.borrow();
+            reg.locals
+                .iter()
+                .find(|l| l.shared_ptr == want)
+                .map(|l| &**l as *const Local)
+        })
+        .unwrap_or(None);
+    match found {
+        Some(p) => {
+            let _ = ACTIVE.try_with(|c| c.set(p));
+            let _ = SWITCH_CACHE.try_with(|m| m[way].set(p));
+            p
+        }
+        None => local_slow(shared, want),
+    }
+}
+
+/// First pin into a domain: registry registration and pruning.
 #[cold]
 fn local_slow(shared: &Arc<Shared>, want: *const Shared) -> *const Local {
     REGISTRY.with(|r| {
         let mut reg = r.borrow_mut();
-        // The ACTIVE pointer is re-established below; null it first so the
-        // pruning can never leave it dangling.
+        // The fast-path pointers are re-established below; null them
+        // first so the pruning can never leave one dangling.
         let _ = ACTIVE.try_with(|c| c.set(ptr::null()));
+        clear_switch_cache();
         // Prune participant records of dead domains: nobody but us holds
         // the Arc and no guard of ours is outstanding.
         reg.locals
@@ -388,6 +480,7 @@ fn local_slow(shared: &Arc<Shared>, want: *const Shared) -> *const Local {
                             .is_ok()
                     })
                     .expect("reclamation participant registry full");
+                shared.slot_hwm.fetch_max(slot + 1, Ordering::AcqRel);
                 reg.locals.push(Box::new(Local {
                     shared: Arc::clone(shared),
                     shared_ptr: want,
@@ -402,6 +495,7 @@ fn local_slow(shared: &Arc<Shared>, want: *const Shared) -> *const Local {
         };
         let p: *const Local = &*reg.locals[idx];
         let _ = ACTIVE.try_with(|c| c.set(p));
+        let _ = SWITCH_CACHE.try_with(|m| m[switch_way(want)].set(p));
         p
     })
 }
@@ -456,6 +550,20 @@ impl Handle {
     /// Current global epoch (diagnostic).
     pub fn epoch(&self) -> u64 {
         self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of objects currently awaiting reclamation in this domain
+    /// (approximate; see [`Collector::deferred`]). Lets composed layers —
+    /// a sharded facade, a workload driver parked between batches — assert
+    /// bounded-garbage invariants without holding the `Collector` itself.
+    pub fn deferred(&self) -> usize {
+        self.shared.deferred_count.load(Ordering::Relaxed)
+    }
+
+    /// Advance the epoch and reclaim everything that is safe, as
+    /// [`Collector::flush`] (quiescent points only).
+    pub fn flush(&self) {
+        flush_shared(&self.shared);
     }
 }
 
@@ -681,6 +789,64 @@ mod tests {
             c.flush();
         }
         assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn slot_hwm_tracks_registrations() {
+        let c = Collector::new();
+        assert_eq!(c.shared.slot_hwm.load(Ordering::Relaxed), 0);
+        drop(c.pin());
+        assert_eq!(c.shared.slot_hwm.load(Ordering::Relaxed), 1);
+        // A second thread claims a second slot; the mark covers both.
+        let h = c.handle();
+        std::thread::spawn(move || drop(h.pin())).join().unwrap();
+        assert_eq!(c.shared.slot_hwm.load(Ordering::Relaxed), 2);
+        // Re-pinning from this thread reuses its slot: no growth.
+        drop(c.pin());
+        assert_eq!(c.shared.slot_hwm.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn handle_flush_and_deferred_mirror_the_collector() {
+        let c = Collector::new();
+        let h = c.handle();
+        let (count, make) = drop_counter();
+        {
+            let g = h.pin();
+            g.retire_box(Box::new(make()));
+        }
+        assert_eq!(h.deferred(), 1);
+        h.flush();
+        h.flush();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        assert_eq!(h.deferred(), 0);
+        assert_eq!(c.deferred(), 0);
+    }
+
+    #[test]
+    fn rapid_domain_alternation_stays_correct() {
+        // The sharded-facade access pattern: one thread alternating pins
+        // over many domains, retiring into each. Every domain must still
+        // free exactly its own garbage.
+        const DOMAINS: usize = 8;
+        let cs: Vec<Collector> = (0..DOMAINS).map(|_| Collector::new()).collect();
+        let counters: Vec<_> = (0..DOMAINS).map(|_| drop_counter()).collect();
+        for i in 0..4_000usize {
+            let d = i % DOMAINS;
+            let g = cs[d].pin();
+            g.retire_box(Box::new(counters[d].1()));
+        }
+        for (d, c) in cs.iter().enumerate() {
+            for _ in 0..4 {
+                c.flush();
+            }
+            assert_eq!(
+                counters[d].0.load(Ordering::Relaxed),
+                4_000 / DOMAINS,
+                "domain {d} lost or duplicated garbage"
+            );
+            assert_eq!(c.deferred(), 0, "domain {d} left garbage deferred");
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! # optiql-sharded — a hash-partitioned facade over any concurrent index
+//! # optiql-sharded — a partitioned facade over any concurrent index
 //!
 //! The paper makes a single index robust under contention; a serving
 //! system additionally partitions, so that independent key ranges never
@@ -7,21 +7,37 @@
 //! structures in main-memory engines). [`ShardedIndex`] is that
 //! partitioning step, expressed as a facade:
 //!
-//! * keys are spread over `N` shards (a power of two) by a Fibonacci
-//!   multiplicative hash of the key — cheap, and immune to the dense
-//!   sequential key patterns the benchmarks preload;
+//! * keys are spread over `N` shards (a power of two) by a
+//!   **cache-conscious block [`Router`]**: keys sharing a
+//!   `2^block_bits`-key aligned block route together (clustered working
+//!   sets keep their leaf/subtree locality inside one shard) while block
+//!   numbers are Fibonacci-spread so dense ranges stripe evenly over all
+//!   shards — the original per-key Fibonacci route (still available as
+//!   `block_bits = 0`) scattered hot neighbourhoods over every shard and
+//!   measurably *lost* throughput to cache dilution;
 //! * every shard is its own complete index behind
 //!   [`ConcurrentIndex`], wrapped in `CachePadded` so neighbouring
 //!   shards never false-share a cache line;
 //! * each shard owns its private epoch-reclamation domain — both tree
 //!   crates embed a `Collector` per instance, so per-shard domains fall
 //!   out of the composition: retirement in one shard never delays
-//!   reclamation in another;
+//!   reclamation in another. Batched operations amortize the domain
+//!   pins: each shard's sub-batch runs under **one** outer pin (via
+//!   [`ConcurrentIndex::reclaim_handle`]), making the per-op pins inside
+//!   nested no-fence increments;
+//! * opt-in [`ShardAffinity`] places shards on cores (topology probed,
+//!   gracefully degrading) so thread-per-core drivers can pin workers to
+//!   the shards they own;
 //! * the facade implements [`ConcurrentIndex`] itself, so every
 //!   benchmark, workload driver and test runs unmodified over `plain`
 //!   and `sharded(N)` variants.
 //!
-//! Point operations touch exactly one shard. `scan_count` fans out:
+//! Point operations touch exactly one shard. `multi_lookup` /
+//! `multi_insert` **partition-then-pipeline**: one counting pass buckets
+//! the batch into per-shard sub-batches (flat buffers, batch order
+//! preserved within each shard), each shard runs its software-pipelined
+//! engine over a dense sub-batch under a single reclaim pin, and results
+//! scatter back to their original positions. `scan_count` fans out:
 //! hash partitioning destroys global key order, so each shard reports
 //! its own count of keys ≥ `start` (each capped at `limit`) and the sum
 //! is capped at `limit` — equal to the count an unpartitioned index
@@ -30,42 +46,61 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod affinity;
+mod route;
+
+pub use affinity::ShardAffinity;
+pub use route::{Router, DEFAULT_BLOCK_BITS};
+
 use crossbeam_utils::CachePadded;
 use optiql_index_api::{ConcurrentIndex, IndexStats};
-
-/// Fibonacci multiplicative-hash constant (2^64 / φ).
-const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Default shard count: enough to split hot leaves apart without
 /// multiplying memory overhead needlessly.
 pub const DEFAULT_SHARDS: usize = 8;
 
-/// A hash-partitioned index facade: `N` cache-line-padded shards of `I`,
-/// each a fully independent index (locks, stats, reclaim domain).
+/// A partitioned index facade: `N` cache-line-padded shards of `I`,
+/// each a fully independent index (locks, stats, reclaim domain), with a
+/// locality-preserving block router deciding ownership.
 pub struct ShardedIndex<I> {
     shards: Box<[CachePadded<I>]>,
-    /// `64 - log2(shards)`: the hash selects a shard by its top bits.
-    shift: u32,
+    router: Router,
 }
 
 impl<I: ConcurrentIndex + Default> ShardedIndex<I> {
-    /// A facade over `shards` default-constructed shards. `shards` is
-    /// rounded up to the next power of two (minimum 1).
+    /// A facade over `shards` default-constructed shards with the
+    /// default block granularity. `shards` is rounded up to the next
+    /// power of two (minimum 1).
     pub fn new(shards: usize) -> Self {
         Self::with_shards(shards, |_| I::default())
+    }
+
+    /// As [`new`](Self::new) with an explicit block granularity
+    /// (`block_bits = 0` reproduces the original per-key Fibonacci
+    /// scatter).
+    pub fn with_block_bits(shards: usize, block_bits: u32) -> Self {
+        Self::with_config(shards, block_bits, |_| I::default())
     }
 }
 
 impl<I: ConcurrentIndex> ShardedIndex<I> {
     /// A facade over `shards` shards built by `make` (called with the
-    /// shard number). `shards` is rounded up to the next power of two
-    /// (minimum 1) so shard selection is a shift, not a division.
-    pub fn with_shards(shards: usize, mut make: impl FnMut(usize) -> I) -> Self {
+    /// shard number), default block granularity. `shards` is rounded up
+    /// to the next power of two (minimum 1) so shard selection is a
+    /// shift, not a division.
+    pub fn with_shards(shards: usize, make: impl FnMut(usize) -> I) -> Self {
+        Self::with_config(shards, DEFAULT_BLOCK_BITS, make)
+    }
+
+    /// The fully explicit constructor: shard count (rounded up to a
+    /// power of two, minimum 1), block granularity, and a per-shard
+    /// builder.
+    pub fn with_config(shards: usize, block_bits: u32, mut make: impl FnMut(usize) -> I) -> Self {
         let n = shards.max(1).next_power_of_two();
         let shards: Box<[CachePadded<I>]> = (0..n).map(|i| CachePadded::new(make(i))).collect();
         ShardedIndex {
             shards,
-            shift: 64 - n.trailing_zeros(),
+            router: Router::new(n, block_bits),
         }
     }
 
@@ -74,14 +109,27 @@ impl<I: ConcurrentIndex> ShardedIndex<I> {
         self.shards.len()
     }
 
+    /// The router mapping keys to shards.
+    pub fn router(&self) -> Router {
+        self.router
+    }
+
+    /// Probe the host topology and place this facade's shards on cores
+    /// (round-robin). See [`ShardAffinity`].
+    pub fn affinity(&self) -> ShardAffinity {
+        ShardAffinity::probe(self.shards.len())
+    }
+
     /// The shard number `key` maps to.
     #[inline]
     pub fn shard_of(&self, key: u64) -> usize {
-        if self.shards.len() == 1 {
-            0
-        } else {
-            (key.wrapping_mul(FIB) >> self.shift) as usize
-        }
+        self.router.route(key)
+    }
+
+    /// Direct access to shard `i` (affine drivers address the shards
+    /// they own; panics when out of range).
+    pub fn shard_at(&self, i: usize) -> &I {
+        &self.shards[i]
     }
 
     #[inline]
@@ -106,6 +154,45 @@ impl<I: ConcurrentIndex> ShardedIndex<I> {
             .sum::<usize>()
             .min(limit)
     }
+
+    /// Bucket `keys` into per-shard sub-batches using one counting pass
+    /// and flat buffers: returns `(offsets, ordered_keys, positions)`
+    /// where shard `s`'s sub-batch is `ordered_keys[offsets[s] ..
+    /// offsets[s + 1]]` and `positions` carries each ordered key's index
+    /// in the original batch. Batch order is preserved within each shard
+    /// (the scatter pass walks the batch in order), which is what keeps
+    /// duplicate-key in-order semantics intact across the partition.
+    fn partition(&self, keys: impl ExactSizeIterator<Item = u64> + Clone) -> PartitionedBatch {
+        let n = self.shards.len();
+        let mut offsets = vec![0usize; n + 1];
+        for k in keys.clone() {
+            offsets[self.shard_of(k) + 1] += 1;
+        }
+        for s in 0..n {
+            offsets[s + 1] += offsets[s];
+        }
+        let mut cursor = offsets.clone();
+        let mut ordered = vec![0u64; keys.len()];
+        let mut positions = vec![0usize; keys.len()];
+        for (i, k) in keys.enumerate() {
+            let c = &mut cursor[self.shard_of(k)];
+            ordered[*c] = k;
+            positions[*c] = i;
+            *c += 1;
+        }
+        PartitionedBatch {
+            offsets,
+            ordered,
+            positions,
+        }
+    }
+}
+
+/// Output of [`ShardedIndex::partition`].
+struct PartitionedBatch {
+    offsets: Vec<usize>,
+    ordered: Vec<u64>,
+    positions: Vec<usize>,
 }
 
 impl<I: ConcurrentIndex> ConcurrentIndex for ShardedIndex<I> {
@@ -139,27 +226,28 @@ impl<I: ConcurrentIndex> ConcurrentIndex for ShardedIndex<I> {
         total
     }
     /// Partition the batch by shard, dispatch one sub-batch per shard (so
-    /// each shard's pipelined engine sees a dense batch), and scatter the
-    /// results back to their original positions.
+    /// each shard's pipelined engine sees a dense batch) under one
+    /// amortized reclaim pin per shard, and scatter the results back to
+    /// their original positions.
     fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
         if self.shards.len() == 1 {
             return self.shards[0].multi_lookup(keys);
         }
-        let n = self.shards.len();
-        let mut sub: Vec<Vec<u64>> = vec![Vec::new(); n];
-        let mut pos: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, &k) in keys.iter().enumerate() {
-            let s = self.shard_of(k);
-            sub[s].push(k);
-            pos[s].push(i);
+        if let [k] = *keys {
+            // A one-key batch routes like a point op; the partition's
+            // flat buffers would cost more than the lookup.
+            return vec![self.shard(k).lookup(k)];
         }
+        let part = self.partition(keys.iter().copied());
         let mut out = vec![None; keys.len()];
         for (s, shard) in self.shards.iter().enumerate() {
-            if sub[s].is_empty() {
+            let range = part.offsets[s]..part.offsets[s + 1];
+            if range.is_empty() {
                 continue;
             }
-            let res = shard.multi_lookup(&sub[s]);
-            for (&i, r) in pos[s].iter().zip(res) {
+            let _pin = shard.reclaim_handle().map(|h| h.pin());
+            let res = shard.multi_lookup(&part.ordered[range.clone()]);
+            for (&i, r) in part.positions[range].iter().zip(res) {
                 out[i] = r;
             }
         }
@@ -167,27 +255,28 @@ impl<I: ConcurrentIndex> ConcurrentIndex for ShardedIndex<I> {
     }
     /// As [`multi_lookup`](ConcurrentIndex::multi_lookup), for inserts.
     /// Order within each shard's sub-batch follows batch order, and equal
-    /// keys always hash to the same shard, so the in-order semantics of
+    /// keys always route to the same shard, so the in-order semantics of
     /// duplicate keys are preserved across the partition.
     fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
         if self.shards.len() == 1 {
             return self.shards[0].multi_insert(pairs);
         }
-        let n = self.shards.len();
-        let mut sub: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
-        let mut pos: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, &(k, v)) in pairs.iter().enumerate() {
-            let s = self.shard_of(k);
-            sub[s].push((k, v));
-            pos[s].push(i);
+        if let [(k, v)] = *pairs {
+            return vec![self.shard(k).insert(k, v)];
         }
+        let part = self.partition(pairs.iter().map(|&(k, _)| k));
         let mut out = vec![None; pairs.len()];
+        let mut sub: Vec<(u64, u64)> = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {
-            if sub[s].is_empty() {
+            let range = part.offsets[s]..part.offsets[s + 1];
+            if range.is_empty() {
                 continue;
             }
-            let res = shard.multi_insert(&sub[s]);
-            for (&i, r) in pos[s].iter().zip(res) {
+            sub.clear();
+            sub.extend(part.positions[range.clone()].iter().map(|&i| pairs[i]));
+            let _pin = shard.reclaim_handle().map(|h| h.pin());
+            let res = shard.multi_insert(&sub);
+            for (&i, r) in part.positions[range].iter().zip(res) {
                 out[i] = r;
             }
         }
@@ -220,17 +309,43 @@ mod tests {
 
     #[test]
     fn dense_keys_spread_over_shards() {
-        let s: ShardedIndex<ModelIndex> = ShardedIndex::new(8);
+        // Explicit fine granularity: 512k keys = 2000 × 256-key blocks,
+        // plenty to stripe. (The coarse default needs a multi-million-key
+        // space to balance; route.rs covers that property per block.)
+        let s: ShardedIndex<ModelIndex> = ShardedIndex::with_block_bits(8, 8);
         let mut hist = [0usize; 8];
-        for k in 0..8_000u64 {
+        for k in 0..512_000u64 {
             hist[s.shard_of(k)] += 1;
         }
         for (i, &n) in hist.iter().enumerate() {
             assert!(
-                (500..=1_500).contains(&n),
-                "dense keys skewed: shard {i} got {n}/8000"
+                (48_000..=80_000).contains(&n),
+                "dense keys skewed: shard {i} got {n}/512000"
             );
         }
+    }
+
+    #[test]
+    fn blocks_stay_whole() {
+        let s: ShardedIndex<ModelIndex> = ShardedIndex::new(8);
+        let bits = s.router().block_bits();
+        assert_eq!(bits, DEFAULT_BLOCK_BITS);
+        let block = 1u64 << bits;
+        for b in 0..64u64 {
+            let owner = s.shard_of(b * block);
+            // Sample within the block: ends, and a coprime stride.
+            for k in (b * block..(b + 1) * block).step_by(4099) {
+                assert_eq!(s.shard_of(k), owner);
+            }
+            assert_eq!(s.shard_of((b + 1) * block - 1), owner);
+        }
+    }
+
+    #[test]
+    fn zero_block_bits_reproduces_per_key_scatter() {
+        let s: ShardedIndex<ModelIndex> = ShardedIndex::with_block_bits(8, 0);
+        let first = s.shard_of(0);
+        assert!((1..8u64).any(|k| s.shard_of(k) != first));
     }
 
     #[test]
@@ -275,14 +390,24 @@ mod tests {
 
     #[test]
     fn multi_ops_preserve_batch_order_across_shards() {
+        // Wide key spread so the batch actually spans shards under the
+        // block router.
+        let spread = |i: u64| i << DEFAULT_BLOCK_BITS;
         let s: ShardedIndex<ModelIndex> = ShardedIndex::new(4);
-        let pairs: Vec<(u64, u64)> = (0..100u64).map(|k| (k, k + 1)).collect();
+        let pairs: Vec<(u64, u64)> = (0..100u64).map(|k| (spread(k), k + 1)).collect();
         assert!(s.multi_insert(&pairs).iter().all(|r| r.is_none()));
         // Overwrite batch with an intra-batch duplicate: the second write
-        // to key 7 must observe the first one's value.
-        let got = s.multi_insert(&[(7, 70), (7, 71), (200, 1)]);
+        // to key spread(7) must observe the first one's value.
+        let got = s.multi_insert(&[(spread(7), 70), (spread(7), 71), (spread(200), 1)]);
         assert_eq!(got, vec![Some(8), Some(70), None]);
-        let keys: Vec<u64> = vec![99, 7, 200, 7, 1_000, 0];
+        let keys: Vec<u64> = vec![
+            spread(99),
+            spread(7),
+            spread(200),
+            spread(7),
+            spread(1_000),
+            spread(0),
+        ];
         assert_eq!(
             s.multi_lookup(&keys),
             vec![Some(100), Some(71), Some(1), Some(71), None, Some(1)]
@@ -300,5 +425,14 @@ mod tests {
         let mut visited = 0;
         s.for_each_shard(|_, _| visited += 1);
         assert_eq!(visited, 4);
+    }
+
+    #[test]
+    fn facade_reports_no_single_reclaim_domain() {
+        let s: ShardedIndex<ModelIndex> = ShardedIndex::new(4);
+        assert!(
+            s.reclaim_handle().is_none(),
+            "a multi-domain facade must not pretend to have one domain"
+        );
     }
 }

@@ -1,0 +1,162 @@
+//! Shard routing: which shard owns a key.
+//!
+//! The first facade routed every key through a Fibonacci multiplicative
+//! hash, which *maximally* scatters adjacent keys — key `k` and `k+1`
+//! land on unrelated shards. That is exactly wrong for a cache-conscious
+//! partitioning of a tree index: the benchmarks (and any clustered real
+//! workload) touch key neighbourhoods, and scattering a hot
+//! neighbourhood over `N` shards multiplies the hot working set by `N` —
+//! `N` roots, `N` sets of upper-level nodes, `N` partially-filled hot
+//! leaves, where one shard would have served the whole cluster from a
+//! handful of cache lines. `results/BENCH_sharded.json` recorded that
+//! loss: ART YCSB-C dropped ~33% going 1 → 8 shards on the old route.
+//!
+//! [`Router`] keeps the balance property of the hash but hashes *blocks*
+//! instead of keys: keys sharing their top `64 - block_bits` bits (a
+//! `2^block_bits`-key aligned block) route together, so a clustered
+//! working set stays within one shard's trees and leaves, while block
+//! numbers are still Fibonacci-spread so dense key ranges stripe evenly
+//! over all shards. `block_bits = 0` degenerates to the old per-key
+//! hash (every key is its own block).
+
+/// Fibonacci multiplicative-hash constant (2^64 / φ).
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Default block granularity: 64Ki-key aligned blocks.
+///
+/// The block size is chosen to align with *index node spans*, so that
+/// partitioning never splits an interior node's key range across shards:
+///
+/// * ART: a 64Ki-key aligned range is exactly the span of a two-level
+///   radix subtree (one byte-6 node and its byte-7 children). Smaller
+///   blocks give each shard a *sparse subset* of every byte-6 node's
+///   children, degrading what would be a fully-populated `Node256` into
+///   a `Node48` — one extra dependent load on every lookup. Measured on
+///   YCSB-C this was most of the sharding loss.
+/// * B+-tree: 64Ki keys ≈ several hundred contiguous leaves, so each
+///   shard's leaf runs are long and its interior fan-out dense.
+///
+/// The cost is granularity: a keyspace smaller than `shards × 2^16`
+/// cannot stripe evenly (and below `2^16` collapses into one shard).
+/// Small-keyspace users — tests, chaos harnesses — should pass an
+/// explicit `block_bits` sized to their keyspace; multiples of 8 keep
+/// ART radix nodes whole.
+pub const DEFAULT_BLOCK_BITS: u32 = 16;
+
+/// Maps keys to shards: locality-preserving within a block, hash-spread
+/// across blocks. Cheap to copy; the facade embeds one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Router {
+    /// log2 of the block size in keys (0 = per-key hashing).
+    block_bits: u32,
+    /// `64 - log2(shards)`: the block hash selects a shard by its top
+    /// bits. 64 exactly when there is a single shard.
+    shift: u32,
+    /// Shard count (power of two).
+    shards: usize,
+}
+
+impl Router {
+    /// A router over `shards` shards (must be a power of two) with the
+    /// given block granularity.
+    pub fn new(shards: usize, block_bits: u32) -> Router {
+        assert!(shards.is_power_of_two(), "shard count must be 2^k");
+        assert!(block_bits < 64, "block_bits must leave block number bits");
+        Router {
+            block_bits,
+            shift: 64 - shards.trailing_zeros(),
+            shards,
+        }
+    }
+
+    /// Shard count this router spreads over.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Block granularity (log2 keys per block).
+    #[inline]
+    pub fn block_bits(&self) -> u32 {
+        self.block_bits
+    }
+
+    /// The block `key` belongs to: its routing unit.
+    #[inline]
+    pub fn block_of(&self, key: u64) -> u64 {
+        key >> self.block_bits
+    }
+
+    /// The shard `key` routes to. Total: every key maps to exactly one
+    /// shard, and the map is a pure function of `(key, shards,
+    /// block_bits)` — stable across calls, instances and threads.
+    #[inline]
+    pub fn route(&self, key: u64) -> usize {
+        if self.shards == 1 {
+            0
+        } else {
+            (self.block_of(key).wrapping_mul(FIB) >> self.shift) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_stable_and_in_range() {
+        for shards in [1usize, 2, 8, 64] {
+            let r = Router::new(shards, DEFAULT_BLOCK_BITS);
+            for k in (0..50_000u64).chain([u64::MAX, u64::MAX - 1, 1 << 63]) {
+                let s = r.route(k);
+                assert!(s < shards);
+                assert_eq!(s, r.route(k));
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_route_as_units() {
+        let r = Router::new(8, 8);
+        for block in 0..500u64 {
+            let first = r.route(block << 8);
+            for k in (block << 8)..(block << 8) + 256 {
+                assert_eq!(r.route(k), first, "key {k} left its block");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_block_bits_is_per_key_hashing() {
+        let r = Router::new(8, 0);
+        // Adjacent keys scatter: the eight keys 0..8 should not all map
+        // to one shard under the per-key Fibonacci hash.
+        let first = r.route(0);
+        assert!((1..8u64).any(|k| r.route(k) != first));
+    }
+
+    #[test]
+    fn dense_blocks_stripe_evenly() {
+        // Granularity-independent striping property: sample one key per
+        // block over a few thousand consecutive blocks and require every
+        // shard's block share within ±25% of even, for both a fine and
+        // the default (coarse) granularity.
+        let shards = 8;
+        for bits in [8u32, DEFAULT_BLOCK_BITS] {
+            let r = Router::new(shards, bits);
+            let blocks = 4096u64;
+            let mut hist = vec![0u64; shards];
+            for b in 0..blocks {
+                hist[r.route(b << bits)] += 1;
+            }
+            let expect = blocks / shards as u64;
+            for (s, &n) in hist.iter().enumerate() {
+                assert!(
+                    n > expect * 3 / 4 && n < expect * 5 / 4,
+                    "bits={bits}: shard {s} holds {n} of ~{expect} blocks"
+                );
+            }
+        }
+    }
+}

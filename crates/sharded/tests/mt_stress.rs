@@ -1,0 +1,171 @@
+//! Multi-threaded differential stress of the sharded facade's batched
+//! path: the threads × shards × batch matrix.
+//!
+//! Each worker owns a private key range (so the final state is
+//! deterministic) and shares a read-only preloaded region. Every round
+//! it issues a `multi_insert` over its own range — with duplicate keys
+//! *inside* the batch — and a `multi_lookup` mixing its own keys,
+//! shared keys, and never-written keys, then verifies every result
+//! **positionally** against a thread-local model: the scatter/gather in
+//! the facade's partition must map result `i` to key `i` even while
+//! other threads hammer the same shards. Batch lengths include sizes
+//! beyond the trees' pipeline group of 8 and non-multiples of it, so
+//! group boundaries and partition remainders are both crossed.
+//!
+//! Matrix points run over both trees and a `ModelIndex` baseline — the
+//! facade must be transparent over all three.
+
+use std::collections::HashMap;
+
+use optiql_art::ArtOptiQL;
+use optiql_btree::BTreeOptiQL;
+use optiql_index_api::model::ModelIndex;
+use optiql_index_api::ConcurrentIndex;
+use optiql_sharded::ShardedIndex;
+
+/// Bounded worker count: scale with the host but stay CI-friendly
+/// (same clamp idiom as tests/torture.rs).
+fn stress_threads() -> u64 {
+    std::thread::available_parallelism()
+        .map_or(2, |n| n.get() as u64)
+        .clamp(2, 4)
+}
+
+const SHARED: u64 = 1_024; // read-only preloaded region [0, SHARED)
+const RANGE: u64 = 512; // private keys per worker
+const ROUNDS: usize = 60;
+
+/// Value tag: which worker wrote, and when.
+fn tag(t: u64, round: u64, i: u64) -> u64 {
+    (t << 40) | (round << 20) | i
+}
+
+fn drive<I: ConcurrentIndex>(sharded: &ShardedIndex<I>, batch: usize, label: &str) {
+    let threads = stress_threads();
+    // Shared region: value = key + 1, never mutated by workers.
+    for k in 0..SHARED {
+        sharded.insert(k, k + 1);
+    }
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let sharded = &sharded;
+            scope.spawn(move || {
+                let base = SHARED + t * RANGE;
+                // Thread-local model of the thread's own range.
+                let mut model: HashMap<u64, u64> = HashMap::new();
+                let mut rng = 0x9E37_79B9_u64.wrapping_mul(t + 1);
+                let mut next = move || {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    rng
+                };
+                for round in 0..ROUNDS as u64 {
+                    // Insert batch over own range, with in-batch
+                    // duplicates (~1 in 4 keys repeats).
+                    let pairs: Vec<(u64, u64)> = (0..batch as u64)
+                        .map(|i| {
+                            let r = next();
+                            let k = base + (r % (RANGE * 3 / 4)); // forces duplicates
+                            (k, tag(t, round, i))
+                        })
+                        .collect();
+                    let res = sharded.multi_insert(&pairs);
+                    assert_eq!(res.len(), pairs.len(), "{label}: result length");
+                    // Positional check: result i must be the previous
+                    // value of key i *at its batch position* — in-batch
+                    // duplicates see the earlier in-batch write.
+                    for (i, (&(k, v), got)) in pairs.iter().zip(&res).enumerate() {
+                        let want = model.insert(k, v);
+                        assert_eq!(
+                            *got, want,
+                            "{label}: multi_insert pos {i} key {k} round {round}"
+                        );
+                    }
+                    // Lookup batch: own keys, shared keys, absent keys,
+                    // shuffled positions.
+                    let keys: Vec<u64> = (0..batch as u64)
+                        .map(|i| {
+                            let r = next();
+                            match i % 3 {
+                                0 => base + (r % RANGE),     // own (maybe unwritten)
+                                1 => r % SHARED,             // shared, read-only
+                                _ => u64::MAX - (r % 1_000), // absent
+                            }
+                        })
+                        .collect();
+                    let res = sharded.multi_lookup(&keys);
+                    assert_eq!(res.len(), keys.len());
+                    for (i, (&k, got)) in keys.iter().zip(&res).enumerate() {
+                        let want = if k < SHARED {
+                            Some(k + 1)
+                        } else if k >= base && k < base + RANGE {
+                            model.get(&k).copied()
+                        } else {
+                            None
+                        };
+                        assert_eq!(*got, want, "{label}: multi_lookup pos {i} key {k}");
+                    }
+                }
+                model
+            });
+        }
+    });
+    // Deterministic final state: shared region intact.
+    for k in (0..SHARED).step_by(97) {
+        assert_eq!(sharded.lookup(k), Some(k + 1), "{label}: shared key {k}");
+    }
+    assert!(
+        sharded.len() >= SHARED as usize,
+        "{label}: shared region must survive"
+    );
+}
+
+/// The matrix: shards × batch, for one inner index type.
+fn matrix<I: ConcurrentIndex, F: Fn() -> I>(make: F, name: &str) {
+    for shards in [1usize, 4, 8] {
+        for batch in [4usize, 13, 64] {
+            // 16-key blocks: the few-thousand-key test space still
+            // stripes over every shard.
+            let s = ShardedIndex::with_config(shards, 4, |_| make());
+            drive(&s, batch, &format!("{name}/shards{shards}/batch{batch}"));
+        }
+    }
+}
+
+#[test]
+fn sharded_btree_mt_matrix() {
+    matrix(BTreeOptiQL::<8, 8>::new, "btree");
+}
+
+#[test]
+fn sharded_art_mt_matrix() {
+    matrix(ArtOptiQL::new, "art");
+}
+
+#[test]
+fn sharded_model_mt_matrix() {
+    matrix(ModelIndex::new, "model");
+}
+
+/// One oversized configuration: batch far beyond the pipeline group and
+/// more in-flight duplicates than groups, at the full default shard
+/// count — the partition's flat buffers and the trees' duplicate
+/// deferral must agree at any scale.
+#[test]
+fn giant_batches_with_dense_duplicates() {
+    let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_config(8, 4, |_| BTreeOptiQL::new());
+    let pairs: Vec<(u64, u64)> = (0..512u64).map(|i| (i % 32, i)).collect();
+    let res = s.multi_insert(&pairs);
+    for (i, r) in res.iter().enumerate() {
+        let want = (i >= 32).then(|| (i - 32) as u64);
+        assert_eq!(*r, want, "pos {i}: each write sees the previous round's");
+    }
+    assert_eq!(s.len(), 32);
+    let keys: Vec<u64> = (0..64u64).rev().collect();
+    let got = s.multi_lookup(&keys);
+    for (&k, r) in keys.iter().zip(&got) {
+        let want = (k < 32).then_some(480 + k);
+        assert_eq!(*r, want, "final value of key {k}");
+    }
+}

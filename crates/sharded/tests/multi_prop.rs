@@ -63,15 +63,16 @@ proptest! {
 
     // The sharded facade partitions each batch by shard and scatters the
     // results back; order (including duplicate-key order) must survive.
+    // 4-key blocks keep the 256-key space striping over all four shards.
     #[test]
     fn sharded_btree_multi_matches_model(batches in batch_strategy()) {
-        let s: ShardedIndex<BTreeOptiQL<4, 4>> = ShardedIndex::new(4);
+        let s: ShardedIndex<BTreeOptiQL<4, 4>> = ShardedIndex::with_block_bits(4, 2);
         check_batches(&s, &batches);
     }
 
     #[test]
     fn sharded_art_multi_matches_model(batches in batch_strategy()) {
-        let s: ShardedIndex<ArtOptiQL> = ShardedIndex::new(4);
+        let s: ShardedIndex<ArtOptiQL> = ShardedIndex::with_block_bits(4, 2);
         check_batches(&s, &batches);
     }
 }
@@ -102,8 +103,8 @@ fn large_batch_with_cross_group_duplicates() {
     let bt: BTreeOptiQL = BTreeOptiQL::new();
     drive(&bt);
     drive(&ArtOptiQL::new());
-    drive(&ShardedIndex::<BTreeOptiQL>::new(4));
-    drive(&ShardedIndex::<ArtOptiQL>::new(4));
+    drive(&ShardedIndex::<BTreeOptiQL>::with_block_bits(4, 2));
+    drive(&ShardedIndex::<ArtOptiQL>::with_block_bits(4, 2));
 }
 
 /// Regression: dense keys crossing a byte boundary force an ART prefix

@@ -66,16 +66,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     // Small key space + small B+-tree nodes: ops collide across shards
-    // and exercise splits/merges inside each shard.
+    // and exercise splits/merges inside each shard. Block granularity is
+    // sized to the keyspace (16-key blocks) so the 512-key space still
+    // stripes over all four shards.
     #[test]
     fn sharded_btree_matches_model(ops in prop::collection::vec(op_strategy(512), 1..600)) {
-        let s: ShardedIndex<BTreeOptiQL<4, 4>> = ShardedIndex::new(4);
+        let s: ShardedIndex<BTreeOptiQL<4, 4>> = ShardedIndex::with_block_bits(4, 4);
         run_model(&s, &ops);
     }
 
     #[test]
     fn sharded_art_matches_model(ops in prop::collection::vec(op_strategy(512), 1..600)) {
-        let s: ShardedIndex<ArtOptiQL> = ShardedIndex::new(4);
+        let s: ShardedIndex<ArtOptiQL> = ShardedIndex::with_block_bits(4, 4);
         run_model(&s, &ops);
     }
 
@@ -95,11 +97,98 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Routing totality and stability as a property over the whole
+    // configuration space: any (shards, block_bits, key) routes to
+    // exactly one in-range shard, the same one every time and from any
+    // equal router, and all keys of a block agree.
+    #[test]
+    fn every_key_routes_to_exactly_one_stable_shard(
+        shards_log in 0u32..7,
+        block_bits in 0u32..24,
+        keys in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let shards = 1usize << shards_log;
+        let a = optiql_sharded::Router::new(shards, block_bits);
+        let b = optiql_sharded::Router::new(shards, block_bits);
+        for &k in &keys {
+            let s = a.route(k);
+            prop_assert!(s < shards, "out of range: {s} of {shards}");
+            prop_assert_eq!(s, a.route(k), "unstable across calls");
+            prop_assert_eq!(s, b.route(k), "unstable across instances");
+            // Every key of k's block routes with it (block-aligned
+            // neighbours; guard the shifts for block_bits = 0).
+            if block_bits > 0 {
+                let first = (k >> block_bits) << block_bits;
+                prop_assert_eq!(a.route(first), s, "block start strayed");
+                let last = first | ((1u64 << block_bits) - 1);
+                prop_assert_eq!(a.route(last), s, "block end strayed");
+            }
+        }
+    }
+}
+
+/// `scan_count` fan-out vs the model while the trees churn through
+/// splits and collapses. Writers alternately grow and shrink their
+/// ranges (forcing structure changes in every shard); between phases the
+/// threads quiesce and the merged fan-out count must equal a model
+/// rebuilt from the ground truth — hash partitioning must never double-
+/// or under-count across shard boundaries, whatever shapes the churn
+/// left behind.
+#[test]
+fn scan_count_fanout_matches_model_under_churn() {
+    let s: ShardedIndex<BTreeOptiQL<4, 4>> = ShardedIndex::with_block_bits(4, 4);
+    let threads = 4u64;
+    let per = 4_000u64;
+    for phase in 0..3u64 {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let s = &s;
+                scope.spawn(move || {
+                    let base = t * per;
+                    // Grow: insert everything; shrink: remove a
+                    // phase-dependent stripe — splits then collapses.
+                    for k in base..base + per {
+                        s.insert(k, k + phase);
+                    }
+                    for k in (base..base + per).filter(|k| k % 3 == phase % 3) {
+                        s.remove(k);
+                    }
+                });
+            }
+        });
+        // Quiescent: rebuild the ground truth and compare counts.
+        let model: BTreeMap<u64, u64> = (0..threads * per)
+            .filter(|k| k % 3 != phase % 3)
+            .map(|k| (k, k + phase))
+            .collect();
+        assert_eq!(s.len(), model.len(), "phase {phase}: size");
+        for (start, limit) in [
+            (0u64, 10_000_000usize),
+            (0, 7),
+            (1_000, 500),
+            (threads * per / 2, 1_000),
+            (threads * per, 64),
+        ] {
+            let want = model.range(start..).take(limit).count();
+            assert_eq!(
+                s.scan_count(start, limit),
+                want,
+                "phase {phase}: scan_count({start}, {limit})"
+            );
+        }
+    }
+}
+
 #[test]
 fn concurrent_disjoint_writers_and_readers() {
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::new(8);
+    // 256-key blocks: the 80k-key space stripes ~312 blocks over the
+    // eight shards, so every shard sees a true concurrent mix.
+    let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_block_bits(8, 8);
     let per_thread = 20_000u64;
     let threads = 4u64;
     let stop = AtomicBool::new(false);

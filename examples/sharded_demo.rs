@@ -41,14 +41,16 @@ fn main() {
     let tree: BTreeOptiQL = BTreeOptiQL::new();
     exercise(&tree, "B+-tree (plain)");
 
-    // ...and so does the facade, over any shard count.
-    let sharded_tree: ShardedIndex<BTreeOptiQL> = ShardedIndex::new(8);
+    // ...and so does the facade, over any shard count. Block granularity
+    // is a knob: 256-key blocks suit this demo's 100k-key space (the
+    // coarser default targets multi-million-key serving workloads).
+    let sharded_tree: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_block_bits(8, 8);
     exercise(&sharded_tree, "B+-tree (8 shards)");
 
-    let sharded_art: ShardedIndex<ArtOptiQL> = ShardedIndex::new(4);
+    let sharded_art: ShardedIndex<ArtOptiQL> = ShardedIndex::with_block_bits(4, 8);
     exercise(&sharded_art, "ART (4 shards)");
 
-    // Per-shard introspection: the hash spreads dense keys evenly.
+    // Per-shard introspection: blocks spread dense keys evenly.
     print!("shard fill:");
     sharded_tree.for_each_shard(|i, shard| print!(" [{i}]={}", shard.len()));
     println!();
