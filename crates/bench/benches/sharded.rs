@@ -66,7 +66,7 @@ fn sweep<I: ConcurrentIndex>(sharded: &ShardedIndex<I>, series: &str, keys: u64)
     for (name, mix) in WORKLOADS {
         let cfg = cfg_for(mix, threads, keys);
         let before = sharded.index_stats();
-        let (r, _) = run_affine(sharded, &cfg);
+        let (r, _, _) = run_affine(sharded, &cfg);
         let d = sharded.index_stats().since(&before);
         row_extra(
             "sharded",

@@ -12,11 +12,13 @@
 //!
 //! Matrix: threads (env sweep) × shards {1,2,4,8} × batch {1,16,64},
 //! YCSB-C in both modes for both trees, plus a batch=1 YCSB-A slice to
-//! record write-path behaviour. Rows land in `BENCH_sharded_mt.json`.
+//! record write-path behaviour. Rows land in `BENCH_sharded_mt.json`
+//! with the shared p50/p95/p99/p999 tail-latency columns (sampled every
+//! 32nd operation so the probe cost stays off the hot path).
 
-use optiql_bench::{banner, header, mops, r2, row_extra};
+use optiql_bench::{banner, header, mops, r2, row_latency};
 use optiql_harness::{
-    env, preload, run, run_affine, ConcurrentIndex, KeyDist, Mix, WorkloadConfig,
+    env, preload, run, run_affine, ConcurrentIndex, KeyDist, LatencySummary, Mix, WorkloadConfig,
 };
 use optiql_sharded::ShardedIndex;
 
@@ -26,7 +28,7 @@ const BATCHES: [usize; 3] = [1, 16, 64];
 fn cfg(threads: usize, mix: Mix, batch: usize, keys: u64) -> WorkloadConfig {
     let mut cfg = WorkloadConfig::new(threads, mix, KeyDist::Zipfian { theta: 0.99 }, keys);
     cfg.duration = env::duration();
-    cfg.sample_every = 0;
+    cfg.sample_every = 32;
     cfg.batch = batch;
     cfg
 }
@@ -50,41 +52,45 @@ fn sweep<I: ConcurrentIndex>(index: &ShardedIndex<I>, series: &str, keys: u64) {
         // Read matrix: both modes, every batch size.
         for batch in BATCHES {
             let c = cfg(threads, Mix::YCSB_C, batch, keys);
-            let (r, _) = run(index, &c);
-            row_extra(
+            let (r, h) = run(index, &c);
+            row_latency(
                 "sharded_mt",
                 &format!("{series}/blackbox/shards{shards}/batch{batch}/YCSB-C"),
                 threads,
                 r2(mops(r.throughput())),
                 "-",
+                LatencySummary::from_histogram(&h).as_ref(),
             );
-            let (r, rep) = run_affine(index, &c);
-            row_extra(
+            let (r, h, rep) = run_affine(index, &c);
+            row_latency(
                 "sharded_mt",
                 &format!("{series}/affine/shards{shards}/batch{batch}/YCSB-C"),
                 threads,
                 r2(mops(r.throughput())),
                 format!("pinned={}/{}", rep.pinned_workers, threads),
+                LatencySummary::from_histogram(&h).as_ref(),
             );
         }
         // Write slice: batch=1 YCSB-A in both modes (mutates the index;
         // runs after the read matrix for this thread count).
         let c = cfg(threads, Mix::YCSB_A, 1, keys);
-        let (r, _) = run(index, &c);
-        row_extra(
+        let (r, h) = run(index, &c);
+        row_latency(
             "sharded_mt",
             &format!("{series}/blackbox/shards{shards}/batch1/YCSB-A"),
             threads,
             r2(mops(r.throughput())),
             "-",
+            LatencySummary::from_histogram(&h).as_ref(),
         );
-        let (r, rep) = run_affine(index, &c);
-        row_extra(
+        let (r, h, rep) = run_affine(index, &c);
+        row_latency(
             "sharded_mt",
             &format!("{series}/affine/shards{shards}/batch1/YCSB-A"),
             threads,
             r2(mops(r.throughput())),
             format!("pinned={}/{}", rep.pinned_workers, threads),
+            LatencySummary::from_histogram(&h).as_ref(),
         );
     }
 }
@@ -100,6 +106,10 @@ fn main() {
         "threads",
         "Mops/s",
         "placement",
+        "p50_ns",
+        "p95_ns",
+        "p99_ns",
+        "p999_ns",
     ]);
     let keys = env::preload_keys().min(2_000_000);
 

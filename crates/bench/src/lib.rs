@@ -18,7 +18,7 @@
 use std::fmt::Display;
 use std::sync::Mutex;
 
-use optiql_harness::report::{BenchJson, JsonValue};
+use optiql_harness::report::{BenchJson, JsonValue, LatencySummary};
 
 /// JSON report mirroring the rows printed by [`row`]/[`row_extra`].
 /// Initialized by [`banner`] from the figure name, so every bench target
@@ -46,6 +46,19 @@ pub fn banner(fig: &str, title: &str) {
 /// [`banner`] runs). `x` and `value` are stringified by the caller's
 /// `Display`; numeric-looking values are stored as JSON numbers.
 fn json_row(fig: &str, series: &str, x: &str, value: &str, extra: Option<&str>) {
+    json_row_lat(fig, series, x, value, extra, None);
+}
+
+/// Like [`json_row`] but with the shared tail-latency columns appended
+/// (`p50_ns`/`p95_ns`/`p99_ns`/`p999_ns`; `null` when not sampled).
+fn json_row_lat(
+    fig: &str,
+    series: &str,
+    x: &str,
+    value: &str,
+    extra: Option<&str>,
+    lat: Option<&LatencySummary>,
+) {
     let mut g = JSON.lock().unwrap();
     let Some(rep) = g.as_mut() else { return };
     let mut fields = vec![
@@ -57,6 +70,7 @@ fn json_row(fig: &str, series: &str, x: &str, value: &str, extra: Option<&str>) 
     if let Some(e) = extra {
         fields.push(("extra", json_auto(e)));
     }
+    fields.extend(LatencySummary::fields(lat));
     rep.record_kv(&fields);
 }
 
@@ -91,6 +105,39 @@ pub fn row_extra(
     let (x, value, extra) = (x.to_string(), value.to_string(), extra.to_string());
     println!("{fig}\t{series}\t{x}\t{value}\t{extra}");
     json_row(fig, series, &x, &value, Some(&extra));
+}
+
+/// Print one data row with an extra column plus the shared tail-latency
+/// columns (p50/p95/p99/p999 in nanoseconds; `-`/`null` when the run did
+/// not sample latency). JSON rows gain `p50_ns`…`p999_ns` fields.
+pub fn row_latency(
+    fig: &str,
+    series: &str,
+    x: impl Display,
+    value: impl Display,
+    extra: impl Display,
+    lat: Option<&LatencySummary>,
+) {
+    let (x, value, extra) = (x.to_string(), value.to_string(), extra.to_string());
+    let fmt = |v: f64| {
+        if v.is_finite() {
+            format!("{}", r2(v))
+        } else {
+            "-".into()
+        }
+    };
+    let cols = match lat {
+        Some(l) => format!(
+            "{}\t{}\t{}\t{}",
+            fmt(l.p50_ns),
+            fmt(l.p95_ns),
+            fmt(l.p99_ns),
+            fmt(l.p999_ns)
+        ),
+        None => "-\t-\t-\t-".into(),
+    };
+    println!("{fig}\t{series}\t{x}\t{value}\t{extra}\t{cols}");
+    json_row_lat(fig, series, &x, &value, Some(&extra), lat);
 }
 
 /// Million operations per second.

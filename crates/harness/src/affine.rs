@@ -40,6 +40,7 @@ use rand::{Rng, SeedableRng};
 
 use optiql_sharded::ShardedIndex;
 
+use crate::latency::Histogram;
 use crate::workload::{ConcurrentIndex, WorkloadConfig, WorkloadResult};
 
 /// Operations between group-pin refreshes. Large enough that the pin
@@ -105,10 +106,15 @@ fn build_pool<I: ConcurrentIndex>(
 }
 
 /// Run the measured phase in affine mode. Panics if `cfg.threads == 0`.
+///
+/// As [`run`](crate::workload::run), the returned [`Histogram`] carries
+/// per-operation latency samples taken every `cfg.sample_every`
+/// operations (empty when sampling is disabled); a batched lookup
+/// records one sample for the whole `multi_lookup` call.
 pub fn run_affine<I: ConcurrentIndex>(
     sharded: &ShardedIndex<I>,
     cfg: &WorkloadConfig,
-) -> (WorkloadResult, AffineReport) {
+) -> (WorkloadResult, Histogram, AffineReport) {
     assert!(cfg.threads > 0, "affine mode needs at least one worker");
     let affinity = sharded.affinity();
     let stop = Arc::new(AtomicBool::new(false));
@@ -143,11 +149,18 @@ pub fn run_affine<I: ConcurrentIndex>(
                         *cursor = (*cursor + 1) % pool.len();
                         k
                     };
+                    let mut hist = Histogram::new();
+                    let mut op_counter = 0u32;
                     barrier.wait();
                     let mut guards: Vec<_> = reclaim.iter().map(|h| h.pin()).collect();
                     let mut group_ops = 0u32;
                     while !stop.load(Ordering::Relaxed) {
                         let die = rng.random_range(0..100);
+                        let sample_this = cfg.sample_every > 0 && {
+                            op_counter = op_counter.wrapping_add(1);
+                            op_counter % cfg.sample_every == 0
+                        };
+                        let t0 = sample_this.then(Instant::now);
                         if die < cfg.mix.lookup {
                             if batch > 1 {
                                 batch_buf.clear();
@@ -191,6 +204,9 @@ pub fn run_affine<I: ConcurrentIndex>(
                             out.scans += 1;
                             group_ops += 1;
                         }
+                        if let Some(t0) = t0 {
+                            hist.record(t0.elapsed().as_nanos() as u64);
+                        }
                         if group_ops >= GROUP_OPS {
                             // Refresh the group pins: drop every guard
                             // (letting the shards' epochs advance), then
@@ -201,7 +217,7 @@ pub fn run_affine<I: ConcurrentIndex>(
                         }
                     }
                     drop(guards);
-                    (out, pinned)
+                    (out, hist, pinned)
                 })
             })
             .collect();
@@ -212,6 +228,7 @@ pub fn run_affine<I: ConcurrentIndex>(
         stop.store(true, Ordering::Release);
 
         let mut total = WorkloadResult::default();
+        let mut hist = Histogram::new();
         let mut report = AffineReport {
             cores: affinity.cores(),
             pinned_workers: 0,
@@ -220,8 +237,9 @@ pub fn run_affine<I: ConcurrentIndex>(
                 .collect(),
         };
         for h in handles {
-            let (out, pinned) = h.join().unwrap();
+            let (out, th, pinned) = h.join().unwrap();
             report.pinned_workers += usize::from(pinned);
+            hist.merge(&th);
             total.lookups += out.lookups;
             total.lookup_hits += out.lookup_hits;
             total.updates += out.updates;
@@ -234,7 +252,7 @@ pub fn run_affine<I: ConcurrentIndex>(
                 .push(out.lookups + out.updates + out.inserts + out.removes + out.scans);
         }
         total.elapsed = start.elapsed();
-        (total, report)
+        (total, hist, report)
     })
 }
 
@@ -257,14 +275,17 @@ mod tests {
     #[test]
     fn affine_read_only_hits_every_lookup() {
         let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_block_bits(4, 8);
-        let cfg = quick_cfg(Mix::YCSB_C, 2, 8);
+        let mut cfg = quick_cfg(Mix::YCSB_C, 2, 8);
+        cfg.sample_every = 4;
         preload(&s, &cfg);
-        let (r, rep) = run_affine(&s, &cfg);
+        let (r, hist, rep) = run_affine(&s, &cfg);
         assert!(r.lookups > 0);
         assert_eq!(r.lookups, r.lookup_hits, "dense preload: all owned hits");
         assert_eq!(r.lookups % 8, 0, "lookups issued in whole batches");
         assert_eq!(rep.shards_per_worker, vec![2, 2]);
         assert!(rep.cores >= 1);
+        assert!(hist.count() > 0, "sampling enabled: histogram fills");
+        assert!(hist.quantile(0.99) >= hist.quantile(0.50));
     }
 
     #[test]
@@ -273,7 +294,7 @@ mod tests {
         let cfg = quick_cfg(Mix::new(50, 30, 10, 10), 3, 4);
         preload(&s, &cfg);
         let before = s.len();
-        let (r, _) = run_affine(&s, &cfg);
+        let (r, _, _) = run_affine(&s, &cfg);
         assert!(r.lookups > 0 && r.updates > 0);
         assert!(r.inserts > 0 && r.removes > 0);
         // Size accounting: preload + inserts - successful removes; we
@@ -292,7 +313,7 @@ mod tests {
         preload(&s, &cfg);
         let mut before = Vec::new();
         s.for_each_shard(|_, sh| before.push(sh.index_stats().ops));
-        let (r, _) = run_affine(&s, &cfg);
+        let (r, _, _) = run_affine(&s, &cfg);
         let mut after = Vec::new();
         s.for_each_shard(|_, sh| after.push(sh.index_stats().ops));
         let grown: u64 = after.iter().zip(&before).map(|(a, b)| a - b).sum();
@@ -306,7 +327,7 @@ mod tests {
         let s: ShardedIndex<BTreeOptiQL> = ShardedIndex::with_block_bits(4, 8);
         let cfg = quick_cfg(Mix::YCSB_C, 1, 1);
         preload(&s, &cfg);
-        let (r, rep) = run_affine(&s, &cfg);
+        let (r, _, rep) = run_affine(&s, &cfg);
         assert!(r.lookups > 0);
         assert_eq!(rep.shards_per_worker, vec![4]);
     }

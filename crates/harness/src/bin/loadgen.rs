@@ -1,0 +1,113 @@
+//! `optiql-loadgen` — drive an `optiql-server` over TCP.
+//!
+//! ```text
+//! optiql-loadgen --addr 127.0.0.1:7878 [--connections 2] [--depth 8]
+//!                [--ops 100000] [--read-pct 100] [--mget 1]
+//!                [--keys 1000000] [--zipf 0.99] [--seed N]
+//!                [--verify] [--shutdown]
+//! ```
+//!
+//! Default mode runs the closed-loop pipelined benchmark and prints a
+//! throughput + tail-latency summary. `--verify` instead runs the
+//! scripted SET/GET/MGET/DEL/SCAN_COUNT end-to-end assertion suite
+//! (exit 1 on any mismatch); `--shutdown` sends the SHUTDOWN opcode and
+//! waits for the ack. Flags combine: `--verify --shutdown` verifies,
+//! then stops the server.
+
+use optiql_harness::loadgen::{self, LoadgenConfig};
+use optiql_harness::report::LatencySummary;
+use optiql_harness::KeyDist;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: optiql-loadgen [--addr HOST:PORT] [--connections N] [--depth N] [--ops N]\n\
+         \x20                     [--read-pct 0..100] [--mget N] [--keys N] [--zipf THETA]\n\
+         \x20                     [--seed N] [--verify] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = LoadgenConfig::default();
+    let mut verify = false;
+    let mut do_shutdown = false;
+    let mut bench = true;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--connections" => cfg.connections = val().parse().unwrap_or_else(|_| usage()),
+            "--depth" => cfg.pipeline = val().parse().unwrap_or_else(|_| usage()),
+            "--ops" => cfg.ops_per_conn = val().parse().unwrap_or_else(|_| usage()),
+            "--read-pct" => cfg.read_pct = val().parse().unwrap_or_else(|_| usage()),
+            "--mget" => cfg.mget = val().parse().unwrap_or_else(|_| usage()),
+            "--keys" => cfg.keys = val().parse().unwrap_or_else(|_| usage()),
+            "--zipf" => {
+                cfg.dist = KeyDist::Zipfian {
+                    theta: val().parse().unwrap_or_else(|_| usage()),
+                }
+            }
+            "--seed" => cfg.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--verify" => {
+                verify = true;
+                bench = false;
+            }
+            "--shutdown" => {
+                do_shutdown = true;
+                bench = false;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    if verify {
+        match loadgen::verify(&cfg.addr) {
+            Ok(()) => println!("verify: ok (SET/GET/MGET/DEL/SCAN_COUNT all round-tripped)"),
+            Err(e) => {
+                eprintln!("verify: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if bench {
+        match loadgen::run(&cfg) {
+            Ok(r) => {
+                let lat = LatencySummary::from_histogram(&r.hist);
+                println!(
+                    "loadgen: conns={} depth={} requests={} ops={} hits={} misses={} errors={}",
+                    cfg.connections, cfg.pipeline, r.requests, r.ops, r.hits, r.misses, r.errors
+                );
+                match lat {
+                    Some(l) => println!(
+                        "loadgen: {:.0} ops/s  p50={:.0}ns p95={:.0}ns p99={:.0}ns p999={:.0}ns",
+                        r.throughput(),
+                        l.p50_ns,
+                        l.p95_ns,
+                        l.p99_ns,
+                        l.p999_ns
+                    ),
+                    None => println!("loadgen: {:.0} ops/s (no latency samples)", r.throughput()),
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if do_shutdown {
+        match loadgen::shutdown(&cfg.addr) {
+            Ok(()) => println!("shutdown: acked"),
+            Err(e) => {
+                eprintln!("shutdown: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

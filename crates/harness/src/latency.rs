@@ -18,6 +18,17 @@ pub struct Histogram {
     sum: u128,
 }
 
+impl std::fmt::Debug for Histogram {
+    /// Summary form (bucket contents elided: 1280 counters).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Default for Histogram {
     fn default() -> Self {
         Self::new()

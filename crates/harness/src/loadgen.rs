@@ -1,0 +1,365 @@
+//! Closed-loop, multi-connection, pipelined load generator for
+//! `optiql-server`.
+//!
+//! Each connection is one client thread holding a window of
+//! `pipeline` in-flight requests: it primes the window, then sends one
+//! new request per response received — a closed loop, so the measured
+//! throughput is the system's, not the generator's imagination. Frames
+//! and responses are matched positionally (the protocol guarantees
+//! arrival-order responses), which is what makes per-request latency a
+//! front-of-window timestamp subtraction instead of an id map.
+//!
+//! Knobs: connection count, pipeline depth, read ratio (GET vs SET),
+//! reads-as-MGET batch size, key distribution (uniform / Zipfian /
+//! self-similar via [`KeyDist`]), and key-space size. Results carry
+//! throughput *and* a log-bucketed latency [`Histogram`], so the
+//! `server` bench reports tail percentiles next to ops/s.
+
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use optiql_server::proto::{FrameDecoder, Request, Response};
+
+use crate::dist::{KeyDist, KeySpace};
+use crate::latency::Histogram;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent connections, one client thread each.
+    pub connections: usize,
+    /// In-flight requests per connection (1 = strict request/response).
+    pub pipeline: usize,
+    /// Requests each connection issues before disconnecting.
+    pub ops_per_conn: u64,
+    /// Percentage of requests that are reads (GET/MGET); the rest are
+    /// SETs of random values.
+    pub read_pct: u32,
+    /// Keys per read request: 1 sends GETs, larger sends MGETs of this
+    /// size (client-side batching on top of pipelining).
+    pub mget: usize,
+    /// Distribution of key *indices* over `0..keys`.
+    pub dist: KeyDist,
+    /// Index → key mapping (must match how the server was preloaded).
+    pub keyspace: KeySpace,
+    /// Key-index space size (the server's preload count, for all-hit
+    /// reads).
+    pub keys: u64,
+    /// Seed; each connection derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".into(),
+            connections: 1,
+            pipeline: 8,
+            ops_per_conn: 10_000,
+            read_pct: 100,
+            mget: 1,
+            dist: KeyDist::Uniform,
+            keyspace: KeySpace::Dense,
+            keys: 1_000_000,
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// Aggregated load-generator outcome.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenResult {
+    /// Request frames sent (an MGET counts once).
+    pub requests: u64,
+    /// Index operations implied (an MGET of k keys counts k).
+    pub ops: u64,
+    /// Read results that found their key.
+    pub hits: u64,
+    /// Read results that missed.
+    pub misses: u64,
+    /// Error responses received.
+    pub errors: u64,
+    /// Wall-clock time of the slowest connection.
+    pub elapsed: Duration,
+    /// Per-request latency (nanoseconds), merged over connections.
+    pub hist: Histogram,
+}
+
+impl LoadgenResult {
+    /// Index operations per second (MGET keys each count).
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn merge(&mut self, other: LoadgenResult) {
+        self.requests += other.requests;
+        self.ops += other.ops;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.errors += other.errors;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// One connection's closed loop.
+fn drive_conn(cfg: &LoadgenConfig, conn_id: usize) -> std::io::Result<LoadgenResult> {
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ ((conn_id as u64 + 1) << 32));
+    let sampler = cfg.dist.sampler(cfg.keys.max(1));
+    let mget = cfg.mget.max(1);
+
+    let mut out = LoadgenResult::default();
+    let mut dec = FrameDecoder::new();
+    let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(cfg.pipeline);
+    let mut wire = Vec::with_capacity(4096);
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+
+    let push_request = |wire: &mut Vec<u8>, rng: &mut SmallRng, out: &mut LoadgenResult| {
+        let read = rng.random_range(0u32..100) < cfg.read_pct;
+        if read && mget > 1 {
+            let keys: Vec<u64> = (0..mget)
+                .map(|_| cfg.keyspace.key(sampler.sample(rng)))
+                .collect();
+            out.ops += keys.len() as u64;
+            Request::MGet { keys }.encode(wire);
+        } else if read {
+            let key = cfg.keyspace.key(sampler.sample(rng));
+            out.ops += 1;
+            Request::Get { key }.encode(wire);
+        } else {
+            let key = cfg.keyspace.key(sampler.sample(rng));
+            out.ops += 1;
+            Request::Set {
+                key,
+                value: rng.random(),
+            }
+            .encode(wire);
+        }
+        out.requests += 1;
+    };
+
+    let started = Instant::now();
+    // Prime the window.
+    let prime = (cfg.pipeline.max(1) as u64).min(cfg.ops_per_conn);
+    wire.clear();
+    for _ in 0..prime {
+        push_request(&mut wire, &mut rng, &mut out);
+        inflight.push_back(Instant::now());
+        issued += 1;
+    }
+    stream.write_all(&wire)?;
+
+    while completed < cfg.ops_per_conn {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("server closed with {completed}/{} done", cfg.ops_per_conn),
+            ));
+        }
+        dec.feed(&buf[..n]);
+        wire.clear();
+        let mut refill = 0u64;
+        loop {
+            match dec.next_response() {
+                Ok(Some(resp)) => {
+                    let sent = inflight.pop_front().expect("response without a request");
+                    out.hist.record(sent.elapsed().as_nanos() as u64);
+                    completed += 1;
+                    match resp {
+                        Response::Value(v) => {
+                            if v.is_some() {
+                                out.hits += 1;
+                            } else {
+                                out.misses += 1;
+                            }
+                        }
+                        Response::MValues(vs) => {
+                            let h = vs.iter().filter(|v| v.is_some()).count() as u64;
+                            out.hits += h;
+                            out.misses += vs.len() as u64 - h;
+                        }
+                        Response::Error(msg) => {
+                            out.errors += 1;
+                            out.elapsed = started.elapsed();
+                            return Err(std::io::Error::other(format!("server error: {msg}")));
+                        }
+                        Response::Old(_) | Response::Count(_) | Response::Ok => {}
+                    }
+                    if issued < cfg.ops_per_conn {
+                        push_request(&mut wire, &mut rng, &mut out);
+                        inflight.push_back(Instant::now());
+                        issued += 1;
+                        refill += 1;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => return Err(std::io::Error::other(format!("bad response: {e}"))),
+            }
+        }
+        if refill > 0 {
+            stream.write_all(&wire)?;
+        }
+    }
+    out.elapsed = started.elapsed();
+    Ok(out)
+}
+
+/// Run the closed loop: `cfg.connections` client threads, each issuing
+/// `cfg.ops_per_conn` pipelined requests, results merged.
+pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenResult> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|c| s.spawn(move || drive_conn(cfg, c)))
+            .collect();
+        let mut total = LoadgenResult::default();
+        let mut first_err = None;
+        for h in handles {
+            match h.join().expect("loadgen thread panicked") {
+                Ok(r) => total.merge(r),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    })
+}
+
+/// Synchronous single-connection client for scripted request/response
+/// exchanges (verification, shutdown, tests).
+pub struct Client {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            dec: FrameDecoder::new(),
+            buf: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        let mut wire = Vec::with_capacity(64);
+        req.encode(&mut wire);
+        self.stream.write_all(&wire)?;
+        self.recv()
+    }
+
+    /// Send raw bytes (tests feed the server garbage through this).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Receive the next response frame.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        loop {
+            if let Some(resp) = self
+                .dec
+                .next_response()
+                .map_err(|e| std::io::Error::other(format!("bad response: {e}")))?
+            {
+                return Ok(resp);
+            }
+            let n = self.stream.read(&mut self.buf)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            self.dec.feed(&self.buf[..n]);
+        }
+    }
+}
+
+/// Scripted end-to-end check of every data opcode: SET/GET/MGET/DEL/
+/// SCAN_COUNT round-trips with asserted results. Returns a description
+/// of the first mismatch, if any.
+pub fn verify(addr: &str) -> Result<(), String> {
+    let e = |s: String| s;
+    let mut c = Client::connect(addr).map_err(|err| e(format!("connect: {err}")))?;
+    let mut call = |req: Request| -> Result<Response, String> {
+        c.call(&req).map_err(|err| format!("{req:?}: {err}"))
+    };
+    // Keys far above any preload range so verification never collides
+    // with benchmark data.
+    let base = u64::MAX - 1024;
+    for i in 0..8u64 {
+        let got = call(Request::Set {
+            key: base + i,
+            value: 100 + i,
+        })?;
+        if got != Response::Old(None) {
+            return Err(format!("fresh SET returned {got:?}"));
+        }
+    }
+    let got = call(Request::Set {
+        key: base,
+        value: 200,
+    })?;
+    if got != Response::Old(Some(100)) {
+        return Err(format!("overwrite SET returned {got:?}"));
+    }
+    let got = call(Request::Get { key: base })?;
+    if got != Response::Value(Some(200)) {
+        return Err(format!("GET returned {got:?}"));
+    }
+    let got = call(Request::MGet {
+        keys: vec![base, base + 7, base + 500, base + 1],
+    })?;
+    if got != Response::MValues(vec![Some(200), Some(107), None, Some(101)]) {
+        return Err(format!("MGET returned {got:?}"));
+    }
+    let got = call(Request::ScanCount {
+        start: base,
+        limit: 1000,
+    })?;
+    if got != Response::Count(8) {
+        return Err(format!("SCAN_COUNT returned {got:?}"));
+    }
+    let got = call(Request::Del { key: base + 3 })?;
+    if got != Response::Old(Some(103)) {
+        return Err(format!("DEL returned {got:?}"));
+    }
+    let got = call(Request::Get { key: base + 3 })?;
+    if got != Response::Value(None) {
+        return Err(format!("GET after DEL returned {got:?}"));
+    }
+    // Clean up so repeated verification passes.
+    for i in 0..8u64 {
+        call(Request::Del { key: base + i })?;
+    }
+    Ok(())
+}
+
+/// Ask the server to shut down cleanly; returns once it acks.
+pub fn shutdown(addr: &str) -> std::io::Result<()> {
+    let mut c = Client::connect(addr)?;
+    match c.call(&Request::Shutdown)? {
+        Response::Ok => Ok(()),
+        other => Err(std::io::Error::other(format!(
+            "unexpected shutdown ack: {other:?}"
+        ))),
+    }
+}

@@ -144,6 +144,53 @@ impl BenchJson {
     }
 }
 
+/// Tail-latency summary shared by the bench targets: the log-bucket
+/// [`Histogram`](crate::latency::Histogram) percentiles every BENCH JSON
+/// carries when latency was sampled (p50/p95/p99/p999, nanoseconds).
+///
+/// One type, one field order, one naming scheme — so `BENCH_server.json`
+/// and `BENCH_sharded_mt.json` rows are mechanically comparable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median latency in nanoseconds.
+    pub p50_ns: f64,
+    /// 95th percentile.
+    pub p95_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// 99.9th percentile.
+    pub p999_ns: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram; `None` when nothing was recorded (so
+    /// callers emit `null` columns instead of fake zeros).
+    pub fn from_histogram(h: &crate::latency::Histogram) -> Option<LatencySummary> {
+        if h.count() == 0 {
+            return None;
+        }
+        Some(LatencySummary {
+            p50_ns: h.quantile(0.50) as f64,
+            p95_ns: h.quantile(0.95) as f64,
+            p99_ns: h.quantile(0.99) as f64,
+            p999_ns: h.quantile(0.999) as f64,
+        })
+    }
+
+    /// The summary as JSON fields for [`BenchJson::record_kv`]. Pass
+    /// `None` to emit the same columns as `null` (row shapes stay
+    /// uniform whether or not latency was sampled).
+    pub fn fields(this: Option<&LatencySummary>) -> [(&'static str, JsonValue); 4] {
+        let num = |v: Option<f64>| v.map_or(JsonValue::Num(f64::NAN), JsonValue::Num);
+        [
+            ("p50_ns", num(this.map(|s| s.p50_ns))),
+            ("p95_ns", num(this.map(|s| s.p95_ns))),
+            ("p99_ns", num(this.map(|s| s.p99_ns))),
+            ("p999_ns", num(this.map(|s| s.p999_ns))),
+        ]
+    }
+}
+
 /// Minimal JSON value for [`BenchJson::record_kv`].
 #[derive(Debug, Clone)]
 pub enum JsonValue {

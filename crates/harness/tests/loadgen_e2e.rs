@@ -1,0 +1,86 @@
+//! End-to-end: the closed-loop load generator against an in-process
+//! server — the same pairing the CI smoke job runs across two OS
+//! processes.
+
+use optiql_harness::loadgen::{self, LoadgenConfig};
+use optiql_harness::KeyDist;
+use optiql_server::server::{start, BackendKind, Dispatch, ServerConfig, ServerHandle};
+
+fn serve(dispatch: Dispatch, preload: u64) -> ServerHandle {
+    start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        backend: BackendKind::Btree,
+        workers: 1,
+        dispatch,
+        preload,
+        max_group: 64,
+    })
+    .expect("server start")
+}
+
+#[test]
+fn scripted_verify_passes_against_a_live_server() {
+    let h = serve(Dispatch::Grouped, 100);
+    loadgen::verify(&h.addr().to_string()).expect("verify suite");
+    let stats = h.shutdown();
+    assert_eq!(stats.proto_errors, 0);
+}
+
+#[test]
+fn pipelined_read_load_hits_every_preloaded_key() {
+    let preload = 10_000;
+    let h = serve(Dispatch::Grouped, preload);
+    let cfg = LoadgenConfig {
+        addr: h.addr().to_string(),
+        connections: 2,
+        pipeline: 8,
+        ops_per_conn: 2_000,
+        read_pct: 100,
+        keys: preload, // dense preload → every uniform key hits
+        ..LoadgenConfig::default()
+    };
+    let r = loadgen::run(&cfg).expect("loadgen run");
+    assert_eq!(r.requests, 4_000);
+    assert_eq!(r.ops, 4_000);
+    assert_eq!(r.hits, 4_000, "misses against a fully-preloaded keyspace");
+    assert_eq!(r.errors, 0);
+    assert!(r.hist.count() > 0, "latency must be sampled");
+    assert!(r.throughput() > 0.0);
+
+    let stats = h.shutdown();
+    assert!(stats.requests >= 4_000);
+    assert!(
+        stats.batched_ops > 0,
+        "depth-8 pipelines must reach the batch engines: {stats:?}"
+    );
+}
+
+#[test]
+fn mixed_zipfian_write_load_round_trips() {
+    let preload = 1_000;
+    let h = serve(Dispatch::Grouped, preload);
+    let cfg = LoadgenConfig {
+        addr: h.addr().to_string(),
+        connections: 2,
+        pipeline: 16,
+        ops_per_conn: 1_500,
+        read_pct: 50,
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        keys: preload,
+        mget: 4,
+        ..LoadgenConfig::default()
+    };
+    let r = loadgen::run(&cfg).expect("loadgen run");
+    assert_eq!(r.errors, 0);
+    assert!(r.ops >= r.requests, "MGETs count per key");
+    let stats = h.shutdown();
+    assert_eq!(stats.proto_errors, 0);
+}
+
+#[test]
+fn loadgen_shutdown_helper_stops_the_server() {
+    let h = serve(Dispatch::PerOp, 10);
+    loadgen::shutdown(&h.addr().to_string()).expect("shutdown ack");
+    let stats = h.join();
+    assert!(stats.requests >= 1);
+}

@@ -1,0 +1,33 @@
+//! # optiql-server — a thread-per-core pipelined KV front end
+//!
+//! The workspace's indexes got fast in layers: software-pipelined
+//! `multi_lookup`/`multi_insert` descents (3.9× B+-tree / 1.9× ART over
+//! scalar at batch 8), a block-routed sharded facade with per-shard
+//! reclamation domains, core affinity and amortized epoch pins. This
+//! crate is the layer that lets network traffic reach all of that: a
+//! TCP server speaking a pipelined length-prefixed binary protocol
+//! ([`proto`]) whose workers turn each connection's in-flight request
+//! window into exactly the dense operation batches the engines want
+//! ([`server`]).
+//!
+//! Layering: `optiql-server` sits beside the harness, *above* the
+//! index crates —
+//!
+//! ```text
+//! optiql-index-api ── optiql-btree / optiql-art / optiql-sharded
+//!         └── optiql-server (this crate: proto + thread-per-core server)
+//!                 └── optiql-harness::loadgen (client), optiql-bench (sweeps)
+//! ```
+//!
+//! The binary lives at `src/main.rs` (`cargo run -p optiql-server --
+//! --help`); the closed-loop load generator is
+//! `optiql_harness::loadgen` / the `optiql-loadgen` binary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod proto;
+pub mod server;
+
+pub use proto::{FrameDecoder, ProtoError, Request, Response};
+pub use server::{start, BackendKind, Dispatch, ServerConfig, ServerHandle, StatsSnapshot};

@@ -1,0 +1,81 @@
+//! `optiql-server` — serve an OptiQL index over TCP.
+//!
+//! ```text
+//! optiql-server [--addr 127.0.0.1:7878] [--backend sharded-btree]
+//!               [--shards 8] [--workers 0] [--dispatch grouped]
+//!               [--preload 0] [--max-group 256]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (scripts wait for that
+//! line), then serves until a client sends the SHUTDOWN opcode (the
+//! `optiql-loadgen --shutdown` flag), and exits 0 after printing a
+//! stats summary.
+
+use optiql_server::{start, BackendKind, Dispatch, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: optiql-server [--addr HOST:PORT] [--backend btree|art|sharded-btree|sharded-art]\n\
+         \x20                    [--shards N] [--workers N] [--dispatch grouped|per-op]\n\
+         \x20                    [--preload N] [--max-group N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        preload: 0,
+        ..ServerConfig::default()
+    };
+    let mut backend_name = "sharded-btree".to_string();
+    let mut shards = 8usize;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--backend" => backend_name = val(),
+            "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--dispatch" => {
+                cfg.dispatch = Dispatch::parse(&val()).unwrap_or_else(|| usage());
+            }
+            "--preload" => cfg.preload = val().parse().unwrap_or_else(|_| usage()),
+            "--max-group" => cfg.max_group = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    cfg.backend = BackendKind::parse(&backend_name, shards).unwrap_or_else(|| usage());
+
+    let handle = match start(&cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("optiql-server: cannot start on {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.addr());
+    println!(
+        "# backend={backend_name} shards={shards} workers={} dispatch={:?} preload={}",
+        cfg.workers, cfg.dispatch, cfg.preload
+    );
+    // Line-buffered stdout may sit on the banner when piped; scripts
+    // poll for it.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let stats = handle.join();
+    println!(
+        "# shutdown: conns={} requests={} index_ops={} groups={} batched_ops={} proto_errors={}",
+        stats.connections,
+        stats.requests,
+        stats.index_ops,
+        stats.groups,
+        stats.batched_ops,
+        stats.proto_errors
+    );
+}

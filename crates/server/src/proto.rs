@@ -1,0 +1,607 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame — request or response — is a 4-byte little-endian payload
+//! length followed by the payload; the payload's first byte is the
+//! opcode, the rest is the fixed-layout body (all integers little
+//! endian). There is no CRC: TCP already checksums, and the fixed
+//! framing means a malformed frame is detected structurally (unknown
+//! opcode, body length mismatch, oversized frame) and answered with
+//! [`Response::Error`] before the connection is closed.
+//!
+//! ```text
+//! request  := len:u32 | opcode:u8 | body
+//!   GET        0x01 | key:u64
+//!   SET        0x02 | key:u64 | value:u64
+//!   DEL        0x03 | key:u64
+//!   MGET       0x04 | count:u32 | key:u64 × count
+//!   SCAN_COUNT 0x05 | start:u64 | limit:u32
+//!   SHUTDOWN   0x06 | (empty)
+//!
+//! response := len:u32 | opcode:u8 | body
+//!   VALUE      0x81 | found:u8 | value:u64          (GET)
+//!   OLD        0x82 | had:u8 | old:u64              (SET, DEL)
+//!   MVALUES    0x84 | count:u32 | (found:u8 | value:u64) × count
+//!   COUNT      0x85 | count:u64                     (SCAN_COUNT)
+//!   OK         0x86 | (empty)                       (SHUTDOWN ack)
+//!   ERR        0xEE | utf-8 message (rest of frame)
+//! ```
+//!
+//! The codec is symmetric: [`FrameDecoder`] incrementally reassembles
+//! frames from arbitrary byte chunks (partial reads, frames split across
+//! reads, many frames per read), so the server and the load-generator
+//! client share one implementation — and one proptest suite.
+
+use std::fmt;
+
+/// Frames larger than this are rejected before buffering the body: a
+/// 4 MiB length prefix on this protocol can only be garbage (the largest
+/// legal frame is an MGET of [`MAX_MGET`] keys).
+pub const MAX_FRAME: usize = 4 + 8 * MAX_MGET as usize + 16;
+
+/// Upper bound on keys per MGET request, so one frame cannot make the
+/// server allocate unboundedly.
+pub const MAX_MGET: u32 = 64 * 1024;
+
+/// Request opcodes (the `0x0*` space).
+pub mod op {
+    /// Point lookup.
+    pub const GET: u8 = 0x01;
+    /// Insert-or-overwrite.
+    pub const SET: u8 = 0x02;
+    /// Remove.
+    pub const DEL: u8 = 0x03;
+    /// Batched point lookups.
+    pub const MGET: u8 = 0x04;
+    /// Count entries with key ≥ start, capped at limit.
+    pub const SCAN_COUNT: u8 = 0x05;
+    /// Ask the server to shut down cleanly (acked with OK).
+    pub const SHUTDOWN: u8 = 0x06;
+}
+
+/// Response opcodes (the `0x8*` space, plus ERR).
+pub mod resp {
+    /// GET result.
+    pub const VALUE: u8 = 0x81;
+    /// SET / DEL result (previous value).
+    pub const OLD: u8 = 0x82;
+    /// MGET results.
+    pub const MVALUES: u8 = 0x84;
+    /// SCAN_COUNT result.
+    pub const COUNT: u8 = 0x85;
+    /// Success without payload.
+    pub const OK: u8 = 0x86;
+    /// Protocol or server error; the connection closes after this.
+    pub const ERR: u8 = 0xEE;
+}
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Insert-or-overwrite.
+    Set {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// Remove a key.
+    Del {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Batched point lookups (order-preserving).
+    MGet {
+        /// Keys to look up, in response order.
+        keys: Vec<u64>,
+    },
+    /// Count entries with key ≥ `start`, up to `limit`.
+    ScanCount {
+        /// Inclusive lower bound.
+        start: u64,
+        /// Result cap.
+        limit: u32,
+    },
+    /// Clean server shutdown.
+    Shutdown,
+}
+
+/// One decoded server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET result: `None` when the key was absent.
+    Value(Option<u64>),
+    /// SET / DEL result: the previous value, if any.
+    Old(Option<u64>),
+    /// MGET results, positionally matching the request's keys.
+    MValues(Vec<Option<u64>>),
+    /// SCAN_COUNT result.
+    Count(u64),
+    /// Success without payload.
+    Ok,
+    /// Protocol or server error; the sender closes the connection after
+    /// emitting this.
+    Error(String),
+}
+
+/// Why a frame could not be decoded. All variants are fatal for the
+/// connection that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Zero-length payload (no opcode byte).
+    EmptyFrame,
+    /// First payload byte is not a known opcode.
+    BadOpcode(u8),
+    /// Body shorter than the opcode's fixed layout requires.
+    Truncated,
+    /// Body longer than the opcode's fixed layout allows.
+    TrailingBytes,
+    /// MGET key count exceeds [`MAX_MGET`] or disagrees with the body
+    /// length.
+    BadCount(u32),
+    /// ERR payload is not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds MAX_FRAME"),
+            ProtoError::EmptyFrame => write!(f, "empty frame (no opcode)"),
+            ProtoError::BadOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            ProtoError::Truncated => write!(f, "body shorter than the opcode requires"),
+            ProtoError::TrailingBytes => write!(f, "body longer than the opcode allows"),
+            ProtoError::BadCount(n) => write!(f, "bad MGET count {n}"),
+            ProtoError::BadUtf8 => write!(f, "error message is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Append one length-prefixed frame with the given opcode and body
+/// writer. The writer appends body bytes to the buffer; the length
+/// prefix is patched afterwards so bodies never need pre-measuring.
+fn frame(out: &mut Vec<u8>, opcode: u8, body: impl FnOnce(&mut Vec<u8>)) {
+    let at = out.len();
+    out.extend_from_slice(&[0; 4]);
+    out.push(opcode);
+    body(out);
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Request {
+    /// Append this request as one wire frame.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Get { key } => frame(out, op::GET, |b| put_u64(b, *key)),
+            Request::Set { key, value } => frame(out, op::SET, |b| {
+                put_u64(b, *key);
+                put_u64(b, *value);
+            }),
+            Request::Del { key } => frame(out, op::DEL, |b| put_u64(b, *key)),
+            Request::MGet { keys } => frame(out, op::MGET, |b| {
+                put_u32(b, keys.len() as u32);
+                for k in keys {
+                    put_u64(b, *k);
+                }
+            }),
+            Request::ScanCount { start, limit } => frame(out, op::SCAN_COUNT, |b| {
+                put_u64(b, *start);
+                put_u32(b, *limit);
+            }),
+            Request::Shutdown => frame(out, op::SHUTDOWN, |_| {}),
+        }
+    }
+}
+
+impl Response {
+    /// Append this response as one wire frame.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Value(v) => frame(out, resp::VALUE, |b| {
+                b.push(u8::from(v.is_some()));
+                put_u64(b, v.unwrap_or(0));
+            }),
+            Response::Old(v) => frame(out, resp::OLD, |b| {
+                b.push(u8::from(v.is_some()));
+                put_u64(b, v.unwrap_or(0));
+            }),
+            Response::MValues(vs) => frame(out, resp::MVALUES, |b| {
+                put_u32(b, vs.len() as u32);
+                for v in vs {
+                    b.push(u8::from(v.is_some()));
+                    put_u64(b, v.unwrap_or(0));
+                }
+            }),
+            Response::Count(n) => frame(out, resp::COUNT, |b| put_u64(b, *n)),
+            Response::Ok => frame(out, resp::OK, |_| {}),
+            Response::Error(msg) => frame(out, resp::ERR, |b| b.extend_from_slice(msg.as_bytes())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Fixed-layout body reader: every `take_*` advances and fails with
+/// `Truncated` past the end; `finish` fails with `TrailingBytes` unless
+/// the body was consumed exactly.
+struct Body<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Body<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Body { buf }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], ProtoError> {
+        if self.buf.len() < N {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(N);
+        self.buf = rest;
+        Ok(head.try_into().unwrap())
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes)
+        }
+    }
+}
+
+fn opt_value(body: &mut Body<'_>) -> Result<Option<u64>, ProtoError> {
+    let found = body.u8()?;
+    let v = body.u64()?;
+    Ok((found != 0).then_some(v))
+}
+
+impl Request {
+    /// Decode one complete frame payload (opcode + body, no length
+    /// prefix).
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let (&opcode, rest) = payload.split_first().ok_or(ProtoError::EmptyFrame)?;
+        let mut b = Body::new(rest);
+        let req = match opcode {
+            op::GET => Request::Get { key: b.u64()? },
+            op::SET => Request::Set {
+                key: b.u64()?,
+                value: b.u64()?,
+            },
+            op::DEL => Request::Del { key: b.u64()? },
+            op::MGET => {
+                let count = b.u32()?;
+                if count > MAX_MGET {
+                    return Err(ProtoError::BadCount(count));
+                }
+                let mut keys = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    keys.push(b.u64()?);
+                }
+                Request::MGet { keys }
+            }
+            op::SCAN_COUNT => Request::ScanCount {
+                start: b.u64()?,
+                limit: b.u32()?,
+            },
+            op::SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError::BadOpcode(other)),
+        };
+        b.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Decode one complete frame payload (opcode + body, no length
+    /// prefix).
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let (&opcode, rest) = payload.split_first().ok_or(ProtoError::EmptyFrame)?;
+        let mut b = Body::new(rest);
+        let r = match opcode {
+            resp::VALUE => Response::Value(opt_value(&mut b)?),
+            resp::OLD => Response::Old(opt_value(&mut b)?),
+            resp::MVALUES => {
+                let count = b.u32()?;
+                if count > MAX_MGET {
+                    return Err(ProtoError::BadCount(count));
+                }
+                let mut vs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    vs.push(opt_value(&mut b)?);
+                }
+                Response::MValues(vs)
+            }
+            resp::COUNT => Response::Count(b.u64()?),
+            resp::OK => Response::Ok,
+            resp::ERR => {
+                let msg = std::str::from_utf8(b.buf).map_err(|_| ProtoError::BadUtf8)?;
+                return Ok(Response::Error(msg.to_string()));
+            }
+            other => return Err(ProtoError::BadOpcode(other)),
+        };
+        b.finish()?;
+        Ok(r)
+    }
+}
+
+/// Incremental frame reassembler.
+///
+/// Feed it whatever byte chunks the socket produced; pull complete
+/// payloads out with [`next_payload`](Self::next_payload) (or typed
+/// frames with the `next_request` / `next_response` wrappers). The
+/// decoder validates the length prefix *before* buffering a body, so a
+/// garbage length can never make it allocate [`MAX_FRAME`]-scale memory
+/// on behalf of a broken peer. Decode errors are sticky: a connection
+/// that produced one cannot resynchronize mid-stream and must be closed.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed prefix is compacted away
+    /// periodically instead of on every frame.
+    pos: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        // Compact once the consumed prefix dominates, so long-lived
+        // connections never grow the buffer without bound.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pull the next complete frame payload, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes". An `Err` poisons the decoder:
+    /// every later call returns the same structural failure mode
+    /// (`FrameTooLarge` here; opcode/body errors surface from the typed
+    /// wrappers).
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
+        if self.poisoned {
+            return Err(ProtoError::FrameTooLarge(0));
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            self.poisoned = true;
+            return Err(ProtoError::FrameTooLarge(len));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// Pull the next complete [`Request`], if one is fully buffered.
+    /// Decode errors poison the decoder.
+    pub fn next_request(&mut self) -> Result<Option<Request>, ProtoError> {
+        match self.next_payload()? {
+            None => Ok(None),
+            Some(p) => match Request::decode(&p) {
+                Ok(r) => Ok(Some(r)),
+                Err(e) => {
+                    self.poisoned = true;
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Pull the next complete [`Response`], if one is fully buffered.
+    /// Decode errors poison the decoder.
+    pub fn next_response(&mut self) -> Result<Option<Response>, ProtoError> {
+        match self.next_payload()? {
+            None => Ok(None),
+            Some(p) => match Response::decode(&p) {
+                Ok(r) => Ok(Some(r)),
+                Err(e) => {
+                    self.poisoned = true;
+                    Err(e)
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let reqs = [
+            Request::Get { key: 7 },
+            Request::Set {
+                key: u64::MAX,
+                value: 0,
+            },
+            Request::Del { key: 1 << 63 },
+            Request::MGet {
+                keys: vec![1, 2, 3, u64::MAX],
+            },
+            Request::MGet { keys: vec![] },
+            Request::ScanCount {
+                start: 10,
+                limit: 100,
+            },
+            Request::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            r.encode(&mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        for r in &reqs {
+            assert_eq!(dec.next_request().unwrap().as_ref(), Some(r));
+        }
+        assert_eq!(dec.next_request().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let resps = [
+            Response::Value(Some(42)),
+            Response::Value(None),
+            Response::Old(Some(u64::MAX)),
+            Response::Old(None),
+            Response::MValues(vec![Some(1), None, Some(3)]),
+            Response::MValues(vec![]),
+            Response::Count(12345),
+            Response::Ok,
+            Response::Error("bad frame: unknown opcode 0x99".into()),
+        ];
+        let mut wire = Vec::new();
+        for r in &resps {
+            r.encode(&mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        for r in &resps {
+            assert_eq!(dec.next_response().unwrap().as_ref(), Some(r));
+        }
+        assert_eq!(dec.next_response().unwrap(), None);
+    }
+
+    #[test]
+    fn split_frames_reassemble_byte_by_byte() {
+        let mut wire = Vec::new();
+        Request::Set { key: 9, value: 10 }.encode(&mut wire);
+        Request::Get { key: 9 }.encode(&mut wire);
+        let mut dec = FrameDecoder::new();
+        let mut seen = Vec::new();
+        for &b in &wire {
+            dec.feed(&[b]);
+            while let Some(r) = dec.next_request().unwrap() {
+                seen.push(r);
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![Request::Set { key: 9, value: 10 }, Request::Get { key: 9 }]
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            dec.next_request(),
+            Err(ProtoError::FrameTooLarge(_))
+        ));
+        // Poisoned: more bytes don't resurrect it.
+        let mut ok = Vec::new();
+        Request::Get { key: 1 }.encode(&mut ok);
+        dec.feed(&ok);
+        assert!(dec.next_request().is_err());
+    }
+
+    #[test]
+    fn structural_garbage_is_rejected() {
+        // Unknown opcode.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&3u32.to_le_bytes());
+        dec.feed(&[0x77, 0, 0]);
+        assert_eq!(dec.next_request(), Err(ProtoError::BadOpcode(0x77)));
+
+        // Truncated body.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&5u32.to_le_bytes());
+        dec.feed(&[op::GET, 1, 2, 3, 4]);
+        assert_eq!(dec.next_request(), Err(ProtoError::Truncated));
+
+        // Trailing bytes.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&10u32.to_le_bytes());
+        dec.feed(&[op::GET, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(dec.next_request(), Err(ProtoError::TrailingBytes));
+
+        // Empty payload.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&0u32.to_le_bytes());
+        assert_eq!(dec.next_request(), Err(ProtoError::EmptyFrame));
+
+        // MGET count that disagrees with the body.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&5u32.to_le_bytes());
+        dec.feed(&[op::MGET, 2, 0, 0, 0]);
+        assert_eq!(dec.next_request(), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn compaction_keeps_long_streams_bounded() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = Vec::new();
+        Request::Get { key: 3 }.encode(&mut wire);
+        for _ in 0..10_000 {
+            dec.feed(&wire);
+            assert_eq!(dec.next_request().unwrap(), Some(Request::Get { key: 3 }));
+        }
+        assert!(
+            dec.buf.len() < 64 * 1024,
+            "decoder buffer grew to {} bytes over a long stream",
+            dec.buf.len()
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Loopback integration tests: a real server on 127.0.0.1, real TCP
+//! clients, every opcode, both dispatch modes — and the robustness
+//! contract: a client that sends garbage gets an ERR frame and loses its
+//! connection, while every other connection (and the worker itself)
+//! keeps running.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use optiql_server::proto::{FrameDecoder, Request, Response};
+use optiql_server::server::{start, BackendKind, Dispatch, ServerConfig, ServerHandle};
+
+/// Minimal synchronous test client (the harness's richer `Client` lives
+/// above this crate in the dependency graph, so the tests carry their
+/// own ten-liner).
+struct C {
+    s: TcpStream,
+    dec: FrameDecoder,
+}
+
+impl C {
+    fn connect(addr: SocketAddr) -> C {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_nodelay(true).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        C {
+            s,
+            dec: FrameDecoder::new(),
+        }
+    }
+
+    fn send(&mut self, reqs: &[Request]) {
+        let mut wire = Vec::new();
+        for r in reqs {
+            r.encode(&mut wire);
+        }
+        self.s.write_all(&wire).expect("write");
+    }
+
+    /// Next response; `None` on clean EOF.
+    fn recv(&mut self) -> Option<Response> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(r) = self.dec.next_response().expect("well-formed response") {
+                return Some(r);
+            }
+            let n = self.s.read(&mut buf).expect("read");
+            if n == 0 {
+                return None;
+            }
+            self.dec.feed(&buf[..n]);
+        }
+    }
+
+    fn call(&mut self, req: Request) -> Response {
+        self.send(std::slice::from_ref(&req));
+        self.recv().expect("response before EOF")
+    }
+}
+
+fn serve(backend: BackendKind, dispatch: Dispatch, preload: u64) -> ServerHandle {
+    start(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        backend,
+        workers: 1,
+        dispatch,
+        preload,
+        max_group: 64,
+    })
+    .expect("server start")
+}
+
+/// Scripted pass over every opcode against a preloaded server
+/// (preload: key k → k + 1 for k in 0..n).
+fn exercise_all_ops(addr: SocketAddr, preload: u64) {
+    let mut c = C::connect(addr);
+    assert_eq!(c.call(Request::Get { key: 3 }), Response::Value(Some(4)));
+    assert_eq!(
+        c.call(Request::Get { key: preload + 9 }),
+        Response::Value(None)
+    );
+    assert_eq!(
+        c.call(Request::Set {
+            key: preload + 9,
+            value: 77
+        }),
+        Response::Old(None)
+    );
+    assert_eq!(
+        c.call(Request::Set {
+            key: preload + 9,
+            value: 78
+        }),
+        Response::Old(Some(77))
+    );
+    assert_eq!(
+        c.call(Request::MGet {
+            keys: vec![0, preload + 9, preload + 100, 1]
+        }),
+        Response::MValues(vec![Some(1), Some(78), None, Some(2)])
+    );
+    assert_eq!(
+        c.call(Request::ScanCount { start: 0, limit: 5 }),
+        Response::Count(5)
+    );
+    assert_eq!(
+        c.call(Request::Del { key: preload + 9 }),
+        Response::Old(Some(78))
+    );
+    assert_eq!(
+        c.call(Request::Get { key: preload + 9 }),
+        Response::Value(None)
+    );
+}
+
+#[test]
+fn every_opcode_round_trips_grouped() {
+    let h = serve(BackendKind::Btree, Dispatch::Grouped, 1000);
+    exercise_all_ops(h.addr(), 1000);
+    let stats = h.shutdown();
+    assert!(stats.requests >= 8);
+    assert_eq!(stats.proto_errors, 0);
+}
+
+#[test]
+fn every_opcode_round_trips_per_op_and_sharded() {
+    let h = serve(
+        BackendKind::ShardedBtree { shards: 2 },
+        Dispatch::PerOp,
+        1000,
+    );
+    exercise_all_ops(h.addr(), 1000);
+    let stats = h.shutdown();
+    assert_eq!(stats.batched_ops, 0, "per-op mode must never batch");
+}
+
+#[test]
+fn pipelined_burst_is_answered_in_order_and_batched() {
+    let n: u64 = 256;
+    let h = serve(BackendKind::Btree, Dispatch::Grouped, n);
+    let mut c = C::connect(h.addr());
+
+    // One write carrying a deep pipeline of GETs: the server drains the
+    // burst, routes it through multi_lookup, and answers in arrival
+    // order.
+    let reqs: Vec<Request> = (0..n).map(|key| Request::Get { key }).collect();
+    c.send(&reqs);
+    for key in 0..n {
+        assert_eq!(c.recv(), Some(Response::Value(Some(key + 1))));
+    }
+
+    // Mixed burst: SET run, GET run, MGET — still positional.
+    let mut mixed = vec![
+        Request::Set { key: 1, value: 100 },
+        Request::Set { key: 2, value: 200 },
+        Request::Set { key: 3, value: 300 },
+    ];
+    mixed.extend((1..4).map(|key| Request::Get { key }));
+    mixed.push(Request::MGet {
+        keys: vec![3, 2, 1],
+    });
+    c.send(&mixed);
+    assert_eq!(c.recv(), Some(Response::Old(Some(2))));
+    assert_eq!(c.recv(), Some(Response::Old(Some(3))));
+    assert_eq!(c.recv(), Some(Response::Old(Some(4))));
+    assert_eq!(c.recv(), Some(Response::Value(Some(100))));
+    assert_eq!(c.recv(), Some(Response::Value(Some(200))));
+    assert_eq!(c.recv(), Some(Response::Value(Some(300))));
+    assert_eq!(
+        c.recv(),
+        Some(Response::MValues(vec![Some(300), Some(200), Some(100)]))
+    );
+
+    let stats = h.shutdown();
+    assert!(
+        stats.batched_ops > 0,
+        "grouped dispatch never used the batch engines: {stats:?}"
+    );
+    assert!(stats.groups > 0);
+}
+
+#[test]
+fn garbage_bytes_close_only_that_connection() {
+    let h = serve(BackendKind::Btree, Dispatch::Grouped, 100);
+
+    // A healthy connection, opened first and kept alive throughout.
+    let mut good = C::connect(h.addr());
+    assert_eq!(good.call(Request::Get { key: 1 }), Response::Value(Some(2)));
+
+    // A hostile connection: structural garbage (valid length prefix,
+    // unknown opcode). The server must answer ERR, then close.
+    let mut bad = C::connect(h.addr());
+    bad.s.write_all(&3u32.to_le_bytes()).unwrap();
+    bad.s.write_all(&[0x99, 0xAA, 0xBB]).unwrap();
+    match bad.recv() {
+        Some(Response::Error(msg)) => assert!(msg.contains("opcode"), "got: {msg}"),
+        other => panic!("expected ERR frame, got {other:?}"),
+    }
+    assert_eq!(bad.recv(), None, "connection must close after ERR");
+
+    // A second hostile connection: an oversized length prefix.
+    let mut huge = C::connect(h.addr());
+    huge.s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    match huge.recv() {
+        Some(Response::Error(_)) => {}
+        other => panic!("expected ERR frame, got {other:?}"),
+    }
+    assert_eq!(huge.recv(), None);
+
+    // The worker survived: the old connection still answers, and so
+    // does a brand-new one.
+    assert_eq!(good.call(Request::Get { key: 2 }), Response::Value(Some(3)));
+    let mut fresh = C::connect(h.addr());
+    assert_eq!(
+        fresh.call(Request::Get { key: 3 }),
+        Response::Value(Some(4))
+    );
+
+    let stats = h.shutdown();
+    assert_eq!(stats.proto_errors, 2);
+}
+
+#[test]
+fn shutdown_opcode_acks_and_stops_the_server() {
+    let h = serve(BackendKind::Art, Dispatch::Grouped, 10);
+    let mut c = C::connect(h.addr());
+    assert_eq!(c.call(Request::Shutdown), Response::Ok);
+    // join() returns because the SHUTDOWN raised the stop flag.
+    let stats = h.join();
+    assert!(stats.requests >= 1);
+}
