@@ -20,15 +20,20 @@
 //! current node and are handled inline. Pessimistic lock configurations
 //! bypass pipelining: their reads hold real shared locks, which must not
 //! be parked across turns.
+//!
+//! The engine is key-generic like the scalar paths; radix digits come from
+//! `K::encode()`, re-derived per turn (for the default `u64` key this is a
+//! register-width byte swap, not an allocation).
 
 use std::sync::atomic::Ordering;
 
 use optiql::olc::OptimisticGuard;
 use optiql::stats::{self, Event};
 use optiql::IndexLock;
+use optiql_index_api::IndexKey;
 
-use crate::node::{as_kv, is_kv, key_bytes, prefetch_child, ArtNode, KvLeaf, NodeType, KEY_LEN};
-use crate::tree::ArtTree;
+use crate::node::{as_kv, is_kv, prefetch_child, ArtNode, KvLeaf};
+use crate::tree::{alloc_chain, digit, ArtTree};
 
 /// Operations interleaved per pipeline group (see the B+-tree engine for
 /// the sizing rationale).
@@ -63,13 +68,13 @@ enum Turn<'t, L: IndexLock> {
     Restart,
 }
 
-impl<L: IndexLock> ArtTree<L> {
+impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     /// Batched point lookups; `result[i] == lookup(keys[i])`, order
     /// preserved. Pipelines `GROUP` descents with interleaved prefetch.
-    pub fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+    pub fn multi_lookup(&self, keys: &[K]) -> Vec<Option<u64>> {
         stats::record(Event::BatchIssued);
         if L::PESSIMISTIC || keys.len() < 2 {
-            return keys.iter().map(|&k| self.lookup(k)).collect();
+            return keys.iter().map(|k| self.lookup(k.clone())).collect();
         }
         let _g = self.collector.pin();
         let mut out = Vec::with_capacity(keys.len());
@@ -80,7 +85,7 @@ impl<L: IndexLock> ArtTree<L> {
             let mut pending = group.len();
             while pending > 0 {
                 stats::record(Event::BatchPrefetchRound);
-                for (i, &key) in group.iter().enumerate() {
+                for (i, key) in group.iter().enumerate() {
                     if let OpSt::Done(_) = st[i] {
                         continue;
                     }
@@ -129,10 +134,13 @@ impl<L: IndexLock> ArtTree<L> {
 
     /// Batched inserts, equivalent to applying `pairs` in order (a
     /// duplicate key later in the batch observes the earlier write).
-    pub fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+    pub fn multi_insert(&self, pairs: &[(K, u64)]) -> Vec<Option<u64>> {
         stats::record(Event::BatchIssued);
         if L::PESSIMISTIC || pairs.len() < 2 {
-            return pairs.iter().map(|&(k, v)| self.insert(k, v)).collect();
+            return pairs
+                .iter()
+                .map(|(k, v)| self.insert(k.clone(), *v))
+                .collect();
         }
         let _g = self.collector.pin();
         let mut out = Vec::with_capacity(pairs.len());
@@ -146,13 +154,14 @@ impl<L: IndexLock> ArtTree<L> {
             // intra-group duplicates can race.)
             let mut deferred = [false; GROUP];
             let mut pending = 0usize;
-            for (j, &(k, _)) in group.iter().enumerate() {
-                deferred[j] = group[..j].iter().any(|&(e, _)| e == k);
+            for (j, (k, _)) in group.iter().enumerate() {
+                deferred[j] = group[..j].iter().any(|(e, _)| e == k);
                 pending += usize::from(!deferred[j]);
             }
             while pending > 0 {
                 stats::record(Event::BatchPrefetchRound);
-                for (i, &(key, val)) in group.iter().enumerate() {
+                for (i, (key, val)) in group.iter().enumerate() {
+                    let val = *val;
                     if deferred[i] {
                         continue;
                     }
@@ -162,7 +171,7 @@ impl<L: IndexLock> ArtTree<L> {
                     let turn = match std::mem::replace(&mut st[i], OpSt::Start) {
                         OpSt::Start => {
                             if attempts[i] >= PIPELINE_ATTEMPTS {
-                                Turn::Next(OpSt::Done(self.insert_optimistic(key, val)))
+                                Turn::Next(OpSt::Done(self.insert_optimistic(key.clone(), val)))
                             } else {
                                 self.in_start(key, val)
                             }
@@ -196,9 +205,9 @@ impl<L: IndexLock> ArtTree<L> {
                     }
                 }
             }
-            for (j, &(k, v)) in group.iter().enumerate() {
+            for (j, (k, v)) in group.iter().enumerate() {
                 if deferred[j] {
-                    st[j] = OpSt::Done(self.insert_optimistic(k, v));
+                    st[j] = OpSt::Done(self.insert_optimistic(k.clone(), *v));
                 }
             }
             for s in st.iter().take(group.len()) {
@@ -222,7 +231,7 @@ impl<L: IndexLock> ArtTree<L> {
     /// First turn: guard the root (never replaced, always cache-hot) and
     /// advance one level.
     #[inline]
-    fn lk_start(&self, key: u64) -> Turn<'_, L> {
+    fn lk_start(&self, key: &K) -> Turn<'_, L> {
         let node = self.root();
         let Some(g) = OptimisticGuard::read(&node.lock) else {
             return Turn::Restart;
@@ -235,7 +244,7 @@ impl<L: IndexLock> ArtTree<L> {
     #[inline]
     fn lk_enter<'t>(
         &'t self,
-        key: u64,
+        key: &K,
         parent: OptimisticGuard<'t, L>,
         child: *mut ArtNode<L>,
         depth: usize,
@@ -257,16 +266,16 @@ impl<L: IndexLock> ArtTree<L> {
     #[inline]
     fn lk_kv<'t>(
         &self,
-        key: u64,
+        key: &K,
         guard: OptimisticGuard<'t, L>,
         child: *mut ArtNode<L>,
     ) -> Turn<'t, L> {
-        let kv = unsafe { as_kv(child) };
-        let (k, val) = (kv.key, kv.value());
+        let kv = unsafe { as_kv::<L, K>(child) };
+        let (hit, val) = (kv.key == *key, kv.value());
         if !guard.validate() {
             return Turn::Restart;
         }
-        Turn::Next(OpSt::Done((k == key).then_some(val)))
+        Turn::Next(OpSt::Done(hit.then_some(val)))
     }
 
     /// One descent step at `(node, g, depth)`: mirrors one iteration of
@@ -275,15 +284,16 @@ impl<L: IndexLock> ArtTree<L> {
     #[inline]
     fn lk_advance<'t>(
         &self,
-        key: u64,
+        key: &K,
         node: &'t ArtNode<L>,
         g: OptimisticGuard<'t, L>,
         mut depth: usize,
     ) -> Turn<'t, L> {
-        let kb = key_bytes(key);
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let pl = node.prefix_len();
         if pl > 0 {
-            let m = node.prefix_match_len(&kb, depth);
+            let m = node.prefix_match_len(kb, depth);
             if m < pl {
                 if !g.validate() {
                     return Turn::Restart;
@@ -292,8 +302,7 @@ impl<L: IndexLock> ArtTree<L> {
             }
             depth += pl;
         }
-        debug_assert!(depth < KEY_LEN);
-        let b = kb[depth];
+        let b = digit(kb, depth);
         let child = node.find_child(b);
         if !g.recheck() {
             g.abandon();
@@ -326,7 +335,7 @@ impl<L: IndexLock> ArtTree<L> {
 
     /// First insert turn: guard the root and advance.
     #[inline]
-    fn in_start(&self, key: u64, val: u64) -> Turn<'_, L> {
+    fn in_start(&self, key: &K, val: u64) -> Turn<'_, L> {
         let node = self.root();
         let Some(g) = OptimisticGuard::read(&node.lock) else {
             return Turn::Restart;
@@ -345,7 +354,7 @@ impl<L: IndexLock> ArtTree<L> {
     #[inline]
     fn in_enter<'t>(
         &'t self,
-        key: u64,
+        key: &K,
         val: u64,
         parent: OptimisticGuard<'t, L>,
         child: *mut ArtNode<L>,
@@ -370,7 +379,7 @@ impl<L: IndexLock> ArtTree<L> {
     #[allow(clippy::too_many_arguments)]
     fn in_kv<'t>(
         &self,
-        key: u64,
+        key: &K,
         val: u64,
         node: &'t ArtNode<L>,
         guard: OptimisticGuard<'t, L>,
@@ -378,8 +387,8 @@ impl<L: IndexLock> ArtTree<L> {
         byte: u8,
         depth: usize,
     ) -> Turn<'t, L> {
-        let kv = unsafe { as_kv(child) };
-        if kv.key == key {
+        let kv = unsafe { as_kv::<L, K>(child) };
+        if kv.key == *key {
             let Some(t) = guard.try_upgrade() else {
                 return Turn::Restart;
             };
@@ -387,18 +396,20 @@ impl<L: IndexLock> ArtTree<L> {
             node.lock.x_unlock(t);
             return Turn::Next(OpSt::Done(Some(old)));
         }
-        // Lazy-expansion split: push both keys below a fresh Node4.
-        let kb = key_bytes(key);
-        let okb = key_bytes(kv.key);
+        // Lazy-expansion split: push both keys below a fresh chain.
+        let enc = key.encode();
+        let kb = enc.as_ref();
+        let oenc = kv.key.encode();
+        let okb = oenc.as_ref();
         let mut d = depth + 1;
-        while d < KEY_LEN && okb[d] == kb[d] {
+        let lim = okb.len().min(kb.len());
+        while d < lim && okb[d] == kb[d] {
             d += 1;
         }
-        // A path-consistent KV leaf diverges above KEY_LEN; d == KEY_LEN
-        // means the captured state went stale (the guard would fail the
-        // upgrade below anyway) — restart instead of indexing past the key.
-        debug_assert!(d < KEY_LEN, "distinct keys must diverge");
-        if d >= KEY_LEN {
+        // Path-consistent prefix-free keys diverge inside both encodings;
+        // hitting an end means the captured state went stale (the upgrade
+        // below would fail anyway) — restart instead of indexing past it.
+        if d >= okb.len() || d >= kb.len() {
             guard.abandon();
             return Turn::Restart;
         }
@@ -406,12 +417,11 @@ impl<L: IndexLock> ArtTree<L> {
             return Turn::Restart;
         };
         self.note_lazy_expansion();
-        let new4p = ArtNode::<L>::alloc(NodeType::N4);
-        let new4 = unsafe { &*new4p };
-        new4.set_prefix(&kb[depth + 1..d]);
-        new4.insert_child(okb[d], child);
-        new4.insert_child(kb[d], KvLeaf::alloc::<L>(key, val));
-        node.replace_child(byte, new4p);
+        let new_leaf = KvLeaf::alloc::<L>(key.clone(), val);
+        let mut kids = [(digit(okb, d), child), (digit(kb, d), new_leaf)];
+        kids.sort_by_key(|&(b, _)| b);
+        let chain = alloc_chain::<L>(&kb[depth + 1..d], &kids);
+        node.replace_child(byte, chain);
         node.lock.x_unlock(t);
         Turn::Next(OpSt::Done(None))
     }
@@ -422,25 +432,25 @@ impl<L: IndexLock> ArtTree<L> {
     #[inline]
     fn in_advance<'t>(
         &self,
-        key: u64,
+        key: &K,
         val: u64,
         node: &'t ArtNode<L>,
         g: OptimisticGuard<'t, L>,
         mut depth: usize,
     ) -> Turn<'t, L> {
-        let kb = key_bytes(key);
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let pl = node.prefix_len();
         if pl > 0 {
-            let m = node.prefix_match_len(&kb, depth);
+            let m = node.prefix_match_len(kb, depth);
             if m < pl {
                 // Prefix split needs the parent held; scalar handles it.
                 g.abandon();
-                return Turn::Next(OpSt::Done(self.insert_optimistic(key, val)));
+                return Turn::Next(OpSt::Done(self.insert_optimistic(key.clone(), val)));
             }
             depth += pl;
         }
-        debug_assert!(depth < KEY_LEN);
-        let b = kb[depth];
+        let b = digit(kb, depth);
         let child = node.find_child(b);
         // Fill level read inside the validated window (see the scalar
         // path for why it must precede the recheck).
@@ -453,12 +463,12 @@ impl<L: IndexLock> ArtTree<L> {
             if full {
                 // Growing replaces the node in its parent; scalar handles.
                 g.abandon();
-                return Turn::Next(OpSt::Done(self.insert_optimistic(key, val)));
+                return Turn::Next(OpSt::Done(self.insert_optimistic(key.clone(), val)));
             }
             let Some(t) = g.try_upgrade() else {
                 return Turn::Restart;
             };
-            node.insert_child(b, KvLeaf::alloc::<L>(key, val));
+            node.insert_child(b, KvLeaf::alloc::<L>(key.clone(), val));
             node.lock.x_unlock(t);
             return Turn::Next(OpSt::Done(None));
         }

@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicPtr, AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 use optiql::IndexLock;
+use optiql_index_api::IndexKey;
 
 const R: Ordering = Ordering::Relaxed;
 
@@ -42,18 +43,20 @@ pub enum NodeType {
 
 /// Single-entry leaf: the full key plus the payload ("TID"). Reached via a
 /// tagged pointer; the key is immutable, the value is an atomic cell so
-/// in-place updates need no reallocation.
+/// in-place updates need no reallocation. Generic over the key type: the
+/// radix structure above stores only digit bytes, so the leaf is the only
+/// place a `K` lives.
 #[repr(C, align(8))]
-pub struct KvLeaf {
+pub struct KvLeaf<K: IndexKey = u64> {
     /// The complete key (lazy expansion means inner nodes may not spell
     /// out every byte; the leaf is the source of truth).
-    pub key: u64,
+    pub key: K,
     val: AtomicU64,
 }
 
-impl KvLeaf {
+impl<K: IndexKey> KvLeaf<K> {
     /// Allocate a leaf, returning its *tagged* child pointer.
-    pub fn alloc<L: IndexLock>(key: u64, val: u64) -> *mut ArtNode<L> {
+    pub fn alloc<L: IndexLock>(key: K, val: u64) -> *mut ArtNode<L> {
         let p = Box::into_raw(Box::new(KvLeaf {
             key,
             val: AtomicU64::new(val),
@@ -85,18 +88,18 @@ pub fn is_kv<L: IndexLock>(p: *mut ArtNode<L>) -> bool {
 /// Untag a KV leaf pointer.
 ///
 /// # Safety
-/// `p` must be a tagged pointer produced by [`KvLeaf::alloc`], still live
-/// or epoch-retired.
+/// `p` must be a tagged pointer produced by [`KvLeaf::alloc`] **with the
+/// same key type `K`**, still live or epoch-retired.
 #[inline]
-pub unsafe fn as_kv<'a, L: IndexLock>(p: *mut ArtNode<L>) -> &'a KvLeaf {
+pub unsafe fn as_kv<'a, L: IndexLock, K: IndexKey>(p: *mut ArtNode<L>) -> &'a KvLeaf<K> {
     debug_assert!(is_kv(p));
-    unsafe { &*(((p as usize) & !1) as *const KvLeaf) }
+    unsafe { &*(((p as usize) & !1) as *const KvLeaf<K>) }
 }
 
 /// Raw (untagged) KV pointer for retirement.
 #[inline]
-pub fn kv_raw<L: IndexLock>(p: *mut ArtNode<L>) -> *mut KvLeaf {
-    ((p as usize) & !1) as *mut KvLeaf
+pub fn kv_raw<L: IndexLock, K: IndexKey>(p: *mut ArtNode<L>) -> *mut KvLeaf<K> {
+    ((p as usize) & !1) as *mut KvLeaf<K>
 }
 
 /// Branchless SSE2 probe of a `Node16` key array: compare all 16 bytes
@@ -309,13 +312,15 @@ impl<L: IndexLock> ArtNode<L> {
         self.prefix_len.store(bytes.len() as u8, R);
     }
 
-    /// Compare the compressed path against `key[depth..]`. Returns the
-    /// number of matching bytes, which equals `prefix_len` on a full match.
+    /// Compare the compressed path against `key[depth..]` (any encoded key
+    /// length). Returns the number of matching bytes, which equals
+    /// `prefix_len` on a full match; an exhausted key is a mismatch at the
+    /// point of exhaustion.
     #[inline]
-    pub fn prefix_match_len(&self, key: &[u8; KEY_LEN], depth: usize) -> usize {
+    pub fn prefix_match_len(&self, key: &[u8], depth: usize) -> usize {
         let plen = self.prefix_len();
         let mut i = 0;
-        while i < plen && depth + i < KEY_LEN {
+        while i < plen && depth + i < key.len() {
             if self.prefix_byte(i) != key[depth + i] {
                 break;
             }
@@ -641,14 +646,14 @@ mod tests {
 
     #[test]
     fn kv_tagging_roundtrip() {
-        let p = KvLeaf::alloc::<OptLock>(0xDEAD, 42);
+        let p = KvLeaf::alloc::<OptLock>(0xDEADu64, 42);
         assert!(is_kv(p));
-        let kv = unsafe { as_kv(p) };
+        let kv: &KvLeaf<u64> = unsafe { as_kv(p) };
         assert_eq!(kv.key, 0xDEAD);
         assert_eq!(kv.value(), 42);
         assert_eq!(kv.set_value(43), 42);
         assert_eq!(kv.value(), 43);
-        drop(unsafe { Box::from_raw(kv_raw(p)) });
+        drop(unsafe { Box::from_raw(kv_raw::<OptLock, u64>(p)) });
     }
 
     #[test]

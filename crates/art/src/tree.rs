@@ -9,7 +9,7 @@
 //!   exclusive acquisition. For OptiQL the upgrade leaves the queue intact,
 //!   so later writers still line up instead of hammering the word (§6.2).
 //! * With a `DirectLock` strategy, updates that provably target the last
-//!   level (all 8 key bytes consumed) acquire the lock directly — the
+//!   level (all encoded key bytes consumed) acquire the lock directly — the
 //!   queue-based path of Algorithm 4.
 //! * **Contention expansion**: upgrade-acquired exclusive locks
 //!   probabilistically bump a per-node contention counter; past a threshold
@@ -19,22 +19,42 @@
 //!   exclusive coupling for writes.
 //!
 //! The root is a `Node256` that is never replaced, removing root-swap races.
+//!
+//! # Keys
+//!
+//! The tree is generic over `K:`[`IndexKey`]. Radix digits come from
+//! `K::encode()` — big-endian bytes for `u64` (the default, preserving the
+//! pre-generic layout byte for byte) and the escape-coded prefix-free form
+//! for byte strings. Prefix-freedom is what makes variable-length keys
+//! radix-safe: no encoded key is a prefix of another, so two distinct keys
+//! always diverge at a digit position inside both, and a descent never
+//! runs off the end of its key while a sibling continues. Compressed paths
+//! longer than the 7 bytes a node header can pack are spelled out as a
+//! chain of single-child `Node4`s ([`alloc_chain`]).
 
 use std::cell::Cell;
+use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use optiql::olc::{IndexStats, OptimisticGuard, RestartLoop, SharedIndexStats};
 use optiql::stats::Event;
 use optiql::{IndexLock, WriteStrategy};
+use optiql_index_api::{bounds_nonempty, key_above_start, key_below_end, IndexKey, RangeIter};
 use optiql_reclaim::{Collector, Guard};
 
-use crate::node::{as_kv, is_kv, key_bytes, kv_raw, ArtNode, KvLeaf, NodeType, KEY_LEN};
+use crate::node::{as_kv, is_kv, kv_raw, ArtNode, KvLeaf, NodeType, KEY_LEN};
 
 /// Default contention-expansion threshold (paper: 1024).
 pub const DEFAULT_EXPANSION_THRESHOLD: u32 = 1024;
 /// Default sampling denominator: the counter is bumped with probability
 /// 1/10 (paper: 0.1).
 pub const DEFAULT_SAMPLE_INV: u32 = 10;
+
+/// Longest compressed path a single node header can hold.
+const MAX_PREFIX: usize = KEY_LEN - 1;
+
+/// Entries per re-descent of the streaming [`ArtTree::range`] iterator.
+const RANGE_CHUNK: usize = 64;
 
 /// Internal atomic counters; snapshotted into [`ArtStats`].
 #[derive(Default)]
@@ -83,8 +103,43 @@ fn sample(denominator: u32) -> bool {
     })
 }
 
-/// Adaptive radix tree keyed by `u64` with `u64` payloads.
-pub struct ArtTree<L: IndexLock> {
+/// Digit at `depth`, tolerating out-of-range reads: a torn optimistic
+/// snapshot can leave `depth` past the key's end for a moment; the zero
+/// fallback keeps the descent panic-free until validation rejects it.
+/// With a consistent tree, prefix-free keys never index out of range.
+#[inline]
+pub(crate) fn digit(kb: &[u8], depth: usize) -> u8 {
+    *kb.get(depth).unwrap_or(&0)
+}
+
+/// Build a chain of `Node4`s spelling out `path` (any length), ending in a
+/// node holding `kids` (ascending digits). Each link packs up to
+/// [`MAX_PREFIX`] path bytes into its header and spends one more as the
+/// digit to the next link. The chain is private to the caller until
+/// published.
+pub(crate) fn alloc_chain<L: IndexLock>(
+    path: &[u8],
+    kids: &[(u8, *mut ArtNode<L>)],
+) -> *mut ArtNode<L> {
+    if path.len() <= MAX_PREFIX {
+        let np = ArtNode::<L>::alloc(NodeType::N4);
+        let n = unsafe { &*np };
+        n.set_prefix(path);
+        for &(b, c) in kids {
+            n.insert_child(b, c);
+        }
+        return np;
+    }
+    let child = alloc_chain(&path[MAX_PREFIX + 1..], kids);
+    let np = ArtNode::<L>::alloc(NodeType::N4);
+    let n = unsafe { &*np };
+    n.set_prefix(&path[..MAX_PREFIX]);
+    n.insert_child(path[MAX_PREFIX], child);
+    np
+}
+
+/// Adaptive radix tree mapping `K` keys (default `u64`) to `u64` payloads.
+pub struct ArtTree<L: IndexLock, K: IndexKey = u64> {
     root: *mut ArtNode<L>,
     pub(crate) size: AtomicUsize,
     pub(crate) collector: Collector,
@@ -92,18 +147,19 @@ pub struct ArtTree<L: IndexLock> {
     pub(crate) index_stats: SharedIndexStats,
     expansion_threshold: u32,
     sample_inv: u32,
+    _key: std::marker::PhantomData<K>,
 }
 
-unsafe impl<L: IndexLock> Send for ArtTree<L> {}
-unsafe impl<L: IndexLock> Sync for ArtTree<L> {}
+unsafe impl<L: IndexLock, K: IndexKey> Send for ArtTree<L, K> {}
+unsafe impl<L: IndexLock, K: IndexKey> Sync for ArtTree<L, K> {}
 
-impl<L: IndexLock> Default for ArtTree<L> {
+impl<L: IndexLock, K: IndexKey> Default for ArtTree<L, K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<L: IndexLock> ArtTree<L> {
+impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     /// Create an empty tree with default contention-expansion parameters.
     pub fn new() -> Self {
         Self::with_expansion(DEFAULT_EXPANSION_THRESHOLD, DEFAULT_SAMPLE_INV)
@@ -122,6 +178,7 @@ impl<L: IndexLock> ArtTree<L> {
             index_stats: SharedIndexStats::new(),
             expansion_threshold: threshold,
             sample_inv,
+            _key: std::marker::PhantomData,
         }
     }
 
@@ -197,23 +254,24 @@ impl<L: IndexLock> ArtTree<L> {
     /// Retire a KV leaf through the epoch collector.
     fn retire_kv(&self, g: &Guard, p: *mut ArtNode<L>) {
         debug_assert!(is_kv(p));
-        let raw = kv_raw(p) as usize;
-        g.defer(move || unsafe { drop(Box::from_raw(raw as *mut KvLeaf)) });
+        let raw = kv_raw::<L, K>(p) as usize;
+        g.defer(move || unsafe { drop(Box::from_raw(raw as *mut KvLeaf<K>)) });
     }
 
     // --- lookup -----------------------------------------------------------
 
     /// Point lookup.
-    pub fn lookup(&self, key: u64) -> Option<u64> {
+    pub fn lookup(&self, key: K) -> Option<u64> {
         self.index_stats.record_op();
-        self.lookup_impl(key)
+        self.lookup_impl(&key)
     }
 
     /// Lookup body without the per-op accounting: shared by the scalar
     /// entry point and the batched engine's fallback path (which accounts
     /// once per batch).
-    pub(crate) fn lookup_impl(&self, key: u64) -> Option<u64> {
-        let kb = key_bytes(key);
+    pub(crate) fn lookup_impl(&self, key: &K) -> Option<u64> {
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let _g = self.collector.pin();
         let mut rs = self.restart_loop();
         'restart: loop {
@@ -226,7 +284,7 @@ impl<L: IndexLock> ArtTree<L> {
             loop {
                 let pl = node.prefix_len();
                 if pl > 0 {
-                    let m = node.prefix_match_len(&kb, depth);
+                    let m = node.prefix_match_len(kb, depth);
                     if m < pl {
                         if !g.validate() {
                             continue 'restart;
@@ -235,8 +293,7 @@ impl<L: IndexLock> ArtTree<L> {
                     }
                     depth += pl;
                 }
-                debug_assert!(depth < KEY_LEN);
-                let b = kb[depth];
+                let b = digit(kb, depth);
                 let child = node.find_child(b);
                 if !g.recheck() {
                     continue 'restart;
@@ -248,12 +305,12 @@ impl<L: IndexLock> ArtTree<L> {
                     return None;
                 }
                 if is_kv(child) {
-                    let kv = unsafe { as_kv(child) };
-                    let (k, val) = (kv.key, kv.value());
+                    let kv = unsafe { as_kv::<L, K>(child) };
+                    let (hit, val) = (kv.key == *key, kv.value());
                     if !g.validate() {
                         continue 'restart;
                     }
-                    return (k == key).then_some(val);
+                    return hit.then_some(val);
                 }
                 let ci = unsafe { &*child };
                 let Some(cg) = OptimisticGuard::read(&ci.lock) else {
@@ -274,12 +331,13 @@ impl<L: IndexLock> ArtTree<L> {
     // --- update -----------------------------------------------------------
 
     /// Replace the value of an existing key; `None` if absent.
-    pub fn update(&self, key: u64, val: u64) -> Option<u64> {
+    pub fn update(&self, key: K, val: u64) -> Option<u64> {
         self.index_stats.record_op();
         if L::PESSIMISTIC {
-            return self.update_pessimistic(key, val);
+            return self.update_pessimistic(&key, val);
         }
-        let kb = key_bytes(key);
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let g = self.collector.pin();
         let mut rs = self.restart_loop();
         let direct = matches!(
@@ -297,7 +355,7 @@ impl<L: IndexLock> ArtTree<L> {
             loop {
                 let pl = node.prefix_len();
                 if pl > 0 {
-                    let m = node.prefix_match_len(&kb, depth);
+                    let m = node.prefix_match_len(kb, depth);
                     if m < pl {
                         if !node.lock.r_unlock(v) {
                             continue 'restart;
@@ -306,12 +364,13 @@ impl<L: IndexLock> ArtTree<L> {
                     }
                     depth += pl;
                 }
-                debug_assert!(depth < KEY_LEN);
 
-                if direct && depth == KEY_LEN - 1 {
-                    // Known last level: every child is a leaf, so acquire
-                    // the queue-based lock directly (Algorithm 4 adapted to
-                    // ART) and validate the parent afterwards.
+                if direct && depth + 1 == kb.len() {
+                    // Known last level: the remaining digit is the key's
+                    // final encoded byte, and prefix-freedom makes every
+                    // child under it a leaf — acquire the queue-based lock
+                    // directly (Algorithm 4 adapted to ART) and validate
+                    // the parent afterwards.
                     let t = node.lock.x_lock_adjustable();
                     if let Some((p, pv)) = parent {
                         if !p.lock.recheck(pv) {
@@ -319,9 +378,9 @@ impl<L: IndexLock> ArtTree<L> {
                             continue 'restart;
                         }
                     }
-                    let child = node.find_child(kb[depth]);
+                    let child = node.find_child(digit(kb, depth));
                     let out = if !child.is_null() && is_kv(child) {
-                        let kv = unsafe { as_kv(child) };
+                        let kv = unsafe { as_kv::<L, K>(child) };
                         if kv.key == key {
                             node.lock.x_finish_adjustable(t);
                             Some(kv.set_value(val))
@@ -335,7 +394,7 @@ impl<L: IndexLock> ArtTree<L> {
                     return out;
                 }
 
-                let b = kb[depth];
+                let b = digit(kb, depth);
                 let child = node.find_child(b);
                 if !node.lock.recheck(v) {
                     continue 'restart;
@@ -347,7 +406,7 @@ impl<L: IndexLock> ArtTree<L> {
                     return None;
                 }
                 if is_kv(child) {
-                    let kv = unsafe { as_kv(child) };
+                    let kv = unsafe { as_kv::<L, K>(child) };
                     if kv.key != key {
                         if !node.lock.r_unlock(v) {
                             continue 'restart;
@@ -366,7 +425,7 @@ impl<L: IndexLock> ArtTree<L> {
                     // lock directly.
                     if direct
                         && self.expansion_threshold > 0
-                        && depth < KEY_LEN - 1
+                        && depth + 1 < kb.len()
                         && sample(self.sample_inv)
                         && node.bump_contention() > self.expansion_threshold
                     {
@@ -405,19 +464,24 @@ impl<L: IndexLock> ArtTree<L> {
         child: *mut ArtNode<L>,
         depth: usize,
     ) {
-        let kv = unsafe { as_kv(child) };
-        let okb = key_bytes(kv.key);
-        // New node spans bytes (depth+1 .. KEY_LEN-1) as its compressed
-        // path and discriminates on the final byte.
-        let chain = ArtNode::<L>::alloc(NodeType::N4);
-        let cn = unsafe { &*chain };
-        cn.set_prefix(&okb[depth + 1..KEY_LEN - 1]);
-        cn.insert_child(okb[KEY_LEN - 1], child);
+        let kv = unsafe { as_kv::<L, K>(child) };
+        let oenc = kv.key.encode();
+        let okb = oenc.as_ref();
+        if depth + 1 >= okb.len() {
+            // The leaf's final digit is already spelled out above it:
+            // nothing left to materialize.
+            return;
+        }
+        // The chain spans bytes (depth+1 .. len-1) as compressed path and
+        // discriminates on the final byte.
+        let last = okb.len() - 1;
+        let chain = alloc_chain::<L>(&okb[depth + 1..last], &[(okb[last], child)]);
         node.replace_child(b, chain);
     }
 
-    fn update_pessimistic(&self, key: u64, val: u64) -> Option<u64> {
-        let kb = key_bytes(key);
+    fn update_pessimistic(&self, key: &K, val: u64) -> Option<u64> {
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let _g = self.collector.pin();
         let mut node = self.root();
         let mut t = node.lock.x_lock();
@@ -425,21 +489,21 @@ impl<L: IndexLock> ArtTree<L> {
         loop {
             let pl = node.prefix_len();
             if pl > 0 {
-                let m = node.prefix_match_len(&kb, depth);
+                let m = node.prefix_match_len(kb, depth);
                 if m < pl {
                     node.lock.x_unlock(t);
                     return None;
                 }
                 depth += pl;
             }
-            let child = node.find_child(kb[depth]);
+            let child = node.find_child(digit(kb, depth));
             if child.is_null() {
                 node.lock.x_unlock(t);
                 return None;
             }
             if is_kv(child) {
-                let kv = unsafe { as_kv(child) };
-                let out = (kv.key == key).then(|| kv.set_value(val));
+                let kv = unsafe { as_kv::<L, K>(child) };
+                let out = (kv.key == *key).then(|| kv.set_value(val));
                 node.lock.x_unlock(t);
                 return out;
             }
@@ -455,7 +519,7 @@ impl<L: IndexLock> ArtTree<L> {
     // --- insert -----------------------------------------------------------
 
     /// Insert or overwrite; returns the previous value if the key existed.
-    pub fn insert(&self, key: u64, val: u64) -> Option<u64> {
+    pub fn insert(&self, key: K, val: u64) -> Option<u64> {
         self.index_stats.record_op();
         let old = if L::PESSIMISTIC {
             self.insert_pessimistic(key, val)
@@ -468,8 +532,9 @@ impl<L: IndexLock> ArtTree<L> {
         old
     }
 
-    pub(crate) fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
-        let kb = key_bytes(key);
+    pub(crate) fn insert_optimistic(&self, key: K, val: u64) -> Option<u64> {
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let g = self.collector.pin();
         let mut rs = self.restart_loop();
         'restart: loop {
@@ -483,7 +548,7 @@ impl<L: IndexLock> ArtTree<L> {
             loop {
                 let pl = node.prefix_len();
                 if pl > 0 {
-                    let m = node.prefix_match_len(&kb, depth);
+                    let m = node.prefix_match_len(kb, depth);
                     if m < pl {
                         // Prefix mismatch: split the compressed path
                         // (Figure 5). Requires parent + node exclusively.
@@ -503,7 +568,10 @@ impl<L: IndexLock> ArtTree<L> {
                         let new4 = unsafe { &*new4p };
                         new4.set_prefix(&full[..m]);
                         new4.insert_child(full[m], node as *const ArtNode<L> as *mut ArtNode<L>);
-                        new4.insert_child(kb[depth + m], KvLeaf::alloc::<L>(key, val));
+                        new4.insert_child(
+                            digit(kb, depth + m),
+                            KvLeaf::alloc::<L>(key.clone(), val),
+                        );
                         node.set_prefix(&full[m + 1..]);
                         p.replace_child(pb, new4p);
                         node.lock.x_unlock(nt);
@@ -512,8 +580,7 @@ impl<L: IndexLock> ArtTree<L> {
                     }
                     depth += pl;
                 }
-                debug_assert!(depth < KEY_LEN);
-                let b = kb[depth];
+                let b = digit(kb, depth);
                 let child = node.find_child(b);
                 // Read the fill level *before* validating: after the
                 // recheck a concurrent writer may fill the node, and a
@@ -540,7 +607,7 @@ impl<L: IndexLock> ArtTree<L> {
                         };
                         self.count_stat(&self.stats.grows);
                         let bigger = node.grow();
-                        unsafe { &*bigger }.insert_child(b, KvLeaf::alloc::<L>(key, val));
+                        unsafe { &*bigger }.insert_child(b, KvLeaf::alloc::<L>(key.clone(), val));
                         p.replace_child(pb, bigger);
                         node.lock.x_unlock(nt);
                         p.lock.x_unlock(pt);
@@ -550,13 +617,13 @@ impl<L: IndexLock> ArtTree<L> {
                     let Some(nt) = node.lock.try_upgrade(v) else {
                         continue 'restart;
                     };
-                    node.insert_child(b, KvLeaf::alloc::<L>(key, val));
+                    node.insert_child(b, KvLeaf::alloc::<L>(key.clone(), val));
                     node.lock.x_unlock(nt);
                     return None;
                 }
 
                 if is_kv(child) {
-                    let kv = unsafe { as_kv(child) };
+                    let kv = unsafe { as_kv::<L, K>(child) };
                     if kv.key == key {
                         let Some(nt) = node.lock.try_upgrade(v) else {
                             continue 'restart;
@@ -566,23 +633,28 @@ impl<L: IndexLock> ArtTree<L> {
                         return Some(old);
                     }
                     // Lazy-expansion split: push both keys one (or more)
-                    // levels down under a fresh Node4.
-                    let okb = key_bytes(kv.key);
+                    // levels down under a fresh chain.
+                    let oenc = kv.key.encode();
+                    let okb = oenc.as_ref();
                     let mut d = depth + 1;
-                    while d < KEY_LEN && okb[d] == kb[d] {
+                    let lim = okb.len().min(kb.len());
+                    while d < lim && okb[d] == kb[d] {
                         d += 1;
                     }
-                    debug_assert!(d < KEY_LEN, "distinct keys must diverge");
+                    debug_assert!(
+                        d < okb.len() && d < kb.len(),
+                        "prefix-free keys must diverge within both"
+                    );
                     let Some(nt) = node.lock.try_upgrade(v) else {
                         continue 'restart;
                     };
                     self.count_stat(&self.stats.lazy_expansions);
-                    let new4p = ArtNode::<L>::alloc(NodeType::N4);
-                    let new4 = unsafe { &*new4p };
-                    new4.set_prefix(&kb[depth + 1..d]);
-                    new4.insert_child(okb[d], child);
-                    new4.insert_child(kb[d], KvLeaf::alloc::<L>(key, val));
-                    node.replace_child(b, new4p);
+                    let new_leaf = KvLeaf::alloc::<L>(key.clone(), val);
+                    let (da, db) = (digit(okb, d), digit(kb, d));
+                    let mut kids = [(da, child), (db, new_leaf)];
+                    kids.sort_by_key(|&(b, _)| b);
+                    let chain = alloc_chain::<L>(&kb[depth + 1..d], &kids);
+                    node.replace_child(b, chain);
                     node.lock.x_unlock(nt);
                     return None;
                 }
@@ -608,8 +680,9 @@ impl<L: IndexLock> ArtTree<L> {
         }
     }
 
-    fn insert_pessimistic(&self, key: u64, val: u64) -> Option<u64> {
-        let kb = key_bytes(key);
+    fn insert_pessimistic(&self, key: K, val: u64) -> Option<u64> {
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let g = self.collector.pin();
         // Couple exclusively, holding (parent, node) so any SMO has both.
         let mut pstate: Option<(&ArtNode<L>, optiql::WriteToken, u8)> = None;
@@ -619,7 +692,7 @@ impl<L: IndexLock> ArtTree<L> {
         loop {
             let pl = node.prefix_len();
             if pl > 0 {
-                let m = node.prefix_match_len(&kb, depth);
+                let m = node.prefix_match_len(kb, depth);
                 if m < pl {
                     let (p, pt, pb) = pstate.expect("root prefix is empty");
                     self.count_stat(&self.stats.prefix_splits);
@@ -628,7 +701,7 @@ impl<L: IndexLock> ArtTree<L> {
                     let new4 = unsafe { &*new4p };
                     new4.set_prefix(&full[..m]);
                     new4.insert_child(full[m], node as *const ArtNode<L> as *mut ArtNode<L>);
-                    new4.insert_child(kb[depth + m], KvLeaf::alloc::<L>(key, val));
+                    new4.insert_child(digit(kb, depth + m), KvLeaf::alloc::<L>(key.clone(), val));
                     node.set_prefix(&full[m + 1..]);
                     p.replace_child(pb, new4p);
                     node.lock.x_unlock(t);
@@ -637,7 +710,7 @@ impl<L: IndexLock> ArtTree<L> {
                 }
                 depth += pl;
             }
-            let b = kb[depth];
+            let b = digit(kb, depth);
             let child = node.find_child(b);
 
             if child.is_null() {
@@ -645,14 +718,14 @@ impl<L: IndexLock> ArtTree<L> {
                     let (p, pt, pb) = pstate.expect("root Node256 never grows");
                     self.count_stat(&self.stats.grows);
                     let bigger = node.grow();
-                    unsafe { &*bigger }.insert_child(b, KvLeaf::alloc::<L>(key, val));
+                    unsafe { &*bigger }.insert_child(b, KvLeaf::alloc::<L>(key.clone(), val));
                     p.replace_child(pb, bigger);
                     node.lock.x_unlock(t);
                     p.lock.x_unlock(pt);
                     self.retire_inner(&g, node as *const ArtNode<L> as *mut ArtNode<L>);
                     return None;
                 }
-                node.insert_child(b, KvLeaf::alloc::<L>(key, val));
+                node.insert_child(b, KvLeaf::alloc::<L>(key.clone(), val));
                 node.lock.x_unlock(t);
                 if let Some((p, pt, _)) = pstate {
                     p.lock.x_unlock(pt);
@@ -661,22 +734,23 @@ impl<L: IndexLock> ArtTree<L> {
             }
 
             if is_kv(child) {
-                let kv = unsafe { as_kv(child) };
+                let kv = unsafe { as_kv::<L, K>(child) };
                 let out = if kv.key == key {
                     Some(kv.set_value(val))
                 } else {
-                    let okb = key_bytes(kv.key);
+                    let oenc = kv.key.encode();
+                    let okb = oenc.as_ref();
                     let mut d = depth + 1;
-                    while d < KEY_LEN && okb[d] == kb[d] {
+                    let lim = okb.len().min(kb.len());
+                    while d < lim && okb[d] == kb[d] {
                         d += 1;
                     }
                     self.count_stat(&self.stats.lazy_expansions);
-                    let new4p = ArtNode::<L>::alloc(NodeType::N4);
-                    let new4 = unsafe { &*new4p };
-                    new4.set_prefix(&kb[depth + 1..d]);
-                    new4.insert_child(okb[d], child);
-                    new4.insert_child(kb[d], KvLeaf::alloc::<L>(key, val));
-                    node.replace_child(b, new4p);
+                    let new_leaf = KvLeaf::alloc::<L>(key.clone(), val);
+                    let mut kids = [(digit(okb, d), child), (digit(kb, d), new_leaf)];
+                    kids.sort_by_key(|&(b, _)| b);
+                    let chain = alloc_chain::<L>(&kb[depth + 1..d], &kids);
+                    node.replace_child(b, chain);
                     None
                 };
                 node.lock.x_unlock(t);
@@ -702,12 +776,12 @@ impl<L: IndexLock> ArtTree<L> {
     // --- remove -----------------------------------------------------------
 
     /// Remove a key; returns the removed value.
-    pub fn remove(&self, key: u64) -> Option<u64> {
+    pub fn remove(&self, key: K) -> Option<u64> {
         self.index_stats.record_op();
         let old = if L::PESSIMISTIC {
-            self.remove_pessimistic(key)
+            self.remove_pessimistic(&key)
         } else {
-            self.remove_optimistic(key)
+            self.remove_optimistic(&key)
         };
         if old.is_some() {
             self.size.fetch_sub(1, Ordering::Relaxed);
@@ -715,8 +789,9 @@ impl<L: IndexLock> ArtTree<L> {
         old
     }
 
-    fn remove_optimistic(&self, key: u64) -> Option<u64> {
-        let kb = key_bytes(key);
+    fn remove_optimistic(&self, key: &K) -> Option<u64> {
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let g = self.collector.pin();
         let mut rs = self.restart_loop();
         'restart: loop {
@@ -730,7 +805,7 @@ impl<L: IndexLock> ArtTree<L> {
             loop {
                 let pl = node.prefix_len();
                 if pl > 0 {
-                    let m = node.prefix_match_len(&kb, depth);
+                    let m = node.prefix_match_len(kb, depth);
                     if m < pl {
                         if !node.lock.r_unlock(v) {
                             continue 'restart;
@@ -739,7 +814,7 @@ impl<L: IndexLock> ArtTree<L> {
                     }
                     depth += pl;
                 }
-                let b = kb[depth];
+                let b = digit(kb, depth);
                 let child = node.find_child(b);
                 if !node.lock.recheck(v) {
                     continue 'restart;
@@ -751,8 +826,8 @@ impl<L: IndexLock> ArtTree<L> {
                     return None;
                 }
                 if is_kv(child) {
-                    let kv = unsafe { as_kv(child) };
-                    if kv.key != key {
+                    let kv = unsafe { as_kv::<L, K>(child) };
+                    if kv.key != *key {
                         if !node.lock.r_unlock(v) {
                             continue 'restart;
                         }
@@ -817,8 +892,9 @@ impl<L: IndexLock> ArtTree<L> {
         }
     }
 
-    fn remove_pessimistic(&self, key: u64) -> Option<u64> {
-        let kb = key_bytes(key);
+    fn remove_pessimistic(&self, key: &K) -> Option<u64> {
+        let enc = key.encode();
+        let kb = enc.as_ref();
         let g = self.collector.pin();
         let mut pstate: Option<(&ArtNode<L>, optiql::WriteToken, u8)> = None;
         let mut node = self.root();
@@ -827,7 +903,7 @@ impl<L: IndexLock> ArtTree<L> {
         loop {
             let pl = node.prefix_len();
             if pl > 0 {
-                let m = node.prefix_match_len(&kb, depth);
+                let m = node.prefix_match_len(kb, depth);
                 if m < pl {
                     node.lock.x_unlock(t);
                     if let Some((p, pt, _)) = pstate {
@@ -837,7 +913,7 @@ impl<L: IndexLock> ArtTree<L> {
                 }
                 depth += pl;
             }
-            let b = kb[depth];
+            let b = digit(kb, depth);
             let child = node.find_child(b);
             if child.is_null() {
                 node.lock.x_unlock(t);
@@ -847,8 +923,8 @@ impl<L: IndexLock> ArtTree<L> {
                 return None;
             }
             if is_kv(child) {
-                let kv = unsafe { as_kv(child) };
-                let out = if kv.key == key {
+                let kv = unsafe { as_kv::<L, K>(child) };
+                let out = if kv.key == *key {
                     let old = kv.value();
                     node.remove_child(b);
                     self.retire_kv(&g, child);
@@ -903,18 +979,35 @@ impl<L: IndexLock> ArtTree<L> {
     /// scan; like other optimistically-synchronized range scans, the scan
     /// as a whole is not a serializable snapshot (matching the range-query
     /// semantics index benchmarks such as YCSB-E assume).
-    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+    pub fn scan(&self, start: K, limit: usize) -> Vec<(K, u64)> {
         self.index_stats.record_op();
+        self.scan_from(Some(&start), limit)
+    }
+
+    /// Scan body: `start = None` collects from the leftmost key. Shared by
+    /// [`scan`](Self::scan) and the streaming [`range`](Self::range)
+    /// refills (which account once per range).
+    pub(crate) fn scan_from(&self, start: Option<&K>, limit: usize) -> Vec<(K, u64)> {
         let mut out = Vec::new();
         if limit == 0 {
             return out;
         }
         let _g = self.collector.pin();
-        let sb = key_bytes(start);
+        let enc = start.map(|s| s.encode());
+        let sb: &[u8] = enc.as_ref().map(|e| e.as_ref()).unwrap_or(&[]);
         let mut rs = self.restart_loop();
         loop {
             out.clear();
-            if self.scan_node(self.root, &sb, 0, true, limit, &mut out, None) {
+            if self.scan_node(
+                self.root,
+                start,
+                sb,
+                0,
+                start.is_some(),
+                limit,
+                &mut out,
+                None,
+            ) {
                 return out;
             }
             rs.pause();
@@ -931,16 +1024,17 @@ impl<L: IndexLock> ArtTree<L> {
     fn scan_node(
         &self,
         p: *mut ArtNode<L>,
-        sb: &[u8; KEY_LEN],
+        start: Option<&K>,
+        sb: &[u8],
         depth: usize,
         bounded: bool,
         limit: usize,
-        out: &mut Vec<(u64, u64)>,
+        out: &mut Vec<(K, u64)>,
         parent: Option<(&ArtNode<L>, u64)>,
     ) -> bool {
         if is_kv(p) {
-            let kv = unsafe { as_kv(p) };
-            let (k, v) = (kv.key, kv.value());
+            let kv = unsafe { as_kv::<L, K>(p) };
+            let (k, v) = (kv.key.clone(), kv.value());
             // The pointer snapshot was validated by the caller; re-validate
             // the parent so the value read pairs with a live membership.
             if let Some((pn, pv)) = parent {
@@ -948,7 +1042,7 @@ impl<L: IndexLock> ArtTree<L> {
                     return false;
                 }
             }
-            if !bounded || k >= u64::from_be_bytes(*sb) {
+            if !bounded || start.map_or(true, |s| k >= *s) {
                 out.push((k, v));
             }
             return true;
@@ -976,7 +1070,10 @@ impl<L: IndexLock> ArtTree<L> {
             let mut prefix_cmp = std::cmp::Ordering::Equal;
             if bounded {
                 for i in 0..pl {
-                    if depth + i >= KEY_LEN {
+                    if depth + i >= sb.len() {
+                        // The start key is a strict prefix of this path:
+                        // every key below extends it, hence sorts above.
+                        prefix_cmp = std::cmp::Ordering::Greater;
                         break;
                     }
                     match node.prefix_byte(i).cmp(&sb[depth + i]) {
@@ -1007,8 +1104,16 @@ impl<L: IndexLock> ArtTree<L> {
                 }
                 (true, std::cmp::Ordering::Greater) => {
                     // Whole subtree > start: collect unbounded.
-                    let ok =
-                        self.scan_children(&kids, sb, depth + pl, false, limit, out, (node, ver));
+                    let ok = self.scan_children(
+                        &kids,
+                        start,
+                        sb,
+                        depth + pl,
+                        false,
+                        limit,
+                        out,
+                        (node, ver),
+                    );
                     if L::PESSIMISTIC {
                         node.lock.r_unlock(ver);
                     }
@@ -1016,11 +1121,7 @@ impl<L: IndexLock> ArtTree<L> {
                 }
                 _ => {
                     let next_depth = depth + pl;
-                    let pivot = if bounded && next_depth < KEY_LEN {
-                        sb[next_depth]
-                    } else {
-                        0
-                    };
+                    let pivot = if bounded { digit(sb, next_depth) } else { 0 };
                     let mut ok = true;
                     for &(b, c) in &kids {
                         if out.len() >= limit {
@@ -1032,6 +1133,7 @@ impl<L: IndexLock> ArtTree<L> {
                         let child_bounded = bounded && b == pivot;
                         ok = self.scan_node(
                             c,
+                            start,
                             sb,
                             next_depth + 1,
                             child_bounded,
@@ -1057,35 +1159,56 @@ impl<L: IndexLock> ArtTree<L> {
     fn scan_children(
         &self,
         kids: &[(u8, *mut ArtNode<L>)],
-        sb: &[u8; KEY_LEN],
+        start: Option<&K>,
+        sb: &[u8],
         depth: usize,
         bounded: bool,
         limit: usize,
-        out: &mut Vec<(u64, u64)>,
+        out: &mut Vec<(K, u64)>,
         parent: (&ArtNode<L>, u64),
     ) -> bool {
         for &(_, c) in kids {
             if out.len() >= limit {
                 break;
             }
-            if !self.scan_node(c, sb, depth + 1, bounded, limit, out, Some(parent)) {
+            if !self.scan_node(c, start, sb, depth + 1, bounded, limit, out, Some(parent)) {
                 return false;
             }
         }
         true
     }
 
+    /// Stream the entries within `start..end` in ascending key order.
+    ///
+    /// The iterator re-descends in [`RANGE_CHUNK`]-sized validated chunks,
+    /// resuming at the last yielded key (exclusive); a restart therefore
+    /// never loses or duplicates an already-yielded entry.
+    pub fn range(&self, start: Bound<K>, end: Bound<K>) -> RangeIter<'_, K> {
+        self.index_stats.record_op();
+        if !bounds_nonempty(&start, &end) {
+            return RangeIter::empty();
+        }
+        RangeIter::new(ArtRange {
+            tree: self,
+            cursor: None,
+            buf: Vec::new().into_iter(),
+            exhausted: false,
+            start,
+            end,
+        })
+    }
+
     // --- validation (test support) -----------------------------------------
 
     /// Single-threaded structural check; returns the entry count.
     pub fn check_invariants(&self) -> usize {
-        fn walk<L: IndexLock>(p: *mut ArtNode<L>, path: &mut Vec<u8>) -> usize {
+        fn walk<L: IndexLock, K: IndexKey>(p: *mut ArtNode<L>, path: &mut Vec<u8>) -> usize {
             if is_kv(p) {
-                let kv = unsafe { as_kv(p) };
-                let kb = key_bytes(kv.key);
+                let kv = unsafe { as_kv::<L, K>(p) };
+                let enc = kv.key.encode();
                 assert!(
-                    kb.starts_with(path),
-                    "leaf key {:x} does not match its path {:?}",
+                    enc.as_ref().starts_with(path),
+                    "leaf key {:?} does not match its path {:?}",
                     kv.key,
                     path
                 );
@@ -1117,7 +1240,7 @@ impl<L: IndexLock> ArtTree<L> {
                 }
                 prev = Some(b);
                 path.push(b);
-                total += walk::<L>(c, path);
+                total += walk::<L, K>(c, path);
                 path.pop();
             }
             for _ in 0..n.prefix_len() {
@@ -1126,26 +1249,82 @@ impl<L: IndexLock> ArtTree<L> {
             total
         }
         let mut path = Vec::new();
-        walk::<L>(self.root, &mut path)
+        walk::<L, K>(self.root, &mut path)
     }
 }
 
-impl<L: IndexLock> Drop for ArtTree<L> {
+/// The streaming iterator behind [`ArtTree::range`]: drains a chunked
+/// validated scan, then re-descends from the last yielded key. Keys are
+/// globally unique and chunks ascend, so dropping entries ≤ the cursor on
+/// refill removes exactly the one overlapping boundary key.
+struct ArtRange<'a, L: IndexLock, K: IndexKey> {
+    tree: &'a ArtTree<L, K>,
+    /// Last yielded key; the next refill starts here (then skips it).
+    cursor: Option<K>,
+    buf: std::vec::IntoIter<(K, u64)>,
+    /// A refill returned a short chunk: the tree is drained past `cursor`.
+    exhausted: bool,
+    start: Bound<K>,
+    end: Bound<K>,
+}
+
+impl<L: IndexLock, K: IndexKey> Iterator for ArtRange<'_, L, K> {
+    type Item = (K, u64);
+
+    fn next(&mut self) -> Option<(K, u64)> {
+        loop {
+            for (k, v) in self.buf.by_ref() {
+                if let Some(c) = &self.cursor {
+                    if k <= *c {
+                        continue;
+                    }
+                }
+                if !key_above_start(&k, &self.start) {
+                    continue;
+                }
+                if !key_below_end(&k, &self.end) {
+                    self.exhausted = true;
+                    self.buf = Vec::new().into_iter();
+                    return None;
+                }
+                self.cursor = Some(k.clone());
+                return Some((k, v));
+            }
+            if self.exhausted {
+                return None;
+            }
+            let from = self.cursor.clone().or_else(|| match &self.start {
+                Bound::Included(s) | Bound::Excluded(s) => Some(s.clone()),
+                Bound::Unbounded => None,
+            });
+            let batch = self.tree.scan_from(from.as_ref(), RANGE_CHUNK);
+            if batch.len() < RANGE_CHUNK {
+                self.exhausted = true;
+            }
+            if batch.is_empty() {
+                return None;
+            }
+            self.buf = batch.into_iter();
+        }
+    }
+}
+
+impl<L: IndexLock, K: IndexKey> Drop for ArtTree<L, K> {
     fn drop(&mut self) {
-        fn free<L: IndexLock>(p: *mut ArtNode<L>) {
+        fn free<L: IndexLock, K: IndexKey>(p: *mut ArtNode<L>) {
             if is_kv(p) {
-                drop(unsafe { Box::from_raw(kv_raw(p)) });
+                drop(unsafe { Box::from_raw(kv_raw::<L, K>(p)) });
                 return;
             }
             let n = unsafe { &*p };
             let mut kids = Vec::new();
             n.for_each_child(|_, c| kids.push(c));
             for c in kids {
-                free::<L>(c);
+                free::<L, K>(c);
             }
             unsafe { ArtNode::<L>::free(p) };
         }
-        free::<L>(self.root);
+        free::<L, K>(self.root);
         self.collector.flush();
     }
 }

@@ -195,7 +195,7 @@ fn bench_node_search<const IC: usize>(rep: &mut Reporter, dur: Duration) {
     let child = Leaf::<OptLock, 4>::alloc();
     let ip = Inner::<OptLock, IC>::alloc();
     // Safety: `ip` was just allocated by `Inner::<OptLock, IC>::alloc`.
-    let inner = unsafe { as_inner::<OptLock, IC>(ip) };
+    let inner = unsafe { as_inner::<OptLock, IC, u64>(ip) };
     inner.init_root(8, child, child);
     for i in 1..(IC - 1) as u64 {
         inner.insert_child((i + 1) * 8, child);
@@ -208,20 +208,20 @@ fn bench_node_search<const IC: usize>(rep: &mut Reporter, dur: Duration) {
     let mut i = 0usize;
     let t = time_loop(dur, || {
         i = (i + 1) & 0xFFFF;
-        black_box(inner.child_index(black_box(keys[i])));
+        black_box(inner.child_index(black_box(&keys[i])));
     });
     rep.emit("node_search", &format!("child_index_{IC}"), 1, &t);
 
     // Matching leaf: LC = IC entries, lower_bound over the same keys.
     let lp = Leaf::<OptLock, IC>::alloc();
     // Safety: `lp` was just allocated by `Leaf::<OptLock, IC>::alloc`.
-    let leaf = unsafe { as_leaf::<OptLock, IC>(lp) };
+    let leaf = unsafe { as_leaf::<OptLock, IC, u64>(lp) };
     for k in 0..IC as u64 {
-        leaf.insert(k * 8, k);
+        leaf.insert(&(k * 8), k);
     }
     let t = time_loop(dur, || {
         i = (i + 1) & 0xFFFF;
-        black_box(leaf.lower_bound(black_box(keys[i])));
+        black_box(leaf.lower_bound(black_box(&keys[i])));
     });
     rep.emit("node_search", &format!("lower_bound_{IC}"), 1, &t);
 

@@ -1,0 +1,135 @@
+//! Streaming-scan bench (YCSB-E shape): 95% range scans of uniform
+//! length 1..=100 starting at Zipfian(0.99)-sampled keys, 5% inserts.
+//!
+//! Three axes, all landing in `BENCH_scan.json`:
+//!
+//! * **index** — B+-tree, ART, and both behind the sharded facade (the
+//!   facade's k-way merge iterator is what YCSB-E actually measures);
+//! * **scan mode** — `stream` (lazy per-leaf OLC iterator), `materialize`
+//!   (same iterator collected into a `Vec` first), `count` (the
+//!   pre-streaming `scan_count` baseline);
+//! * **key type** — `u64` and byte-string `user################` keys
+//!   through the same driver via `run_keyed`.
+//!
+//! A `YCSB-C/u64` point row per index anchors cross-revision
+//! comparability: point-lookup throughput must not regress because the
+//! index grew a range API.
+
+use optiql_bench::{banner, header, mops, r2, row_extra};
+use optiql_harness::{
+    env, preload, preload_keyed, run, run_keyed, user_key, ConcurrentIndex, KeyDist, Mix, ScanMode,
+    WorkloadConfig,
+};
+use optiql_index_api::Bytes;
+use optiql_sharded::ShardedIndex;
+
+const SCAN_MAX: u32 = 100;
+
+fn ycsb_e_cfg(keys: u64) -> WorkloadConfig {
+    let threads = *env::thread_counts().last().unwrap();
+    let mut cfg = WorkloadConfig::new(threads, Mix::YCSB_E, KeyDist::Zipfian { theta: 0.99 }, keys);
+    cfg.duration = env::duration();
+    cfg.sample_every = 0;
+    cfg.scan_max = SCAN_MAX;
+    cfg
+}
+
+/// YCSB-E in every scan mode plus the YCSB-C anchor row, `u64` keys.
+fn sweep_u64<I: ConcurrentIndex>(index: &I, name: &str, keys: u64) {
+    for (mode_name, mode) in [
+        ("stream", ScanMode::Stream),
+        ("materialize", ScanMode::Materialize),
+        ("count", ScanMode::Count),
+    ] {
+        let mut cfg = ycsb_e_cfg(keys);
+        cfg.scan_mode = mode;
+        let (r, _) = run(index, &cfg);
+        row_extra(
+            "scan",
+            &format!("{name}/{mode_name}"),
+            "YCSB-E/u64",
+            r2(mops(r.throughput())),
+            r.scanned_entries,
+        );
+    }
+    let mut cfg = ycsb_e_cfg(keys);
+    cfg.mix = Mix::YCSB_C;
+    let (r, _) = run(index, &cfg);
+    row_extra(
+        "scan",
+        &format!("{name}/point"),
+        "YCSB-C/u64",
+        r2(mops(r.throughput())),
+        r.lookup_hits,
+    );
+}
+
+/// YCSB-E streaming + YCSB-C point over byte-string keys.
+fn sweep_bytes<I: ConcurrentIndex<Bytes>>(index: &I, name: &str, keys: u64) {
+    let mut cfg = ycsb_e_cfg(keys);
+    cfg.scan_mode = ScanMode::Stream;
+    let (r, _) = run_keyed(index, &cfg, user_key);
+    row_extra(
+        "scan",
+        &format!("{name}/stream"),
+        "YCSB-E/bytes",
+        r2(mops(r.throughput())),
+        r.scanned_entries,
+    );
+    let mut cfg = ycsb_e_cfg(keys);
+    cfg.mix = Mix::YCSB_C;
+    let (r, _) = run_keyed(index, &cfg, user_key);
+    row_extra(
+        "scan",
+        &format!("{name}/point"),
+        "YCSB-C/bytes",
+        r2(mops(r.throughput())),
+        r.lookup_hits,
+    );
+}
+
+fn main() {
+    banner(
+        "scan",
+        "YCSB-E scans 1..=100, Zipfian(0.99) starts, stream vs materialize vs count",
+    );
+    header(&["figure", "index/mode", "workload/keys", "Mops/s", "extra"]);
+    let keys = env::preload_keys().min(2_000_000);
+    let load = WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, keys);
+
+    let tree: optiql_btree::BTreeOptiQL = optiql_btree::BTreeOptiQL::new();
+    preload(&tree, &load);
+    sweep_u64(&tree, "B+-tree", keys);
+
+    let art: optiql_art::ArtOptiQL = optiql_art::ArtOptiQL::new();
+    preload(&art, &load);
+    sweep_u64(&art, "ART", keys);
+
+    let shards = optiql_sharded::DEFAULT_SHARDS;
+    let sharded_tree: ShardedIndex<optiql_btree::BTreeOptiQL> = ShardedIndex::new(shards);
+    preload(&sharded_tree, &load);
+    sweep_u64(&sharded_tree, &format!("sharded{shards}-B+-tree"), keys);
+
+    let sharded_art: ShardedIndex<optiql_art::ArtOptiQL> = ShardedIndex::new(shards);
+    preload(&sharded_art, &load);
+    sweep_u64(&sharded_art, &format!("sharded{shards}-ART"), keys);
+
+    // Byte-string keys: smaller preload — every key is 20 bytes and the
+    // point of these rows is shape, not peak throughput.
+    let bkeys = keys.min(500_000);
+    let bload = WorkloadConfig::new(1, Mix::BALANCED, KeyDist::Uniform, bkeys);
+
+    let btree_b: optiql_btree::BPlusTree<
+        optiql::OptLock,
+        optiql::OptiQL,
+        { optiql_btree::DEFAULT_IC },
+        { optiql_btree::DEFAULT_LC },
+        Bytes,
+    > = optiql_btree::BPlusTree::new();
+    preload_keyed(&btree_b, &bload, user_key);
+    sweep_bytes(&btree_b, "B+-tree", bkeys);
+
+    let art_b: optiql_art::ArtTree<optiql::OptiQL, Bytes> = optiql_art::ArtTree::new();
+    preload_keyed(&art_b, &bload, user_key);
+    sweep_bytes(&art_b, "ART", bkeys);
+}

@@ -36,8 +36,9 @@ pub use tree::{BPlusTree, TreeStats};
 use optiql::{McsRwLock, OptLock, OptiCLH, OptiQL, OptiQLAor, OptiQLNor, PthreadRwLock};
 
 optiql_index_api::impl_concurrent_index! {
-    impl [IL: optiql::IndexLock, LL: optiql::IndexLock, const IC: usize, const LC: usize]
-        for BPlusTree<IL, LL, IC, LC>
+    impl [K: optiql_index_api::IndexKey, IL: optiql::IndexLock, LL: optiql::IndexLock,
+          const IC: usize, const LC: usize]
+        ConcurrentIndex<K> for BPlusTree<IL, LL, IC, LC, K>
 }
 
 /// Capacity presets derived from target node sizes (paper §7.4 sweeps

@@ -28,6 +28,7 @@ use std::sync::atomic::Ordering;
 
 use optiql::stats::{self, Event};
 use optiql::{IndexLock, WriteStrategy};
+use optiql_index_api::IndexKey;
 
 use crate::node::{as_inner, as_leaf, is_leaf, prefetch_node_rest, NodeBase};
 use crate::tree::BPlusTree;
@@ -61,13 +62,15 @@ enum Turn {
     Restart,
 }
 
-impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<IL, LL, IC, LC> {
+impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey>
+    BPlusTree<IL, LL, IC, LC, K>
+{
     /// Batched point lookups; `result[i] == lookup(keys[i])`, order
     /// preserved. Pipelines `GROUP` descents with interleaved prefetch.
-    pub fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+    pub fn multi_lookup(&self, keys: &[K]) -> Vec<Option<u64>> {
         stats::record(Event::BatchIssued);
         if IL::PESSIMISTIC || LL::PESSIMISTIC || keys.len() < 2 {
-            return keys.iter().map(|&k| self.lookup(k)).collect();
+            return keys.iter().map(|k| self.lookup(k.clone())).collect();
         }
         let _g = self.collector.pin();
         let mut out = Vec::with_capacity(keys.len());
@@ -78,7 +81,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             let mut pending = group.len();
             while pending > 0 {
                 stats::record(Event::BatchPrefetchRound);
-                for (i, &key) in group.iter().enumerate() {
+                for (i, key) in group.iter().enumerate() {
                     if let OpSt::Done(_) = st[i] {
                         continue;
                     }
@@ -123,10 +126,13 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
     /// Batched inserts, equivalent to applying `pairs` in order (a
     /// duplicate key later in the batch observes the earlier write).
-    pub fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+    pub fn multi_insert(&self, pairs: &[(K, u64)]) -> Vec<Option<u64>> {
         stats::record(Event::BatchIssued);
         if IL::PESSIMISTIC || LL::PESSIMISTIC || pairs.len() < 2 {
-            return pairs.iter().map(|&(k, v)| self.insert(k, v)).collect();
+            return pairs
+                .iter()
+                .map(|(k, v)| self.insert(k.clone(), *v))
+                .collect();
         }
         let _g = self.collector.pin();
         let mut out = Vec::with_capacity(pairs.len());
@@ -140,13 +146,14 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             // (Groups are sequential, so only intra-group dups matter.)
             let mut deferred = [false; GROUP];
             let mut pending = 0usize;
-            for (j, &(k, _)) in group.iter().enumerate() {
-                deferred[j] = group[..j].iter().any(|&(e, _)| e == k);
+            for (j, (k, _)) in group.iter().enumerate() {
+                deferred[j] = group[..j].iter().any(|(e, _)| e == k);
                 pending += usize::from(!deferred[j]);
             }
             while pending > 0 {
                 stats::record(Event::BatchPrefetchRound);
-                for (i, &(key, val)) in group.iter().enumerate() {
+                for (i, (key, val)) in group.iter().enumerate() {
+                    let val = *val;
                     if deferred[i] {
                         continue;
                     }
@@ -182,9 +189,9 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                     }
                 }
             }
-            for (j, &(k, v)) in group.iter().enumerate() {
+            for (j, (k, v)) in group.iter().enumerate() {
                 if deferred[j] {
-                    st[j] = OpSt::Done(self.insert_optimistic(k, v));
+                    st[j] = OpSt::Done(self.insert_optimistic(k, *v));
                 }
             }
             for s in st.iter().take(group.len()) {
@@ -208,7 +215,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// First turn: read-lock the root (always cache-hot, so the root's
     /// search runs in the same turn) and advance one level.
     #[inline]
-    fn lk_start(&self, key: u64) -> Turn {
+    fn lk_start(&self, key: &K) -> Turn {
         let node = self.root.load(Ordering::Acquire);
         let Some(v) = (unsafe { self.node_r_lock(node) }) else {
             return Turn::Restart;
@@ -223,7 +230,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// Later turns: lock the prefetched child, validate the parent behind
     /// it (the OLC coupling step), and advance one more level.
     #[inline]
-    fn lk_enter(&self, key: u64, parent: *mut NodeBase, pv: u64, child: *mut NodeBase) -> Turn {
+    fn lk_enter(&self, key: &K, parent: *mut NodeBase, pv: u64, child: *mut NodeBase) -> Turn {
         let Some(cv) = (unsafe { self.node_r_lock(child) }) else {
             unsafe { self.node_abandon(parent, pv) };
             return Turn::Restart;
@@ -239,16 +246,16 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// prefetch the next child. Mirrors one iteration of the scalar
     /// `lookup` loop.
     #[inline]
-    fn lk_advance(&self, key: u64, node: *mut NodeBase, v: u64) -> Turn {
+    fn lk_advance(&self, key: &K, node: *mut NodeBase, v: u64) -> Turn {
         if unsafe { is_leaf(node) } {
-            let leaf = unsafe { as_leaf::<LL, LC>(node) };
+            let leaf = unsafe { as_leaf::<LL, LC, K>(node) };
             let res = leaf.lookup(key);
             if !leaf.lock.r_unlock(v) {
                 return Turn::Restart;
             }
             return Turn::Next(OpSt::Done(res));
         }
-        let inner = unsafe { as_inner::<IL, IC>(node) };
+        let inner = unsafe { as_inner::<IL, IC, K>(node) };
         // `find_child` prefetches the chosen child's first two lines; the
         // batched path can afford the rest of the node too.
         let (child, _) = inner.find_child(key);
@@ -272,7 +279,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// First insert turn. Root-leaf trees and full roots are rare and
     /// structural — complete those ops via the scalar path immediately.
     #[inline]
-    fn in_start(&self, key: u64, val: u64) -> Turn {
+    fn in_start(&self, key: &K, val: u64) -> Turn {
         let node = self.root.load(Ordering::Acquire);
         let Some(v) = (unsafe { self.node_r_lock(node) }) else {
             return Turn::Restart;
@@ -292,8 +299,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// scalar path (which performs the eager split), otherwise pick the
     /// child, validate, prefetch, yield.
     #[inline]
-    fn in_step(&self, key: u64, val: u64, node: *mut NodeBase, v: u64) -> Turn {
-        let inner = unsafe { as_inner::<IL, IC>(node) };
+    fn in_step(&self, key: &K, val: u64, node: *mut NodeBase, v: u64) -> Turn {
+        let inner = unsafe { as_inner::<IL, IC, K>(node) };
         if inner.is_full() {
             return Turn::Next(OpSt::Done(self.insert_optimistic(key, val)));
         }
@@ -317,17 +324,17 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     #[inline]
     fn in_enter(
         &self,
-        key: u64,
+        key: &K,
         val: u64,
         parent: *mut NodeBase,
         pv: u64,
         child: *mut NodeBase,
     ) -> Turn {
-        let inner = unsafe { as_inner::<IL, IC>(parent) };
+        let inner = unsafe { as_inner::<IL, IC, K>(parent) };
         if unsafe { is_leaf(child) } {
             return self.in_leaf(key, val, inner, pv, child);
         }
-        let ci = unsafe { as_inner::<IL, IC>(child) };
+        let ci = unsafe { as_inner::<IL, IC, K>(child) };
         let Some(cv) = ci.lock.r_lock() else {
             return Turn::Restart;
         };
@@ -349,13 +356,13 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     #[inline]
     fn in_leaf(
         &self,
-        key: u64,
+        key: &K,
         val: u64,
-        inner: &crate::node::Inner<IL, IC>,
+        inner: &crate::node::Inner<IL, IC, K>,
         pv: u64,
         child: *mut NodeBase,
     ) -> Turn {
-        let leaf = unsafe { as_leaf::<LL, LC>(child) };
+        let leaf = unsafe { as_leaf::<LL, LC, K>(child) };
         match LL::STRATEGY {
             WriteStrategy::Upgrade => {
                 let Some(lv) = leaf.lock.r_lock() else {

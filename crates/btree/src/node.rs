@@ -3,10 +3,31 @@
 //! Memory-optimized B+-trees use small nodes (256 bytes by default, paper
 //! §6.1/§7.1) with the lock embedded in the node header. Because optimistic
 //! readers scan node contents *concurrently with writers*, every mutable
-//! cell is an atomic accessed with `Relaxed` ordering: that compiles to
-//! plain loads/stores (no fences on x86/ARM for relaxed), is free of UB,
-//! and any torn/inconsistent combination a reader may assemble is discarded
-//! by lock-version validation.
+//! cell is an atomic: that is free of UB, and any torn/inconsistent
+//! combination a reader may assemble is discarded by lock-version
+//! validation.
+//!
+//! # Key slots
+//!
+//! Nodes are generic over the key type `K:`[`IndexKey`] but still store
+//! keys in fixed `[AtomicU64]` arrays of **slot words** — the key itself
+//! for `u64` (inline), an owned pointer to the heap key otherwise. The
+//! branchless search kernel streams slot words exactly as it streamed raw
+//! keys; only the compare goes through `K`. Memory orderings come from the
+//! key type: `Relaxed` for inline keys (compiling to the pre-generic code
+//! bit for bit), `Acquire`/`Release` for pointer slots so a reader that
+//! observes a published slot also observes the pointee's bytes. The same
+//! orderings cover `count` and the child pointers, because for pointer
+//! keys they are publication edges too (a reader must not chase a fresh
+//! `count` into a slot whose store it cannot see yet).
+//!
+//! Slot **ownership** is manual and explicit: methods that drop or
+//! duplicate an entry return the affected slot word so the tree can
+//! retire it through epoch reclamation (`u64` makes all of it a no-op).
+//! Stale slot words beyond `count` — left behind by removes and splits —
+//! are never nulled and never freed: they alias keys owned elsewhere or
+//! keys already retired, both of which stay dereferenceable for as long
+//! as any reader that could observe them is pinned.
 //!
 //! Layout conventions:
 //!
@@ -19,11 +40,15 @@
 //!   read it through a not-yet-validated pointer (the pointee is kept
 //!   alive by epoch reclamation).
 
+use std::cmp::Ordering as Cmp;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, AtomicU16, AtomicU64, Ordering};
 
 use optiql::IndexLock;
+use optiql_index_api::IndexKey;
 
-/// Relaxed ordering shorthand: all node payload accesses go through this.
+/// Relaxed ordering shorthand for the cells that never carry publication
+/// duties (values, and everything when `K` is inline).
 const R: Ordering = Ordering::Relaxed;
 
 /// Largest count searched by the unrolled linear scan; larger nodes fall
@@ -40,9 +65,15 @@ const LINEAR_MAX: usize = 16;
 /// Search is branch-free in the *data*: a fixed-stride unrolled scan that
 /// accumulates compare results for small counts (no mispredicts, the loads
 /// pipeline), and a "monobound" binary search (`base += pred * half`, a
-/// conditional-move idiom) for larger ones.
+/// conditional-move idiom) for larger ones. `ld` is the slot-load ordering
+/// of the key type (constant after monomorphization).
 #[inline(always)]
-fn sorted_prefix_len(keys: &[AtomicU64], n: usize, pred: impl Fn(u64) -> bool) -> usize {
+fn sorted_prefix_len(
+    keys: &[AtomicU64],
+    n: usize,
+    ld: Ordering,
+    pred: impl Fn(u64) -> bool,
+) -> usize {
     debug_assert!(n <= keys.len());
     let mut base = 0usize;
     let mut len = n;
@@ -51,7 +82,7 @@ fn sorted_prefix_len(keys: &[AtomicU64], n: usize, pred: impl Fn(u64) -> bool) -
     // chain instead of a run of unpredictable branches.
     while len > LINEAR_MAX {
         let half = len / 2;
-        base += pred(keys[base + half - 1].load(R)) as usize * half;
+        base += pred(keys[base + half - 1].load(ld)) as usize * half;
         len -= half;
     }
     // Unrolled branchless scan of the final window: the loads are
@@ -60,14 +91,14 @@ fn sorted_prefix_len(keys: &[AtomicU64], n: usize, pred: impl Fn(u64) -> bool) -
     let end = base + len;
     let mut i = base;
     while i + 4 <= end {
-        idx += pred(keys[i].load(R)) as usize;
-        idx += pred(keys[i + 1].load(R)) as usize;
-        idx += pred(keys[i + 2].load(R)) as usize;
-        idx += pred(keys[i + 3].load(R)) as usize;
+        idx += pred(keys[i].load(ld)) as usize;
+        idx += pred(keys[i + 1].load(ld)) as usize;
+        idx += pred(keys[i + 2].load(ld)) as usize;
+        idx += pred(keys[i + 3].load(ld)) as usize;
         i += 4;
     }
     while i < end {
-        idx += pred(keys[i].load(R)) as usize;
+        idx += pred(keys[i].load(ld)) as usize;
         i += 1;
     }
     idx
@@ -121,7 +152,7 @@ pub struct NodeBase {
 /// centralized optimistic locks on inner nodes even in the OptiQL
 /// configuration, §6.1).
 #[repr(C)]
-pub struct Inner<IL: IndexLock, const IC: usize> {
+pub struct Inner<IL: IndexLock, const IC: usize, K: IndexKey = u64> {
     /// Common header (leaf tag).
     pub base: NodeBase,
     /// Inner-node lock.
@@ -129,11 +160,12 @@ pub struct Inner<IL: IndexLock, const IC: usize> {
     count: AtomicU16,
     keys: [AtomicU64; IC],
     children: [AtomicPtr<NodeBase>; IC],
+    _key: PhantomData<K>,
 }
 
 /// Leaf node: `lock` is the *leaf* lock type `LL`.
 #[repr(C)]
-pub struct Leaf<LL: IndexLock, const LC: usize> {
+pub struct Leaf<LL: IndexLock, const LC: usize, K: IndexKey = u64> {
     /// Common header (leaf tag).
     pub base: NodeBase,
     /// Leaf lock (where index contention concentrates).
@@ -141,6 +173,7 @@ pub struct Leaf<LL: IndexLock, const LC: usize> {
     count: AtomicU16,
     keys: [AtomicU64; LC],
     vals: [AtomicU64; LC],
+    _key: PhantomData<K>,
 }
 
 // --- casting helpers ------------------------------------------------------
@@ -157,174 +190,229 @@ pub unsafe fn is_leaf(p: *const NodeBase) -> bool {
 /// Cast to an inner node reference.
 ///
 /// # Safety
-/// `p` must point to a live or epoch-retired `Inner<IL, IC>`.
+/// `p` must point to a live or epoch-retired `Inner<IL, IC, K>`.
 #[inline]
-pub unsafe fn as_inner<'a, IL: IndexLock, const IC: usize>(p: *mut NodeBase) -> &'a Inner<IL, IC> {
+pub unsafe fn as_inner<'a, IL: IndexLock, const IC: usize, K: IndexKey>(
+    p: *mut NodeBase,
+) -> &'a Inner<IL, IC, K> {
     debug_assert!(!unsafe { is_leaf(p) });
-    unsafe { &*(p as *const Inner<IL, IC>) }
+    unsafe { &*(p as *const Inner<IL, IC, K>) }
 }
 
 /// Cast to a leaf node reference.
 ///
 /// # Safety
-/// `p` must point to a live or epoch-retired `Leaf<LL, LC>`.
+/// `p` must point to a live or epoch-retired `Leaf<LL, LC, K>`.
 #[inline]
-pub unsafe fn as_leaf<'a, LL: IndexLock, const LC: usize>(p: *mut NodeBase) -> &'a Leaf<LL, LC> {
+pub unsafe fn as_leaf<'a, LL: IndexLock, const LC: usize, K: IndexKey>(
+    p: *mut NodeBase,
+) -> &'a Leaf<LL, LC, K> {
     debug_assert!(unsafe { is_leaf(p) });
-    unsafe { &*(p as *const Leaf<LL, LC>) }
+    unsafe { &*(p as *const Leaf<LL, LC, K>) }
 }
 
 // --- inner node -----------------------------------------------------------
 
-impl<IL: IndexLock, const IC: usize> Inner<IL, IC> {
+impl<IL: IndexLock, const IC: usize, K: IndexKey> Inner<IL, IC, K> {
     /// Maximum number of separator keys.
     pub const MAX_KEYS: usize = IC - 1;
 
     /// Allocate an empty inner node and leak it to a raw pointer.
     pub fn alloc() -> *mut NodeBase {
-        let node = Box::new(Inner::<IL, IC> {
+        let node = Box::new(Inner::<IL, IC, K> {
             base: NodeBase { leaf: false },
             lock: IL::default(),
             count: AtomicU16::new(0),
             keys: [const { AtomicU64::new(0) }; IC],
             children: [const { AtomicPtr::new(std::ptr::null_mut()) }; IC],
+            _key: PhantomData,
         });
         Box::into_raw(node) as *mut NodeBase
     }
 
     /// Number of separator keys, clamped to capacity (a concurrent reader
     /// may observe a transient value; clamping keeps indexing in bounds and
-    /// validation rejects the result).
+    /// validation rejects the result). For pointer keys the `Acquire` load
+    /// also guarantees the slots below the observed count are published.
     #[inline]
     pub fn count(&self) -> usize {
-        (self.count.load(R) as usize).min(Self::MAX_KEYS)
+        (self.count.load(K::SLOT_LOAD) as usize).min(Self::MAX_KEYS)
     }
 
     /// True iff no separator key fits anymore (eager-split trigger).
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.count.load(R) as usize >= Self::MAX_KEYS
+        self.count.load(K::SLOT_LOAD) as usize >= Self::MAX_KEYS
     }
 
-    /// Separator key at `i`.
+    /// Separator key slot at `i` (borrowed; ownership stays with the node).
     #[inline]
-    pub fn key(&self, i: usize) -> u64 {
-        self.keys[i].load(R)
+    pub fn key_slot(&self, i: usize) -> u64 {
+        self.keys[i].load(K::SLOT_LOAD)
     }
 
     /// Child pointer at `i`.
     #[inline]
     pub fn child(&self, i: usize) -> *mut NodeBase {
-        self.children[i].load(R)
+        self.children[i].load(K::SLOT_LOAD)
     }
 
     /// Index of the child covering `key`: first `i` with `key < keys[i]`,
     /// else `count`.
     #[inline]
-    pub fn child_index(&self, key: u64) -> usize {
-        sorted_prefix_len(&self.keys, self.count(), |k| k <= key)
+    pub fn child_index(&self, key: &K) -> usize {
+        sorted_prefix_len(&self.keys, self.count(), K::SLOT_LOAD, |s| {
+            // Safety: slots below an observed count are published keys of
+            // this node (or epoch-protected stale aliases); see module doc.
+            unsafe { key.cmp_slot(s) != Cmp::Less }
+        })
     }
 
-    /// Child pointer covering `key` together with the separator bounding
-    /// its key range from above (`None` when it is the rightmost child).
+    /// As [`child_index`](Self::child_index), for a needle that is itself
+    /// a slot word.
     #[inline]
-    pub fn find_child(&self, key: u64) -> (*mut NodeBase, Option<u64>) {
+    fn child_index_slot(&self, sep: u64) -> usize {
+        sorted_prefix_len(&self.keys, self.count(), K::SLOT_LOAD, |s| {
+            // Safety: both are live slot words (see module doc).
+            unsafe { K::slot_cmp_slot(s, sep) != Cmp::Greater }
+        })
+    }
+
+    /// Child pointer covering `key` together with the separator slot
+    /// bounding its key range from above (`None` when it is the rightmost
+    /// child). The slot is borrowed: dereference only while pinned.
+    #[inline]
+    pub fn find_child(&self, key: &K) -> (*mut NodeBase, Option<u64>) {
+        self.find_child_at(self.child_index(key))
+    }
+
+    /// Leftmost child (`from = None`) or the child covering `from` — the
+    /// scan descent, which may have no lower bound.
+    #[inline]
+    pub fn find_child_from(&self, from: Option<&K>) -> (*mut NodeBase, Option<u64>) {
+        let idx = match from {
+            Some(k) => self.child_index(k),
+            None => 0,
+        };
+        self.find_child_at(idx)
+    }
+
+    #[inline]
+    fn find_child_at(&self, idx: usize) -> (*mut NodeBase, Option<u64>) {
         let n = self.count();
-        let idx = self.child_index(key);
         let upper = if idx < n {
-            Some(self.keys[idx].load(R))
+            Some(self.keys[idx].load(K::SLOT_LOAD))
         } else {
             None
         };
-        let child = self.children[idx].load(R);
+        let child = self.children[idx].load(K::SLOT_LOAD);
         // Warm the child while the caller validates this node's version.
         prefetch_node(child);
         (child, upper)
     }
 
-    /// Insert a separator + right child (holder of the exclusive lock only).
-    /// The caller guarantees the node is not full.
+    /// Insert a separator + right child (holder of the exclusive lock
+    /// only); takes **ownership** of the `sep` slot. The caller guarantees
+    /// the node is not full.
     pub fn insert_child(&self, sep: u64, right: *mut NodeBase) {
         let n = self.count.load(R) as usize;
         debug_assert!(n < Self::MAX_KEYS);
-        let pos = self.child_index(sep);
+        let pos = self.child_index_slot(sep);
         let mut i = n;
         while i > pos {
-            self.keys[i].store(self.keys[i - 1].load(R), R);
-            self.children[i + 1].store(self.children[i].load(R), R);
+            self.keys[i].store(self.keys[i - 1].load(K::SLOT_LOAD), K::SLOT_STORE);
+            self.children[i + 1].store(self.children[i].load(K::SLOT_LOAD), K::SLOT_STORE);
             i -= 1;
         }
-        self.keys[pos].store(sep, R);
-        self.children[pos + 1].store(right, R);
-        self.count.store((n + 1) as u16, R);
+        self.keys[pos].store(sep, K::SLOT_STORE);
+        self.children[pos + 1].store(right, K::SLOT_STORE);
+        self.count.store((n + 1) as u16, K::SLOT_STORE);
     }
 
-    /// Set the two initial children of a fresh root (exclusive access).
+    /// Set the two initial children of a fresh root (exclusive access);
+    /// takes ownership of the `sep` slot.
     pub fn init_root(&self, sep: u64, left: *mut NodeBase, right: *mut NodeBase) {
-        self.keys[0].store(sep, R);
-        self.children[0].store(left, R);
-        self.children[1].store(right, R);
-        self.count.store(1, R);
+        self.keys[0].store(sep, K::SLOT_STORE);
+        self.children[0].store(left, K::SLOT_STORE);
+        self.children[1].store(right, K::SLOT_STORE);
+        self.count.store(1, K::SLOT_STORE);
     }
 
     /// Split in half (holder of the exclusive lock only). Returns
-    /// `(separator-to-push-up, new-right-node)`.
+    /// `(separator-to-push-up, new-right-node)`; ownership of the
+    /// separator slot **moves to the caller** (its word beyond the new
+    /// count is a stale alias).
     pub fn split(&self) -> (u64, *mut NodeBase) {
         let n = self.count.load(R) as usize;
         debug_assert!(n >= 3, "splitting a near-empty inner node");
         let mid = n / 2;
-        let sep = self.keys[mid].load(R);
+        let sep = self.keys[mid].load(K::SLOT_LOAD);
         let right_ptr = Self::alloc();
-        let right = unsafe { as_inner::<IL, IC>(right_ptr) };
+        let right = unsafe { as_inner::<IL, IC, K>(right_ptr) };
         let right_keys = n - mid - 1;
         for i in 0..right_keys {
-            right.keys[i].store(self.keys[mid + 1 + i].load(R), R);
-            right.children[i].store(self.children[mid + 1 + i].load(R), R);
+            right.keys[i].store(self.keys[mid + 1 + i].load(K::SLOT_LOAD), K::SLOT_STORE);
+            right.children[i].store(self.children[mid + 1 + i].load(K::SLOT_LOAD), K::SLOT_STORE);
         }
-        right.children[right_keys].store(self.children[n].load(R), R);
-        right.count.store(right_keys as u16, R);
-        self.count.store(mid as u16, R);
+        right.children[right_keys].store(self.children[n].load(K::SLOT_LOAD), K::SLOT_STORE);
+        right.count.store(right_keys as u16, K::SLOT_STORE);
+        self.count.store(mid as u16, K::SLOT_STORE);
         (sep, right_ptr)
     }
 
     /// Remove the child at `idx` and its adjacent separator (exclusive
-    /// access; `count` must be ≥ 1).
-    pub fn remove_child(&self, idx: usize) {
+    /// access; `count` must be ≥ 1). Returns the dropped separator slot —
+    /// ownership moves to the caller, which must retire it.
+    pub fn remove_child(&self, idx: usize) -> u64 {
         let n = self.count.load(R) as usize;
         debug_assert!(n >= 1 && idx <= n);
         // Removing children[idx]: drop separator keys[idx - 1] (or keys[0]
         // when idx == 0) and close the gaps.
         let key_gone = idx.saturating_sub(1);
+        let dropped = self.keys[key_gone].load(K::SLOT_LOAD);
         for i in key_gone..n - 1 {
-            self.keys[i].store(self.keys[i + 1].load(R), R);
+            self.keys[i].store(self.keys[i + 1].load(K::SLOT_LOAD), K::SLOT_STORE);
         }
         for i in idx..n {
-            self.children[i].store(self.children[i + 1].load(R), R);
+            self.children[i].store(self.children[i + 1].load(K::SLOT_LOAD), K::SLOT_STORE);
         }
-        self.count.store((n - 1) as u16, R);
+        self.count.store((n - 1) as u16, K::SLOT_STORE);
+        dropped
     }
 
     /// Position of a child pointer, if present (exclusive access).
     pub fn position_of(&self, child: *mut NodeBase) -> Option<usize> {
         let n = self.count.load(R) as usize;
-        (0..=n).find(|&i| self.children[i].load(R) == child)
+        (0..=n).find(|&i| self.children[i].load(K::SLOT_LOAD) == child)
+    }
+
+    /// Free the separator slots this node owns (`[0, count)`): tree drop
+    /// only, when no concurrent access exists.
+    ///
+    /// # Safety
+    /// Caller must have exclusive ownership of the whole tree.
+    pub unsafe fn free_key_slots(&self) {
+        for i in 0..self.count() {
+            unsafe { K::slot_free(self.keys[i].load(R)) };
+        }
     }
 }
 
 // --- leaf node -------------------------------------------------------------
 
-impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
+impl<LL: IndexLock, const LC: usize, K: IndexKey> Leaf<LL, LC, K> {
     /// Maximum number of entries.
     pub const MAX_ENTRIES: usize = LC;
 
     /// Allocate an empty leaf and leak it to a raw pointer.
     pub fn alloc() -> *mut NodeBase {
-        let node = Box::new(Leaf::<LL, LC> {
+        let node = Box::new(Leaf::<LL, LC, K> {
             base: NodeBase { leaf: true },
             lock: LL::default(),
             count: AtomicU16::new(0),
             keys: [const { AtomicU64::new(0) }; LC],
             vals: [const { AtomicU64::new(0) }; LC],
+            _key: PhantomData,
         });
         Box::into_raw(node) as *mut NodeBase
     }
@@ -332,19 +420,29 @@ impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
     /// Entry count, clamped to capacity (see [`Inner::count`]).
     #[inline]
     pub fn count(&self) -> usize {
-        (self.count.load(R) as usize).min(LC)
+        (self.count.load(K::SLOT_LOAD) as usize).min(LC)
     }
 
     /// True iff no entry fits anymore (split trigger).
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.count.load(R) as usize >= LC
+        self.count.load(K::SLOT_LOAD) as usize >= LC
     }
 
-    /// Key at slot `i`.
+    /// Key slot at `i` (borrowed).
     #[inline]
-    pub fn key(&self, i: usize) -> u64 {
-        self.keys[i].load(R)
+    pub fn key_slot(&self, i: usize) -> u64 {
+        self.keys[i].load(K::SLOT_LOAD)
+    }
+
+    /// Owned copy of the key at `i`.
+    ///
+    /// # Safety
+    /// Caller must be pinned (or hold the tree exclusively) so the slot's
+    /// pointee is alive.
+    #[inline]
+    pub unsafe fn key_at(&self, i: usize) -> K {
+        unsafe { K::slot_key(self.keys[i].load(K::SLOT_LOAD)) }
     }
 
     /// Value at slot `i`.
@@ -355,15 +453,22 @@ impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
 
     /// First index with `keys[idx] >= key` (lower bound).
     #[inline]
-    pub fn lower_bound(&self, key: u64) -> usize {
-        sorted_prefix_len(&self.keys, self.count(), |k| k < key)
+    pub fn lower_bound(&self, key: &K) -> usize {
+        sorted_prefix_len(&self.keys, self.count(), K::SLOT_LOAD, |s| {
+            // Safety: slots below an observed count are published keys of
+            // this node (or epoch-protected stale aliases); see module doc.
+            unsafe { key.cmp_slot(s) == Cmp::Greater }
+        })
     }
 
     /// Position of `key`, if present.
     #[inline]
-    pub fn search(&self, key: u64) -> Option<usize> {
+    pub fn search(&self, key: &K) -> Option<usize> {
         let idx = self.lower_bound(key);
-        if idx < self.count() && self.keys[idx].load(R) == key {
+        // Safety: as in `lower_bound`.
+        if idx < self.count()
+            && unsafe { key.cmp_slot(self.keys[idx].load(K::SLOT_LOAD)) } == Cmp::Equal
+        {
             Some(idx)
         } else {
             None
@@ -373,13 +478,13 @@ impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
     /// Value for `key`, if present (readers call this between `r_lock` and
     /// `r_unlock`; the result is meaningful only if validation passes).
     #[inline]
-    pub fn lookup(&self, key: u64) -> Option<u64> {
+    pub fn lookup(&self, key: &K) -> Option<u64> {
         self.search(key).map(|i| self.vals[i].load(R))
     }
 
     /// Store `val` at the slot of `key` (exclusive access). Returns the old
     /// value, or `None` if the key is absent.
-    pub fn update(&self, key: u64, val: u64) -> Option<u64> {
+    pub fn update(&self, key: &K, val: u64) -> Option<u64> {
         let i = self.search(key)?;
         let old = self.vals[i].load(R);
         self.vals[i].store(val, R);
@@ -388,10 +493,12 @@ impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
 
     /// Insert or overwrite (exclusive access; must not be full unless the
     /// key already exists). Returns the previous value if the key existed.
-    pub fn insert(&self, key: u64, val: u64) -> Option<u64> {
+    /// A new entry clones `key` into a freshly owned slot.
+    pub fn insert(&self, key: &K, val: u64) -> Option<u64> {
         let n = self.count.load(R) as usize;
         let pos = self.lower_bound(key);
-        if pos < n && self.keys[pos].load(R) == key {
+        // Safety: published slot below count (see module doc).
+        if pos < n && unsafe { key.cmp_slot(self.keys[pos].load(K::SLOT_LOAD)) } == Cmp::Equal {
             let old = self.vals[pos].load(R);
             self.vals[pos].store(val, R);
             return Some(old);
@@ -399,68 +506,92 @@ impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
         debug_assert!(n < LC, "insert into full leaf");
         let mut i = n;
         while i > pos {
-            self.keys[i].store(self.keys[i - 1].load(R), R);
+            self.keys[i].store(self.keys[i - 1].load(K::SLOT_LOAD), K::SLOT_STORE);
             self.vals[i].store(self.vals[i - 1].load(R), R);
             i -= 1;
         }
-        self.keys[pos].store(key, R);
+        self.keys[pos].store(key.clone().into_slot(), K::SLOT_STORE);
         self.vals[pos].store(val, R);
-        self.count.store((n + 1) as u16, R);
+        self.count.store((n + 1) as u16, K::SLOT_STORE);
         None
     }
 
-    /// Remove `key` (exclusive access). Returns the removed value.
-    pub fn remove(&self, key: u64) -> Option<u64> {
+    /// Remove `key` (exclusive access). Returns `(slot, value)` of the
+    /// removed entry; ownership of the slot moves to the caller, which
+    /// must retire it (readers may still be comparing against it).
+    pub fn remove(&self, key: &K) -> Option<(u64, u64)> {
         let n = self.count.load(R) as usize;
         let pos = self.search(key)?;
+        let slot = self.keys[pos].load(K::SLOT_LOAD);
         let old = self.vals[pos].load(R);
         for i in pos..n - 1 {
-            self.keys[i].store(self.keys[i + 1].load(R), R);
+            self.keys[i].store(self.keys[i + 1].load(K::SLOT_LOAD), K::SLOT_STORE);
             self.vals[i].store(self.vals[i + 1].load(R), R);
         }
-        self.count.store((n - 1) as u16, R);
-        Some(old)
+        self.count.store((n - 1) as u16, K::SLOT_STORE);
+        Some((slot, old))
     }
 
     /// Split in half (exclusive access). Returns `(separator, right node)`;
-    /// the separator is the smallest key of the new right leaf.
+    /// the separator is a **freshly owned clone** of the smallest key of
+    /// the new right leaf (the right leaf keeps its own slot), and its
+    /// ownership moves to the caller.
     pub fn split(&self) -> (u64, *mut NodeBase) {
         let n = self.count.load(R) as usize;
         debug_assert!(n >= 2);
         let mid = n / 2;
         let right_ptr = Self::alloc();
-        let right = unsafe { as_leaf::<LL, LC>(right_ptr) };
+        let right = unsafe { as_leaf::<LL, LC, K>(right_ptr) };
         for i in mid..n {
-            right.keys[i - mid].store(self.keys[i].load(R), R);
+            right.keys[i - mid].store(self.keys[i].load(K::SLOT_LOAD), K::SLOT_STORE);
             right.vals[i - mid].store(self.vals[i].load(R), R);
         }
-        right.count.store((n - mid) as u16, R);
-        self.count.store(mid as u16, R);
-        (right.keys[0].load(R), right_ptr)
+        right.count.store((n - mid) as u16, K::SLOT_STORE);
+        self.count.store(mid as u16, K::SLOT_STORE);
+        // Safety: right.keys[0] is a live slot this thread just published.
+        let sep = unsafe { K::slot_clone(right.keys[0].load(K::SLOT_LOAD)) };
+        (sep, right_ptr)
     }
 
     /// Append every entry of `right` (exclusive access to both; combined
-    /// count must fit).
+    /// count must fit). Slot ownership **moves** — the caller retires the
+    /// right node without freeing its (now stale-alias) slots.
     pub fn absorb(&self, right: &Self) {
         let n = self.count.load(R) as usize;
         let m = right.count.load(R) as usize;
         debug_assert!(n + m <= LC);
         for i in 0..m {
-            self.keys[n + i].store(right.keys[i].load(R), R);
+            self.keys[n + i].store(right.keys[i].load(K::SLOT_LOAD), K::SLOT_STORE);
             self.vals[n + i].store(right.vals[i].load(R), R);
         }
-        self.count.store((n + m) as u16, R);
+        self.count.store((n + m) as u16, K::SLOT_STORE);
     }
 
-    /// Copy entries with key ≥ `from` into `out`, up to `limit` items.
-    pub fn collect_from(&self, from: u64, limit: usize, out: &mut Vec<(u64, u64)>) {
+    /// Copy entries with key ≥ `from` (every entry when `from` is `None`)
+    /// into `out`, up to `limit` items. Keys are owned clones: the caller
+    /// may keep them past validation.
+    pub fn collect_from(&self, from: Option<&K>, limit: usize, out: &mut Vec<(K, u64)>) {
         let n = self.count();
-        let start = self.lower_bound(from);
+        let start = match from {
+            Some(k) => self.lower_bound(k),
+            None => 0,
+        };
         for i in start..n {
             if out.len() >= limit {
                 break;
             }
-            out.push((self.keys[i].load(R), self.vals[i].load(R)));
+            // Safety: published slot below count, caller pinned.
+            out.push((unsafe { self.key_at(i) }, self.vals[i].load(R)));
+        }
+    }
+
+    /// Free the key slots this node owns (`[0, count)`): tree drop only.
+    ///
+    /// # Safety
+    /// Caller must have exclusive ownership of the whole tree.
+    pub unsafe fn free_key_slots(&self) {
+        for i in 0..self.count() {
+            unsafe { K::slot_free(self.keys[i].load(R)) };
         }
     }
 }
@@ -469,13 +600,14 @@ impl<LL: IndexLock, const LC: usize> Leaf<LL, LC> {
 mod tests {
     use super::*;
     use optiql::OptLock;
+    use optiql_index_api::Bytes;
 
     type L = Leaf<OptLock, 8>;
     type I = Inner<OptLock, 8>;
 
     fn leaf<'a>() -> (&'a L, *mut NodeBase) {
         let p = L::alloc();
-        (unsafe { as_leaf::<OptLock, 8>(p) }, p)
+        (unsafe { as_leaf::<OptLock, 8, u64>(p) }, p)
     }
 
     fn free_leaf(p: *mut NodeBase) {
@@ -490,39 +622,39 @@ mod tests {
     fn leaf_insert_sorted_and_lookup() {
         let (l, p) = leaf();
         for k in [5u64, 1, 9, 3] {
-            assert!(l.insert(k, k * 10).is_none());
+            assert!(l.insert(&k, k * 10).is_none());
         }
         assert_eq!(l.count(), 4);
-        let keys: Vec<u64> = (0..4).map(|i| l.key(i)).collect();
+        let keys: Vec<u64> = (0..4).map(|i| l.key_slot(i)).collect();
         assert_eq!(keys, vec![1, 3, 5, 9]);
-        assert_eq!(l.lookup(5), Some(50));
-        assert_eq!(l.lookup(4), None);
+        assert_eq!(l.lookup(&5), Some(50));
+        assert_eq!(l.lookup(&4), None);
         free_leaf(p);
     }
 
     #[test]
     fn leaf_insert_duplicate_overwrites() {
         let (l, p) = leaf();
-        assert!(l.insert(7, 1).is_none());
-        assert_eq!(l.insert(7, 2), Some(1));
+        assert!(l.insert(&7, 1).is_none());
+        assert_eq!(l.insert(&7, 2), Some(1));
         assert_eq!(l.count(), 1);
-        assert_eq!(l.lookup(7), Some(2));
+        assert_eq!(l.lookup(&7), Some(2));
         free_leaf(p);
     }
 
     #[test]
     fn leaf_update_and_remove() {
         let (l, p) = leaf();
-        l.insert(1, 10);
-        l.insert(2, 20);
-        l.insert(3, 30);
-        assert_eq!(l.update(2, 21), Some(20));
-        assert_eq!(l.update(4, 40), None);
-        assert_eq!(l.remove(2), Some(21));
-        assert_eq!(l.remove(2), None);
+        l.insert(&1, 10);
+        l.insert(&2, 20);
+        l.insert(&3, 30);
+        assert_eq!(l.update(&2, 21), Some(20));
+        assert_eq!(l.update(&4, 40), None);
+        assert_eq!(l.remove(&2), Some((2, 21)), "remove yields (slot, val)");
+        assert_eq!(l.remove(&2), None);
         assert_eq!(l.count(), 2);
-        assert_eq!(l.lookup(1), Some(10));
-        assert_eq!(l.lookup(3), Some(30));
+        assert_eq!(l.lookup(&1), Some(10));
+        assert_eq!(l.lookup(&3), Some(30));
         free_leaf(p);
     }
 
@@ -530,17 +662,17 @@ mod tests {
     fn leaf_split_moves_upper_half() {
         let (l, p) = leaf();
         for k in 0..8u64 {
-            l.insert(k, k);
+            l.insert(&k, k);
         }
         assert!(l.is_full());
         let (sep, rp) = l.split();
-        let r = unsafe { as_leaf::<OptLock, 8>(rp) };
+        let r = unsafe { as_leaf::<OptLock, 8, u64>(rp) };
         assert_eq!(sep, 4);
         assert_eq!(l.count(), 4);
         assert_eq!(r.count(), 4);
-        assert_eq!(l.lookup(3), Some(3));
-        assert_eq!(l.lookup(4), None);
-        assert_eq!(r.lookup(4), Some(4));
+        assert_eq!(l.lookup(&3), Some(3));
+        assert_eq!(l.lookup(&4), None);
+        assert_eq!(r.lookup(&4), Some(4));
         free_leaf(p);
         free_leaf(rp);
     }
@@ -549,13 +681,13 @@ mod tests {
     fn leaf_absorb_concatenates() {
         let (l, p) = leaf();
         let (r, rp) = leaf();
-        l.insert(1, 1);
-        l.insert(2, 2);
-        r.insert(10, 10);
-        r.insert(11, 11);
+        l.insert(&1, 1);
+        l.insert(&2, 2);
+        r.insert(&10, 10);
+        r.insert(&11, 11);
         l.absorb(r);
         assert_eq!(l.count(), 4);
-        assert_eq!(l.lookup(11), Some(11));
+        assert_eq!(l.lookup(&11), Some(11));
         free_leaf(p);
         free_leaf(rp);
     }
@@ -564,28 +696,70 @@ mod tests {
     fn leaf_collect_from_respects_bounds() {
         let (l, p) = leaf();
         for k in [2u64, 4, 6, 8] {
-            l.insert(k, k);
+            l.insert(&k, k);
         }
         let mut out = Vec::new();
-        l.collect_from(4, 2, &mut out);
+        l.collect_from(Some(&4), 2, &mut out);
         assert_eq!(out, vec![(4, 4), (6, 6)]);
+        out.clear();
+        l.collect_from(None, 8, &mut out);
+        assert_eq!(out.len(), 4, "None = no lower bound");
         free_leaf(p);
+    }
+
+    #[test]
+    fn byte_key_leaf_owns_its_slots() {
+        let p = Leaf::<OptLock, 8, Bytes>::alloc();
+        let l = unsafe { as_leaf::<OptLock, 8, Bytes>(p) };
+        for s in ["delta", "alpha", "charlie", "bravo"] {
+            assert!(l.insert(&Bytes::from(s), s.len() as u64).is_none());
+        }
+        assert_eq!(l.count(), 4);
+        // Sorted lexicographically through the slot indirection.
+        let keys: Vec<Bytes> = (0..4).map(|i| unsafe { l.key_at(i) }).collect();
+        assert_eq!(
+            keys,
+            ["alpha", "bravo", "charlie", "delta"]
+                .map(Bytes::from)
+                .to_vec()
+        );
+        assert_eq!(l.lookup(&Bytes::from("charlie")), Some(7));
+        assert_eq!(l.lookup(&Bytes::from("zulu")), None);
+        assert_eq!(l.insert(&Bytes::from("alpha"), 99), Some(5), "overwrite");
+        // Remove hands the slot back for the caller to release.
+        let (slot, val) = l.remove(&Bytes::from("bravo")).unwrap();
+        assert_eq!(val, 5);
+        unsafe { Bytes::slot_free(slot) };
+        // Split: separator is an independently owned clone.
+        let (sep, rp) = l.split();
+        let r = unsafe { as_leaf::<OptLock, 8, Bytes>(rp) };
+        assert_eq!(unsafe { Bytes::slot_key(sep) }, unsafe { r.key_at(0) });
+        unsafe {
+            Bytes::slot_free(sep);
+            l.free_key_slots();
+            r.free_key_slots();
+        }
+        drop(unsafe { Box::from_raw(p as *mut Leaf<OptLock, 8, Bytes>) });
+        drop(unsafe { Box::from_raw(rp as *mut Leaf<OptLock, 8, Bytes>) });
     }
 
     #[test]
     fn inner_child_routing() {
         let ip = I::alloc();
-        let inner = unsafe { as_inner::<OptLock, 8>(ip) };
+        let inner = unsafe { as_inner::<OptLock, 8, u64>(ip) };
         let (c0, c1, c2) = (L::alloc(), L::alloc(), L::alloc());
         inner.init_root(10, c0, c1);
         inner.insert_child(20, c2);
         assert_eq!(inner.count(), 2);
-        assert_eq!(inner.find_child(5).0, c0);
-        assert_eq!(inner.find_child(5).1, Some(10));
-        assert_eq!(inner.find_child(10).0, c1);
-        assert_eq!(inner.find_child(15).1, Some(20));
-        assert_eq!(inner.find_child(20).0, c2);
-        assert_eq!(inner.find_child(99).1, None);
+        assert_eq!(inner.find_child(&5).0, c0);
+        assert_eq!(inner.find_child(&5).1, Some(10));
+        assert_eq!(inner.find_child(&10).0, c1);
+        assert_eq!(inner.find_child(&15).1, Some(20));
+        assert_eq!(inner.find_child(&20).0, c2);
+        assert_eq!(inner.find_child(&99).1, None);
+        assert_eq!(inner.find_child_from(None).0, c0, "None descends leftmost");
+        assert_eq!(inner.find_child_from(None).1, Some(10));
+        assert_eq!(inner.find_child_from(Some(&15)).0, inner.find_child(&15).0);
         free_leaf(c0);
         free_leaf(c1);
         free_leaf(c2);
@@ -595,7 +769,7 @@ mod tests {
     #[test]
     fn inner_split_pushes_middle_separator_up() {
         let ip = I::alloc();
-        let inner = unsafe { as_inner::<OptLock, 8>(ip) };
+        let inner = unsafe { as_inner::<OptLock, 8, u64>(ip) };
         let kids: Vec<*mut NodeBase> = (0..8).map(|_| L::alloc()).collect();
         inner.init_root(10, kids[0], kids[1]);
         for (i, sep) in [20u64, 30, 40, 50, 60].iter().enumerate() {
@@ -604,14 +778,14 @@ mod tests {
         assert!(inner.is_full() || inner.count() == 6);
         let n = inner.count();
         let (sep, rp) = inner.split();
-        let right = unsafe { as_inner::<OptLock, 8>(rp) };
+        let right = unsafe { as_inner::<OptLock, 8, u64>(rp) };
         assert_eq!(inner.count() + right.count() + 1, n);
         // Separator strictly partitions the two halves.
         for i in 0..inner.count() {
-            assert!(inner.key(i) < sep);
+            assert!(inner.key_slot(i) < sep);
         }
         for i in 0..right.count() {
-            assert!(right.key(i) > sep);
+            assert!(right.key_slot(i) > sep);
         }
         for k in kids {
             free_leaf(k);
@@ -623,20 +797,20 @@ mod tests {
     #[test]
     fn inner_remove_child_closes_gaps() {
         let ip = I::alloc();
-        let inner = unsafe { as_inner::<OptLock, 8>(ip) };
+        let inner = unsafe { as_inner::<OptLock, 8, u64>(ip) };
         let (c0, c1, c2) = (L::alloc(), L::alloc(), L::alloc());
         inner.init_root(10, c0, c1);
         inner.insert_child(20, c2);
         // Remove middle child c1 (covers [10,20)): separator 10 goes away.
         let pos = inner.position_of(c1).unwrap();
-        inner.remove_child(pos);
+        assert_eq!(inner.remove_child(pos), 10, "dropped separator slot");
         assert_eq!(inner.count(), 1);
-        assert_eq!(inner.find_child(5).0, c0);
-        assert_eq!(inner.find_child(25).0, c2);
+        assert_eq!(inner.find_child(&5).0, c0);
+        assert_eq!(inner.find_child(&25).0, c2);
         // Remove leftmost child.
-        inner.remove_child(0);
+        assert_eq!(inner.remove_child(0), 20);
         assert_eq!(inner.count(), 0);
-        assert_eq!(inner.find_child(0).0, c2);
+        assert_eq!(inner.find_child(&0).0, c2);
         free_leaf(c0);
         free_leaf(c1);
         free_leaf(c2);
@@ -650,20 +824,20 @@ mod tests {
         // naive reference.
         fn check<const C: usize>() {
             let lp = Leaf::<OptLock, C>::alloc();
-            let l = unsafe { as_leaf::<OptLock, C>(lp) };
+            let l = unsafe { as_leaf::<OptLock, C, u64>(lp) };
             for i in 0..C as u64 {
-                l.insert(i * 2 + 1, i);
+                l.insert(&(i * 2 + 1), i);
             }
             for probe in 0..=(2 * C as u64 + 2) {
                 let expect = (0..l.count())
-                    .find(|&i| l.key(i) >= probe)
+                    .find(|&i| l.key_slot(i) >= probe)
                     .unwrap_or(l.count());
-                assert_eq!(l.lower_bound(probe), expect, "C={C} probe={probe}");
+                assert_eq!(l.lower_bound(&probe), expect, "C={C} probe={probe}");
             }
             drop(unsafe { Box::from_raw(lp as *mut Leaf<OptLock, C>) });
 
             let ip = Inner::<OptLock, C>::alloc();
-            let inner = unsafe { as_inner::<OptLock, C>(ip) };
+            let inner = unsafe { as_inner::<OptLock, C, u64>(ip) };
             let kid = Leaf::<OptLock, 4>::alloc();
             inner.init_root(2, kid, kid);
             for i in 1..(C - 1) as u64 {
@@ -671,9 +845,9 @@ mod tests {
             }
             for probe in 0..=(2 * C as u64 + 2) {
                 let expect = (0..inner.count())
-                    .find(|&i| probe < inner.key(i))
+                    .find(|&i| probe < inner.key_slot(i))
                     .unwrap_or(inner.count());
-                assert_eq!(inner.child_index(probe), expect, "C={C} probe={probe}");
+                assert_eq!(inner.child_index(&probe), expect, "C={C} probe={probe}");
             }
             drop(unsafe { Box::from_raw(kid as *mut Leaf<OptLock, 4>) });
             drop(unsafe { Box::from_raw(ip as *mut Inner<OptLock, C>) });
@@ -689,9 +863,9 @@ mod tests {
     #[test]
     fn lower_bound_on_empty_leaf() {
         let (l, p) = leaf();
-        assert_eq!(l.lower_bound(42), 0);
-        assert_eq!(l.search(42), None);
-        assert_eq!(l.lookup(42), None);
+        assert_eq!(l.lower_bound(&42), 0);
+        assert_eq!(l.search(&42), None);
+        assert_eq!(l.lookup(&42), None);
         free_leaf(p);
     }
 }

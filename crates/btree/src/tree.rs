@@ -8,6 +8,13 @@
 //!   more expensive when uncontended (§6.1).
 //! * `LL` — the lock on **leaf** nodes, where contention concentrates.
 //!
+//! and over the key type `K:`[`IndexKey`] (default `u64`, which
+//! monomorphizes to the pre-generic fixed-width code; `Bytes` keys live
+//! behind owned pointer slots — see `node.rs` for the slot protocol and
+//! its ownership rules, which this module's structural-modification and
+//! remove paths enforce by retiring every dropped slot through the
+//! tree's epoch collector).
+//!
 //! The write paths dispatch on `LL::STRATEGY`:
 //!
 //! * [`WriteStrategy::Upgrade`] — classic OLC (Figure 2c): validate the
@@ -28,12 +35,26 @@
 //! under-quarter-full leaves with their right sibling best-effort (this is
 //! the "two queue nodes per thread" case of §6.1); inner nodes shrink only
 //! via root collapse.
+//!
+//! # Range scans
+//!
+//! [`BPlusTree::fill_from`] is the per-leaf scan primitive: descend to the
+//! leaf covering the cursor under optimistic reads, snapshot its matching
+//! entries, validate, and report the tightest upper separator on the path
+//! as the next cursor. Both the materializing [`scan`](BPlusTree::scan)
+//! and the streaming [`range`](BPlusTree::range) iterate it. Continuation
+//! is loss- and duplicate-free because a leaf's keys are strictly below
+//! the separator above it: restarting the descent at the separator
+//! (inclusive) lands on the next leaf's first key, whatever splits or
+//! merges happened in between.
 
+use std::ops::Bound;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 use optiql::olc::{IndexStats, RestartLoop, SharedIndexStats};
 use optiql::stats::Event;
 use optiql::{IndexLock, WriteStrategy};
+use optiql_index_api::{bounds_nonempty, key_above_start, key_below_end, IndexKey, RangeIter};
 use optiql_reclaim::{Collector, Guard};
 
 use crate::node::{as_inner, as_leaf, is_leaf, Inner, Leaf, NodeBase};
@@ -71,38 +92,46 @@ pub struct TreeStats {
     pub root_collapses: u64,
 }
 
-/// Concurrent B+-tree keyed by `u64` with `u64` payloads (the paper's
-/// 8-byte-key / 8-byte-value configuration).
+/// Concurrent B+-tree mapping `K` keys to `u64` payloads (the paper's
+/// 8-byte-key / 8-byte-value configuration when `K = u64`, the default).
 ///
 /// `IC` is the inner-node child capacity, `LC` the leaf entry capacity; see
 /// [`crate::node_size`] for byte-size presets.
-pub struct BPlusTree<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> {
+pub struct BPlusTree<
+    IL: IndexLock,
+    LL: IndexLock,
+    const IC: usize,
+    const LC: usize,
+    K: IndexKey = u64,
+> {
     pub(crate) root: AtomicPtr<NodeBase>,
     pub(crate) size: AtomicUsize,
     pub(crate) collector: Collector,
     stats: StatsInner,
     pub(crate) index_stats: SharedIndexStats,
-    _locks: std::marker::PhantomData<(IL, LL)>,
+    _locks: std::marker::PhantomData<(IL, LL, K)>,
 }
 
-unsafe impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Send
-    for BPlusTree<IL, LL, IC, LC>
+unsafe impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey> Send
+    for BPlusTree<IL, LL, IC, LC, K>
 {
 }
-unsafe impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Sync
-    for BPlusTree<IL, LL, IC, LC>
+unsafe impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey> Sync
+    for BPlusTree<IL, LL, IC, LC, K>
 {
 }
 
-impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Default
-    for BPlusTree<IL, LL, IC, LC>
+impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey> Default
+    for BPlusTree<IL, LL, IC, LC, K>
 {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<IL, LL, IC, LC> {
+impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey>
+    BPlusTree<IL, LL, IC, LC, K>
+{
     /// Create an empty tree.
     pub fn new() -> Self {
         assert!(LC >= 2, "leaf capacity must be at least 2");
@@ -113,7 +142,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             "inner and leaf locks must agree on coupling style"
         );
         BPlusTree {
-            root: AtomicPtr::new(Leaf::<LL, LC>::alloc()),
+            root: AtomicPtr::new(Leaf::<LL, LC, K>::alloc()),
             size: AtomicUsize::new(0),
             collector: Collector::new(),
             stats: StatsInner::default(),
@@ -180,9 +209,9 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     pub(crate) unsafe fn node_r_lock(&self, p: *mut NodeBase) -> Option<u64> {
         unsafe {
             if is_leaf(p) {
-                as_leaf::<LL, LC>(p).lock.r_lock()
+                as_leaf::<LL, LC, K>(p).lock.r_lock()
             } else {
-                as_inner::<IL, IC>(p).lock.r_lock()
+                as_inner::<IL, IC, K>(p).lock.r_lock()
             }
         }
     }
@@ -191,9 +220,9 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     pub(crate) unsafe fn node_r_unlock(&self, p: *mut NodeBase, v: u64) -> bool {
         unsafe {
             if is_leaf(p) {
-                as_leaf::<LL, LC>(p).lock.r_unlock(v)
+                as_leaf::<LL, LC, K>(p).lock.r_unlock(v)
             } else {
-                as_inner::<IL, IC>(p).lock.r_unlock(v)
+                as_inner::<IL, IC, K>(p).lock.r_unlock(v)
             }
         }
     }
@@ -228,15 +257,15 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     // --- lookup -----------------------------------------------------------
 
     /// Point lookup.
-    pub fn lookup(&self, key: u64) -> Option<u64> {
+    pub fn lookup(&self, key: K) -> Option<u64> {
         self.index_stats.record_op();
-        self.lookup_impl(key)
+        self.lookup_impl(&key)
     }
 
     /// Lookup body without the per-op accounting: shared by the scalar
     /// entry point and the batched engine's fallback path (which accounts
     /// once per batch).
-    pub(crate) fn lookup_impl(&self, key: u64) -> Option<u64> {
+    pub(crate) fn lookup_impl(&self, key: &K) -> Option<u64> {
         let mut rs = self.restart_loop();
         let _g = self.collector.pin();
         'restart: loop {
@@ -244,14 +273,14 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
             loop {
                 if unsafe { is_leaf(node) } {
-                    let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                    let leaf = unsafe { as_leaf::<LL, LC, K>(node) };
                     let res = leaf.lookup(key);
                     if !leaf.lock.r_unlock(v) {
                         continue 'restart;
                     }
                     return res;
                 }
-                let inner = unsafe { as_inner::<IL, IC>(node) };
+                let inner = unsafe { as_inner::<IL, IC, K>(node) };
                 let (child, _) = inner.find_child(key);
                 if child.is_null() {
                     unsafe { self.node_abandon(node, v) };
@@ -278,13 +307,13 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
     /// Replace the value of an existing key; returns the previous value or
     /// `None` if the key is absent.
-    pub fn update(&self, key: u64, val: u64) -> Option<u64> {
-        self.write_existing(key, Some(val))
+    pub fn update(&self, key: K, val: u64) -> Option<u64> {
+        self.write_existing(&key, Some(val))
     }
 
     /// Remove a key; returns the removed value.
-    pub fn remove(&self, key: u64) -> Option<u64> {
-        let old = self.write_existing(key, None);
+    pub fn remove(&self, key: K) -> Option<u64> {
+        let old = self.write_existing(&key, None);
         if old.is_some() {
             self.size.fetch_sub(1, Ordering::Relaxed);
         }
@@ -292,7 +321,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     }
 
     /// Shared descent for update (`val = Some`) and remove (`val = None`).
-    fn write_existing(&self, key: u64, val: Option<u64>) -> Option<u64> {
+    fn write_existing(&self, key: &K, val: Option<u64>) -> Option<u64> {
         self.index_stats.record_op();
         let mut rs = self.restart_loop();
         let g = self.collector.pin();
@@ -302,14 +331,14 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
             // Root is a leaf: lock it directly, re-verifying root identity.
             if unsafe { is_leaf(node) } {
-                let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                let leaf = unsafe { as_leaf::<LL, LC, K>(node) };
                 match LL::STRATEGY {
                     WriteStrategy::Upgrade => {
                         let Some(t) = leaf.lock.try_upgrade(v) else {
                             continue 'restart;
                         };
                         // Upgrade success ⇒ unchanged since `v` ⇒ still root.
-                        let old = apply_leaf(leaf, key, val);
+                        let old = apply_leaf(leaf, key, val, &g);
                         leaf.lock.x_unlock(t);
                         return old;
                     }
@@ -320,7 +349,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                             continue 'restart;
                         }
                         leaf.lock.x_finish_adjustable(t);
-                        let old = apply_leaf(leaf, key, val);
+                        let old = apply_leaf(leaf, key, val, &g);
                         leaf.lock.x_unlock(t);
                         return old;
                     }
@@ -332,7 +361,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                             leaf.lock.x_unlock(t);
                             continue 'restart;
                         }
-                        let old = apply_leaf(leaf, key, val);
+                        let old = apply_leaf(leaf, key, val, &g);
                         leaf.lock.x_unlock(t);
                         return old;
                     }
@@ -341,7 +370,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
             // Drill down until the child is a leaf (Alg 4 lines 9-26).
             loop {
-                let inner = unsafe { as_inner::<IL, IC>(node) };
+                let inner = unsafe { as_inner::<IL, IC, K>(node) };
                 let (child, _) = inner.find_child(key);
                 if child.is_null() {
                     unsafe { self.node_abandon(node, v) };
@@ -351,7 +380,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                     continue 'restart;
                 }
                 if unsafe { is_leaf(child) } {
-                    let leaf = unsafe { as_leaf::<LL, LC>(child) };
+                    let leaf = unsafe { as_leaf::<LL, LC, K>(child) };
                     let (token, searched) = match LL::STRATEGY {
                         WriteStrategy::Upgrade => {
                             // Original OLC: read leaf version, validate
@@ -399,8 +428,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                     };
 
                     let old = match searched {
-                        Some(idx) => apply_leaf_at(leaf, idx, key, val),
-                        None => apply_leaf(leaf, key, val),
+                        Some(idx) => apply_leaf_at(leaf, idx, key, val, &g),
+                        None => apply_leaf(leaf, key, val, &g),
                     };
 
                     // Deletion SMOs: unlink an emptied leaf / merge an
@@ -412,7 +441,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                     return old;
                 }
                 // Child is an inner node: couple downwards.
-                let ci = unsafe { as_inner::<IL, IC>(child) };
+                let ci = unsafe { as_inner::<IL, IC, K>(child) };
                 let Some(cv) = ci.lock.r_lock() else {
                     unsafe { self.node_abandon(node, v) };
                     continue 'restart;
@@ -432,10 +461,10 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// when the leaf was located.
     fn try_shrink(
         &self,
-        parent: &Inner<IL, IC>,
+        parent: &Inner<IL, IC, K>,
         pv: u64,
         leaf_ptr: *mut NodeBase,
-        leaf: &Leaf<LL, LC>,
+        leaf: &Leaf<LL, LC, K>,
         g: &Guard,
     ) {
         let n = leaf.count();
@@ -452,10 +481,15 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             return;
         };
         if n == 0 && parent.count() >= 1 {
-            // Unlink the empty leaf entirely.
+            // Unlink the empty leaf entirely. The dropped separator's key
+            // slot is retired: concurrent readers may still compare
+            // against it until the epoch turns.
             self.count_stat(&self.stats.leaf_unlinks);
-            parent.remove_child(idx);
-            unsafe { g.retire_ptr(leaf_ptr as *mut Leaf<LL, LC>) };
+            let sep = parent.remove_child(idx);
+            unsafe {
+                K::slot_retire(sep, g);
+                g.retire_ptr(leaf_ptr as *mut Leaf<LL, LC, K>);
+            }
             // The caller still unlocks through its token; the node stays
             // alive until the epoch advances past every reader & the holder.
             parent.lock.x_unlock(pt);
@@ -465,14 +499,20 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             // Merge with the right sibling if the union fits.
             let sib_ptr = parent.child(idx + 1);
             debug_assert!(unsafe { is_leaf(sib_ptr) });
-            let sib = unsafe { as_leaf::<LL, LC>(sib_ptr) };
+            let sib = unsafe { as_leaf::<LL, LC, K>(sib_ptr) };
             let st = sib.lock.x_lock();
             if leaf.count() + sib.count() <= LC {
                 self.count_stat(&self.stats.leaf_merges);
+                // `absorb` moves the sibling's key slots into `leaf`, so
+                // retiring the sibling node never touches them; the
+                // dropped separator is the only slot released here.
                 leaf.absorb(sib);
-                parent.remove_child(idx + 1);
+                let sep = parent.remove_child(idx + 1);
                 sib.lock.x_unlock(st);
-                unsafe { g.retire_ptr(sib_ptr as *mut Leaf<LL, LC>) };
+                unsafe {
+                    K::slot_retire(sep, g);
+                    g.retire_ptr(sib_ptr as *mut Leaf<LL, LC, K>);
+                }
             } else {
                 sib.lock.x_unlock(st);
             }
@@ -487,7 +527,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
         if unsafe { is_leaf(root) } {
             return;
         }
-        let inner = unsafe { as_inner::<IL, IC>(root) };
+        let inner = unsafe { as_inner::<IL, IC, K>(root) };
         let Some(v) = inner.lock.r_lock() else { return };
         if self.root.load(Ordering::Acquire) != root || inner.count() != 0 {
             return;
@@ -500,7 +540,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             let child = inner.child(0);
             self.root.store(child, Ordering::Release);
             inner.lock.x_unlock(t);
-            unsafe { g.retire_ptr(root as *mut Inner<IL, IC>) };
+            // A collapsing root has count 0: no separator slots to free.
+            unsafe { g.retire_ptr(root as *mut Inner<IL, IC, K>) };
         } else {
             inner.lock.x_unlock(t);
         }
@@ -509,12 +550,12 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     // --- insert -------------------------------------------------------------
 
     /// Insert or overwrite; returns the previous value if the key existed.
-    pub fn insert(&self, key: u64, val: u64) -> Option<u64> {
+    pub fn insert(&self, key: K, val: u64) -> Option<u64> {
         self.index_stats.record_op();
         let old = if LL::PESSIMISTIC {
-            self.insert_pessimistic(key, val)
+            self.insert_pessimistic(&key, val)
         } else {
-            self.insert_optimistic(key, val)
+            self.insert_optimistic(&key, val)
         };
         if old.is_none() {
             self.size.fetch_add(1, Ordering::Relaxed);
@@ -522,7 +563,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
         old
     }
 
-    pub(crate) fn insert_optimistic(&self, key: u64, val: u64) -> Option<u64> {
+    pub(crate) fn insert_optimistic(&self, key: &K, val: u64) -> Option<u64> {
         let mut rs = self.restart_loop();
         let _g = self.collector.pin();
         'restart: loop {
@@ -534,7 +575,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                 if unsafe { is_leaf(node) } {
                     // Only reachable when the root itself is a leaf.
                     debug_assert!(parent.is_none());
-                    let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                    let leaf = unsafe { as_leaf::<LL, LC, K>(node) };
                     let Some(t) = leaf.lock.try_upgrade(v) else {
                         continue 'restart;
                     };
@@ -542,11 +583,14 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                     if leaf.is_full() {
                         self.count_stat(&self.stats.root_splits);
                         let (sep, right) = leaf.split();
-                        let new_root = Inner::<IL, IC>::alloc();
-                        unsafe { as_inner::<IL, IC>(new_root) }.init_root(sep, node, right);
+                        // Safety: `sep` is live (owned by this thread until
+                        // `init_root` takes it over just below).
+                        let go_right = unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
+                        let new_root = Inner::<IL, IC, K>::alloc();
+                        unsafe { as_inner::<IL, IC, K>(new_root) }.init_root(sep, node, right);
                         // Insert into the proper half before publishing.
-                        let old = if key >= sep {
-                            unsafe { as_leaf::<LL, LC>(right) }.insert(key, val)
+                        let old = if go_right {
+                            unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val)
                         } else {
                             leaf.insert(key, val)
                         };
@@ -559,12 +603,12 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                     return old;
                 }
 
-                let inner = unsafe { as_inner::<IL, IC>(node) };
+                let inner = unsafe { as_inner::<IL, IC, K>(node) };
                 if inner.is_full() {
                     // Eager split (BTreeOLC): lock parent then node.
                     match parent {
                         Some((p, pv)) => {
-                            let pi = unsafe { as_inner::<IL, IC>(p) };
+                            let pi = unsafe { as_inner::<IL, IC, K>(p) };
                             let Some(pt) = pi.lock.try_upgrade(pv) else {
                                 continue 'restart;
                             };
@@ -586,8 +630,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                             // the old root's version first).
                             self.count_stat(&self.stats.root_splits);
                             let (sep, right) = inner.split();
-                            let new_root = Inner::<IL, IC>::alloc();
-                            unsafe { as_inner::<IL, IC>(new_root) }.init_root(sep, node, right);
+                            let new_root = Inner::<IL, IC, K>::alloc();
+                            unsafe { as_inner::<IL, IC, K>(new_root) }.init_root(sep, node, right);
                             self.root.store(new_root, Ordering::Release);
                             inner.lock.x_unlock(nt);
                         }
@@ -597,7 +641,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
                 // Release the grandparent before descending further.
                 if let Some((p, pv)) = parent.take() {
-                    let pi = unsafe { as_inner::<IL, IC>(p) };
+                    let pi = unsafe { as_inner::<IL, IC, K>(p) };
                     if !pi.lock.r_unlock(pv) {
                         continue 'restart;
                     }
@@ -612,7 +656,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                 }
 
                 if unsafe { is_leaf(child) } {
-                    let leaf = unsafe { as_leaf::<LL, LC>(child) };
+                    let leaf = unsafe { as_leaf::<LL, LC, K>(child) };
                     match LL::STRATEGY {
                         WriteStrategy::Upgrade => {
                             let Some(lv) = leaf.lock.r_lock() else {
@@ -629,9 +673,13 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                                 };
                                 self.count_stat(&self.stats.leaf_splits);
                                 let (sep, right) = leaf.split();
+                                // Safety: `sep` stays live through the
+                                // parent that owns it after insert_child.
+                                let go_right =
+                                    unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
                                 inner.insert_child(sep, right);
-                                let old = if key >= sep {
-                                    unsafe { as_leaf::<LL, LC>(right) }.insert(key, val)
+                                let old = if go_right {
+                                    unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val)
                                 } else {
                                     leaf.insert(key, val)
                                 };
@@ -666,9 +714,12 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                                 leaf.lock.x_finish_adjustable(lt);
                                 self.count_stat(&self.stats.leaf_splits);
                                 let (sep, right) = leaf.split();
+                                // Safety: as above — the parent owns `sep`.
+                                let go_right =
+                                    unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
                                 inner.insert_child(sep, right);
-                                let old = if key >= sep {
-                                    unsafe { as_leaf::<LL, LC>(right) }.insert(key, val)
+                                let old = if go_right {
+                                    unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val)
                                 } else {
                                     leaf.insert(key, val)
                                 };
@@ -686,7 +737,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                 }
 
                 // Child is inner: continue coupling.
-                let ci = unsafe { as_inner::<IL, IC>(child) };
+                let ci = unsafe { as_inner::<IL, IC, K>(child) };
                 let Some(cv) = ci.lock.r_lock() else {
                     continue 'restart;
                 };
@@ -697,7 +748,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
         }
     }
 
-    fn insert_pessimistic(&self, key: u64, val: u64) -> Option<u64> {
+    fn insert_pessimistic(&self, key: &K, val: u64) -> Option<u64> {
         let mut rs = self.restart_loop();
         let _g = self.collector.pin();
         'restart: loop {
@@ -705,7 +756,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             // Lock the root exclusively (type-dispatched), re-verifying.
             let node = self.root.load(Ordering::Acquire);
             if unsafe { is_leaf(node) } {
-                let leaf = unsafe { as_leaf::<LL, LC>(node) };
+                let leaf = unsafe { as_leaf::<LL, LC, K>(node) };
                 let t = leaf.lock.x_lock();
                 if self.root.load(Ordering::Acquire) != node {
                     leaf.lock.x_unlock(t);
@@ -714,10 +765,12 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                 if leaf.is_full() {
                     self.count_stat(&self.stats.root_splits);
                     let (sep, right) = leaf.split();
-                    let new_root = Inner::<IL, IC>::alloc();
-                    unsafe { as_inner::<IL, IC>(new_root) }.init_root(sep, node, right);
-                    let old = if key >= sep {
-                        unsafe { as_leaf::<LL, LC>(right) }.insert(key, val)
+                    // Safety: `sep` is owned here, then by the new root.
+                    let go_right = unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
+                    let new_root = Inner::<IL, IC, K>::alloc();
+                    unsafe { as_inner::<IL, IC, K>(new_root) }.init_root(sep, node, right);
+                    let old = if go_right {
+                        unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val)
                     } else {
                         leaf.insert(key, val)
                     };
@@ -730,7 +783,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                 return old;
             }
 
-            let inner = unsafe { as_inner::<IL, IC>(node) };
+            let inner = unsafe { as_inner::<IL, IC, K>(node) };
             let t = inner.lock.x_lock();
             if self.root.load(Ordering::Acquire) != node {
                 inner.lock.x_unlock(t);
@@ -739,8 +792,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
             if inner.is_full() {
                 self.count_stat(&self.stats.root_splits);
                 let (sep, right) = inner.split();
-                let new_root = Inner::<IL, IC>::alloc();
-                unsafe { as_inner::<IL, IC>(new_root) }.init_root(sep, node, right);
+                let new_root = Inner::<IL, IC, K>::alloc();
+                unsafe { as_inner::<IL, IC, K>(new_root) }.init_root(sep, node, right);
                 self.root.store(new_root, Ordering::Release);
                 inner.lock.x_unlock(t);
                 continue 'restart;
@@ -754,14 +807,16 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                 let (mut child, _) = parent.find_child(key);
                 debug_assert!(!child.is_null());
                 if unsafe { is_leaf(child) } {
-                    let mut leaf = unsafe { as_leaf::<LL, LC>(child) };
+                    let mut leaf = unsafe { as_leaf::<LL, LC, K>(child) };
                     let mut lt = leaf.lock.x_lock();
                     if leaf.is_full() {
                         self.count_stat(&self.stats.leaf_splits);
                         let (sep, right) = leaf.split();
+                        // Safety: `sep` is owned here, then by the parent.
+                        let go_right = unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
                         parent.insert_child(sep, right);
-                        if key >= sep {
-                            let rl = unsafe { as_leaf::<LL, LC>(right) };
+                        if go_right {
+                            let rl = unsafe { as_leaf::<LL, LC, K>(right) };
                             let rt = rl.lock.x_lock();
                             leaf.lock.x_unlock(lt);
                             leaf = rl;
@@ -778,14 +833,16 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
                     return old;
                 }
 
-                let mut ci = unsafe { as_inner::<IL, IC>(child) };
+                let mut ci = unsafe { as_inner::<IL, IC, K>(child) };
                 let mut ct = ci.lock.x_lock();
                 if ci.is_full() {
                     self.count_stat(&self.stats.inner_splits);
                     let (sep, right) = ci.split();
+                    // Safety: `sep` is owned here, then by the parent.
+                    let go_right = unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
                     parent.insert_child(sep, right);
-                    if key >= sep {
-                        let ri = unsafe { as_inner::<IL, IC>(right) };
+                    if go_right {
+                        let ri = unsafe { as_inner::<IL, IC, K>(right) };
                         let rt = ri.lock.x_lock();
                         ci.lock.x_unlock(ct);
                         ci = ri;
@@ -803,66 +860,104 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
 
     // --- range scan -----------------------------------------------------------
 
-    /// Collect up to `limit` entries with keys in `[start, u64::MAX]`, in
-    /// ascending key order.
-    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+    /// One streaming-scan step: snapshot the entries of the leaf covering
+    /// `from` (keys ≥ `from`; the leftmost leaf when `None`) into `out`
+    /// under a validated optimistic read, and return the tightest upper
+    /// separator on the descent path — the inclusive cursor for the next
+    /// step, `None` at the rightmost leaf. `out` is cleared on entry and
+    /// on every internal restart, so a validation failure never leaks a
+    /// torn snapshot.
+    pub(crate) fn fill_from(
+        &self,
+        from: Option<&K>,
+        limit: usize,
+        out: &mut Vec<(K, u64)>,
+    ) -> Option<K> {
+        let _g = self.collector.pin();
+        // Fresh ladder per leaf: a restart storm on one leaf must not
+        // leave the loop escalated for the rest of the range.
+        let mut rs = self.restart_loop();
+        'restart: loop {
+            rs.pause();
+            out.clear();
+            let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
+            let mut upper: Option<u64> = None;
+            loop {
+                if unsafe { is_leaf(node) } {
+                    let leaf = unsafe { as_leaf::<LL, LC, K>(node) };
+                    leaf.collect_from(from, limit, out);
+                    if !leaf.lock.r_unlock(v) {
+                        continue 'restart;
+                    }
+                    // Safety: the separator slot was read while pinned;
+                    // even if it was retired since, the epoch keeps the
+                    // pointee alive until the pin drops.
+                    return upper.map(|s| unsafe { K::slot_key(s) });
+                }
+                let inner = unsafe { as_inner::<IL, IC, K>(node) };
+                let (child, up) = inner.find_child_from(from);
+                if child.is_null() {
+                    unsafe { self.node_abandon(node, v) };
+                    continue 'restart;
+                }
+                if !inner.lock.recheck(v) {
+                    continue 'restart;
+                }
+                if let Some(u) = up {
+                    upper = Some(u);
+                }
+                let Some(cv) = (unsafe { self.node_r_lock(child) }) else {
+                    unsafe { self.node_abandon(node, v) };
+                    continue 'restart;
+                };
+                if !inner.lock.r_unlock(v) {
+                    unsafe { self.node_abandon(child, cv) };
+                    continue 'restart;
+                }
+                node = child;
+                v = cv;
+            }
+        }
+    }
+
+    /// Collect up to `limit` entries with keys ≥ `start`, in ascending key
+    /// order (the materializing scan behind `scan_count`).
+    pub fn scan(&self, start: K, limit: usize) -> Vec<(K, u64)> {
         self.index_stats.record_op();
         let mut out = Vec::with_capacity(limit.min(1024));
+        let mut batch = Vec::new();
         let mut from = start;
         let _g = self.collector.pin();
-        let mut rs = self.restart_loop();
         while out.len() < limit {
-            // Fresh ladder per leaf: a restart storm on one leaf must not
-            // leave the loop escalated for the rest of the range.
-            rs.reset();
-            let mut batch = Vec::new();
-            // Descend to the leaf containing `from`, remembering the
-            // tightest upper separator on the path.
-            let upper = 'restart: loop {
-                rs.pause();
-                batch.clear();
-                let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
-                let mut upper: Option<u64> = None;
-                loop {
-                    if unsafe { is_leaf(node) } {
-                        let leaf = unsafe { as_leaf::<LL, LC>(node) };
-                        leaf.collect_from(from, limit - out.len(), &mut batch);
-                        if !leaf.lock.r_unlock(v) {
-                            continue 'restart;
-                        }
-                        break 'restart upper;
-                    }
-                    let inner = unsafe { as_inner::<IL, IC>(node) };
-                    let (child, up) = inner.find_child(from);
-                    if child.is_null() {
-                        unsafe { self.node_abandon(node, v) };
-                        continue 'restart;
-                    }
-                    if !inner.lock.recheck(v) {
-                        continue 'restart;
-                    }
-                    if let Some(u) = up {
-                        upper = Some(u);
-                    }
-                    let Some(cv) = (unsafe { self.node_r_lock(child) }) else {
-                        unsafe { self.node_abandon(node, v) };
-                        continue 'restart;
-                    };
-                    if !inner.lock.r_unlock(v) {
-                        unsafe { self.node_abandon(child, cv) };
-                        continue 'restart;
-                    }
-                    node = child;
-                    v = cv;
-                }
-            };
+            let upper = self.fill_from(Some(&from), limit - out.len(), &mut batch);
             out.append(&mut batch);
             match upper {
-                Some(u) if out.len() < limit => from = u,
-                _ => break,
+                Some(u) => from = u,
+                None => break,
             }
         }
         out
+    }
+
+    /// Stream the entries within `start..end` in ascending key order, one
+    /// leaf snapshot at a time (see the module doc for the protocol and
+    /// the consistency contract).
+    pub fn range(&self, start: Bound<K>, end: Bound<K>) -> RangeIter<'_, K> {
+        self.index_stats.record_op();
+        if !bounds_nonempty(&start, &end) {
+            return RangeIter::empty();
+        }
+        let cursor = match &start {
+            Bound::Included(s) | Bound::Excluded(s) => Some(s.clone()),
+            Bound::Unbounded => None,
+        };
+        RangeIter::new(TreeRange {
+            tree: self,
+            pending: Some(cursor),
+            buf: Vec::new().into_iter(),
+            start,
+            end,
+        })
     }
 
     // --- validation (test support) ---------------------------------------------
@@ -870,63 +965,71 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     /// Walk the tree single-threadedly and assert every structural
     /// invariant; returns the entry count. Panics on violation.
     pub fn check_invariants(&self) -> usize {
-        fn walk<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize>(
+        // Fences are borrowed key slots; the walk is single-threaded, so
+        // every slot it sees is live.
+        fn walk<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey>(
             p: *mut NodeBase,
             lo: Option<u64>,
             hi: Option<u64>,
             depth: usize,
             leaf_depth: &mut Option<usize>,
         ) -> usize {
+            let lt = |a: u64, b: u64| unsafe { K::slot_cmp_slot(a, b) } == std::cmp::Ordering::Less;
             unsafe {
                 if is_leaf(p) {
                     match leaf_depth {
                         Some(d) => assert_eq!(*d, depth, "leaves at unequal depth"),
                         None => *leaf_depth = Some(depth),
                     }
-                    let l = as_leaf::<LL, LC>(p);
+                    let l = as_leaf::<LL, LC, K>(p);
                     let n = l.count();
                     for i in 0..n {
-                        let k = l.key(i);
+                        let k = l.key_slot(i);
                         if i > 0 {
-                            assert!(l.key(i - 1) < k, "leaf keys out of order");
+                            assert!(lt(l.key_slot(i - 1), k), "leaf keys out of order");
                         }
                         if let Some(lo) = lo {
-                            assert!(k >= lo, "leaf key below lower fence");
+                            assert!(!lt(k, lo), "leaf key below lower fence");
                         }
                         if let Some(hi) = hi {
-                            assert!(k < hi, "leaf key above upper fence");
+                            assert!(lt(k, hi), "leaf key above upper fence");
                         }
                     }
                     n
                 } else {
-                    let node = as_inner::<IL, IC>(p);
+                    let node = as_inner::<IL, IC, K>(p);
                     let n = node.count();
                     let mut total = 0;
                     for i in 0..n {
-                        let k = node.key(i);
+                        let k = node.key_slot(i);
                         if i > 0 {
-                            assert!(node.key(i - 1) < k, "separators out of order");
+                            assert!(lt(node.key_slot(i - 1), k), "separators out of order");
                         }
                         if let Some(lo) = lo {
-                            assert!(k >= lo, "separator below lower fence");
+                            assert!(!lt(k, lo), "separator below lower fence");
                         }
                         if let Some(hi) = hi {
-                            assert!(k < hi, "separator above upper fence");
+                            assert!(lt(k, hi), "separator above upper fence");
                         }
                     }
                     for i in 0..=n {
-                        let c_lo = if i == 0 { lo } else { Some(node.key(i - 1)) };
-                        let c_hi = if i == n { hi } else { Some(node.key(i)) };
+                        let c_lo = if i == 0 {
+                            lo
+                        } else {
+                            Some(node.key_slot(i - 1))
+                        };
+                        let c_hi = if i == n { hi } else { Some(node.key_slot(i)) };
                         let child = node.child(i);
                         assert!(!child.is_null(), "null child in inner node");
-                        total += walk::<IL, LL, IC, LC>(child, c_lo, c_hi, depth + 1, leaf_depth);
+                        total +=
+                            walk::<IL, LL, IC, LC, K>(child, c_lo, c_hi, depth + 1, leaf_depth);
                     }
                     total
                 }
             }
         }
         let mut leaf_depth = None;
-        walk::<IL, LL, IC, LC>(
+        walk::<IL, LL, IC, LC, K>(
             self.root.load(Ordering::Acquire),
             None,
             None,
@@ -936,53 +1039,110 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> BPlusTree<I
     }
 }
 
-/// Apply an update (`Some(val)`) or removal (`None`) to a locked leaf.
+/// The streaming iterator behind [`BPlusTree::range`]: drains one leaf
+/// snapshot, then re-descends from the remembered separator. Bound checks
+/// run on every yielded key (keys ascend, so a failed end-bound check
+/// terminates the whole scan), and the refill stops early once the next
+/// cursor already lies past the end bound.
+struct TreeRange<'a, IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey> {
+    tree: &'a BPlusTree<IL, LL, IC, LC, K>,
+    /// `None` — exhausted; `Some(cursor)` — next refill starts at `cursor`
+    /// (inclusive), with `Some(None)` meaning the leftmost leaf.
+    pending: Option<Option<K>>,
+    buf: std::vec::IntoIter<(K, u64)>,
+    start: Bound<K>,
+    end: Bound<K>,
+}
+
+impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey> Iterator
+    for TreeRange<'_, IL, LL, IC, LC, K>
+{
+    type Item = (K, u64);
+
+    fn next(&mut self) -> Option<(K, u64)> {
+        loop {
+            for (k, v) in self.buf.by_ref() {
+                if !key_above_start(&k, &self.start) {
+                    // Only the excluded start key itself lands here.
+                    continue;
+                }
+                if !key_below_end(&k, &self.end) {
+                    self.pending = None;
+                    self.buf = Vec::new().into_iter();
+                    return None;
+                }
+                return Some((k, v));
+            }
+            let from = self.pending.take()?;
+            let mut batch = Vec::new();
+            let upper = self.tree.fill_from(from.as_ref(), usize::MAX, &mut batch);
+            // Keys in later leaves are ≥ the separator: once it passes the
+            // end bound, nothing further can qualify.
+            self.pending = upper.filter(|u| key_below_end(u, &self.end)).map(Some);
+            self.buf = batch.into_iter();
+        }
+    }
+}
+
+/// Apply an update (`Some(val)`) or removal (`None`) to a locked leaf. A
+/// removal's key slot is retired through `g`.
 #[inline]
-fn apply_leaf<LL: IndexLock, const LC: usize>(
-    leaf: &Leaf<LL, LC>,
-    key: u64,
+fn apply_leaf<LL: IndexLock, const LC: usize, K: IndexKey>(
+    leaf: &Leaf<LL, LC, K>,
+    key: &K,
     val: Option<u64>,
+    g: &Guard,
 ) -> Option<u64> {
     match val {
         Some(v) => leaf.update(key, v),
-        None => leaf.remove(key),
+        None => leaf.remove(key).map(|(slot, old)| {
+            // Safety: the slot was just unlinked under the leaf's
+            // exclusive lock; pinned readers may still compare against it.
+            unsafe { K::slot_retire(slot, g) };
+            old
+        }),
     }
 }
 
 /// As [`apply_leaf`], but with a pre-computed search result (the slot was
 /// located while readers were still admitted — Upgrade / AOR paths).
 #[inline]
-fn apply_leaf_at<LL: IndexLock, const LC: usize>(
-    leaf: &Leaf<LL, LC>,
+fn apply_leaf_at<LL: IndexLock, const LC: usize, K: IndexKey>(
+    leaf: &Leaf<LL, LC, K>,
     idx: Option<usize>,
-    key: u64,
+    key: &K,
     val: Option<u64>,
+    g: &Guard,
 ) -> Option<u64> {
     match idx {
         None => None,
-        Some(_) => apply_leaf(leaf, key, val),
+        Some(_) => apply_leaf(leaf, key, val, g),
     }
 }
 
-impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize> Drop
-    for BPlusTree<IL, LL, IC, LC>
+impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey> Drop
+    for BPlusTree<IL, LL, IC, LC, K>
 {
     fn drop(&mut self) {
-        fn free<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize>(p: *mut NodeBase) {
+        fn free<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey>(
+            p: *mut NodeBase,
+        ) {
             unsafe {
                 if is_leaf(p) {
-                    drop(Box::from_raw(p as *mut Leaf<LL, LC>));
+                    as_leaf::<LL, LC, K>(p).free_key_slots();
+                    drop(Box::from_raw(p as *mut Leaf<LL, LC, K>));
                 } else {
-                    let inner = as_inner::<IL, IC>(p);
+                    let inner = as_inner::<IL, IC, K>(p);
                     let n = inner.count();
                     for i in 0..=n {
-                        free::<IL, LL, IC, LC>(inner.child(i));
+                        free::<IL, LL, IC, LC, K>(inner.child(i));
                     }
-                    drop(Box::from_raw(p as *mut Inner<IL, IC>));
+                    inner.free_key_slots();
+                    drop(Box::from_raw(p as *mut Inner<IL, IC, K>));
                 }
             }
         }
-        free::<IL, LL, IC, LC>(self.root.load(Ordering::Acquire));
+        free::<IL, LL, IC, LC, K>(self.root.load(Ordering::Acquire));
         self.collector.flush();
     }
 }

@@ -18,18 +18,22 @@
 //! `(run seed, worker slot)` via [`optiql::chaos`], so one `--seed`
 //! value pins the entire perturbation schedule.
 
-use optiql_index_api::{ConcurrentIndex, IndexStats};
+use std::ops::Bound;
+
+use optiql_index_api::{ConcurrentIndex, IndexKey, IndexStats, RangeIter};
 
 pub use optiql::chaos::{configure, disable, enabled, register_thread};
 
 /// Operation-level chaos wrapper: jitters the calling thread before and
 /// after every forwarded operation (when chaos is enabled — see
-/// [`configure`]). Transparent otherwise.
+/// [`configure`]). Transparent otherwise. Key-generic: the jitter class
+/// derives from the key's [`IndexKey::route_hint`], so byte-string runs
+/// get the same seed-stable perturbation schedule as integer ones.
 pub struct ChaosIndex<I> {
     inner: I,
 }
 
-impl<I: ConcurrentIndex> ChaosIndex<I> {
+impl<I> ChaosIndex<I> {
     /// Wrap `inner`.
     pub fn new(inner: I) -> Self {
         ChaosIndex { inner }
@@ -49,21 +53,41 @@ impl<I: ConcurrentIndex> ChaosIndex<I> {
     }
 }
 
-impl<I: ConcurrentIndex> ConcurrentIndex for ChaosIndex<I> {
-    fn insert(&self, k: u64, v: u64) -> Option<u64> {
-        self.around(k.wrapping_add(1), |i| i.insert(k, v))
+#[inline]
+fn bound_hint<K: IndexKey>(b: &Bound<K>) -> u64 {
+    match b {
+        Bound::Included(k) | Bound::Excluded(k) => k.route_hint(),
+        Bound::Unbounded => 0,
     }
-    fn update(&self, k: u64, v: u64) -> Option<u64> {
-        self.around(k.wrapping_add(2), |i| i.update(k, v))
+}
+
+impl<K: IndexKey, I: ConcurrentIndex<K>> ConcurrentIndex<K> for ChaosIndex<I> {
+    fn insert(&self, k: K, v: u64) -> Option<u64> {
+        self.around(k.route_hint().wrapping_add(1), |i| i.insert(k, v))
     }
-    fn lookup(&self, k: u64) -> Option<u64> {
-        self.around(k.wrapping_add(3), |i| i.lookup(k))
+    fn update(&self, k: K, v: u64) -> Option<u64> {
+        self.around(k.route_hint().wrapping_add(2), |i| i.update(k, v))
     }
-    fn remove(&self, k: u64) -> Option<u64> {
-        self.around(k.wrapping_add(4), |i| i.remove(k))
+    fn lookup(&self, k: K) -> Option<u64> {
+        self.around(k.route_hint().wrapping_add(3), |i| i.lookup(k))
     }
-    fn scan_count(&self, start: u64, limit: usize) -> usize {
-        self.around(start.wrapping_add(5), |i| i.scan_count(start, limit))
+    fn remove(&self, k: K) -> Option<u64> {
+        self.around(k.route_hint().wrapping_add(4), |i| i.remove(k))
+    }
+    fn scan_count(&self, start: K, limit: usize) -> usize {
+        self.around(start.route_hint().wrapping_add(5), |i| {
+            i.scan_count(start, limit)
+        })
+    }
+    /// Streaming chaos: jitter when the iterator is opened, then once per
+    /// yielded entry — stretching the windows *between* per-chunk
+    /// revalidations, which is exactly where a scan races structural
+    /// changes.
+    fn range(&self, start: Bound<K>, end: Bound<K>) -> RangeIter<'_, K> {
+        let class = bound_hint(&start).wrapping_add(6);
+        optiql::chaos::jitter(class);
+        let inner = self.inner.range(start, end);
+        RangeIter::new(inner.inspect(move |_| optiql::chaos::jitter(class ^ 0x5555_5555_5555_5555)))
     }
     fn len(&self) -> usize {
         self.inner.len()
@@ -74,10 +98,10 @@ impl<I: ConcurrentIndex> ConcurrentIndex for ChaosIndex<I> {
     fn reclaim_handle(&self) -> Option<optiql_index_api::ReclaimHandle> {
         self.inner.reclaim_handle()
     }
-    fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+    fn multi_lookup(&self, keys: &[K]) -> Vec<Option<u64>> {
         self.around(keys.len() as u64, |i| i.multi_lookup(keys))
     }
-    fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+    fn multi_insert(&self, pairs: &[(K, u64)]) -> Vec<Option<u64>> {
         self.around(pairs.len() as u64, |i| i.multi_insert(pairs))
     }
 }

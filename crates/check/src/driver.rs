@@ -9,7 +9,11 @@
 //!   from tree structure),
 //! * [`LockRegister`] under the five writer-only locks (MCS, TTS,
 //!   TTS-Backoff, Ticket, Ticket-Split),
-//! * the sharded facade, and the batched `multi_*` paths.
+//! * the sharded facade, and the batched `multi_*` paths,
+//! * streaming-scan cells (`stream-*`) whose scan arm drives the lazy
+//!   [`ConcurrentIndex::range`] iterator instead of `scan_count`, so
+//!   per-leaf/per-chunk OLC revalidation races structural churn under
+//!   the same seeded perturbation.
 //!
 //! [`run_target`] runs one `(target, seed)` cell: workers execute
 //! deterministic op scripts derived from `(seed, worker slot)` through a
@@ -80,6 +84,11 @@ pub struct Target {
     /// the placement the affine bench driver uses. On a single-core host
     /// the pin degrades to a no-op; the target still runs.
     pub pin_workers: bool,
+    /// Drive the scan arm through the streaming `range` iterator instead
+    /// of `scan_count`: the iterator is opened, partially drained, and
+    /// dropped mid-stream half the time — the lifecycle a server-side
+    /// paginated SCAN produces.
+    pub stream_scans: bool,
     make: fn() -> Arc<dyn ConcurrentIndex>,
 }
 
@@ -134,14 +143,18 @@ fn mk_sharded_art() -> Arc<dyn ConcurrentIndex> {
 pub fn targets() -> Vec<Target> {
     macro_rules! t {
         ($name:literal, $group:literal, $batch:expr, $make:expr) => {
-            t!($name, $group, $batch, $make, false)
+            t!($name, $group, $batch, $make, false, false)
         };
         ($name:literal, $group:literal, $batch:expr, $make:expr, $pin:expr) => {
+            t!($name, $group, $batch, $make, $pin, false)
+        };
+        ($name:literal, $group:literal, $batch:expr, $make:expr, $pin:expr, $stream:expr) => {
             Target {
                 name: $name,
                 group: $group,
                 batch: $batch,
                 pin_workers: $pin,
+                stream_scans: $stream,
                 make: $make,
             }
         };
@@ -219,6 +232,58 @@ pub fn targets() -> Vec<Target> {
         t!("batched-art-optiql", "batched", 8, mk_art::<OptiQL>),
         t!("batched-sharded-btree", "batched", 8, mk_sharded_btree),
         t!("batched-sharded-affine", "batched", 8, mk_sharded_art, true),
+        // Streaming-scan cells: the scan arm opens the lazy range
+        // iterator (partially drained, sometimes dropped mid-stream)
+        // against the same mutation script, on both trees, their
+        // pessimistic baselines, and the merged sharded fan-out.
+        t!(
+            "stream-btree-optiql",
+            "stream",
+            1,
+            mk_btree::<OptiQL>,
+            false,
+            true
+        ),
+        t!(
+            "stream-btree-mcs-rw",
+            "stream",
+            1,
+            mk_btree_pess::<McsRwLock>,
+            false,
+            true
+        ),
+        t!(
+            "stream-art-optiql",
+            "stream",
+            1,
+            mk_art::<OptiQL>,
+            false,
+            true
+        ),
+        t!(
+            "stream-art-mcs-rw",
+            "stream",
+            1,
+            mk_art::<McsRwLock>,
+            false,
+            true
+        ),
+        t!(
+            "stream-sharded-btree",
+            "stream",
+            1,
+            mk_sharded_btree,
+            false,
+            true
+        ),
+        t!(
+            "stream-sharded-art",
+            "stream",
+            1,
+            mk_sharded_art,
+            false,
+            true
+        ),
     ]
 }
 
@@ -312,8 +377,17 @@ fn splitmix(state: &mut u64) -> u64 {
 /// One worker's deterministic op script: ~40% lookups, ~30% inserts,
 /// ~15% updates, ~14% removes, ~1% scans, with `multi_*` buffering when
 /// `batch > 1`. Values are globally unique (`slot << 40 | op index`) so
-/// the checker can distinguish every write.
-fn run_script<I: ConcurrentIndex>(ix: &I, slot: usize, seed: u64, batch: usize, cfg: &CheckConfig) {
+/// the checker can distinguish every write. With `stream` set, the scan
+/// arm opens the lazy `range` iterator instead of calling `scan_count`,
+/// draining 1–8 entries and dropping the iterator early half the time.
+fn run_script<I: ConcurrentIndex>(
+    ix: &I,
+    slot: usize,
+    seed: u64,
+    batch: usize,
+    stream: bool,
+    cfg: &CheckConfig,
+) {
     let mut state =
         seed ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
     let mut lookups: Vec<u64> = Vec::new();
@@ -357,7 +431,23 @@ fn run_script<I: ConcurrentIndex>(ix: &I, slot: usize, seed: u64, batch: usize, 
             _ => {
                 // Unrecorded; exercises range traversal concurrently
                 // with structural modifications, and perturbs timing.
-                ix.scan_count(key, 8);
+                if stream {
+                    let take = (r >> 8) as usize % 8 + 1;
+                    let start = if r & 1 << 16 == 0 {
+                        std::ops::Bound::Included(key)
+                    } else {
+                        std::ops::Bound::Excluded(key)
+                    };
+                    // `take` cuts the stream short half the time on
+                    // average: dropping a live iterator mid-leaf is the
+                    // paginated-SCAN lifecycle and must leave no state
+                    // behind (no held locks, no leaked pins).
+                    for kv in ix.range(start, std::ops::Bound::Unbounded).take(take) {
+                        std::hint::black_box(kv);
+                    }
+                } else {
+                    ix.scan_count(key, 8);
+                }
             }
         }
     }
@@ -409,6 +499,7 @@ pub fn run_target(t: &Target, seed: u64, cfg: &CheckConfig) -> Result<RunReport,
                 let barrier = Arc::clone(&barrier);
                 let batch = t.batch;
                 let pin_workers = t.pin_workers;
+                let stream = t.stream_scans;
                 s.spawn(move || {
                     crate::chaos::register_thread(slot as u64);
                     if pin_workers {
@@ -421,7 +512,7 @@ pub fn run_target(t: &Target, seed: u64, cfg: &CheckConfig) -> Result<RunReport,
                     }
                     let tr = ThreadRecorder::new(chaosed, recorder, slot as u32);
                     barrier.wait();
-                    run_script(&tr, slot, seed, batch, cfg);
+                    run_script(&tr, slot, seed, batch, stream, cfg);
                     tr.into_log()
                 })
             })
@@ -522,7 +613,8 @@ mod tests {
         assert_eq!(names.len(), ts.len(), "duplicate target name");
         for t in &ts {
             assert!(
-                ["btree", "art", "optreg", "lockreg", "sharded", "batched"].contains(&t.group),
+                ["btree", "art", "optreg", "lockreg", "sharded", "batched", "stream"]
+                    .contains(&t.group),
                 "unknown group {} on {}",
                 t.group,
                 t.name
@@ -546,6 +638,20 @@ mod tests {
                 t.name
             );
         }
+        // Streaming-scan cells: both trees, both pessimistic baselines,
+        // both sharded fan-outs; every one named for what it does.
+        assert_eq!(ts.iter().filter(|t| t.group == "stream").count(), 6);
+        for t in &ts {
+            assert_eq!(
+                t.stream_scans,
+                t.group == "stream",
+                "stream_scans out of sync with group on {}",
+                t.name
+            );
+            if t.stream_scans {
+                assert!(t.name.starts_with("stream-"));
+            }
+        }
     }
 
     #[test]
@@ -566,7 +672,7 @@ mod tests {
                 Arc::clone(&rec),
                 0,
             );
-            run_script(&tr, 0, 99, 1, &cfg);
+            run_script(&tr, 0, 99, 1, false, &cfg);
             tr.into_log()
         };
         let (a, b) = (run(), run());
@@ -584,6 +690,7 @@ mod tests {
             group: "sharded",
             batch: 1,
             pin_workers: false,
+            stream_scans: true,
             make: || Arc::new(optiql_index_api::model::ModelIndex::new()),
         };
         let cfg = CheckConfig {

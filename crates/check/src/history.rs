@@ -174,6 +174,17 @@ impl<I: ConcurrentIndex> ConcurrentIndex for ThreadRecorder<I> {
     fn scan_count(&self, start: u64, limit: usize) -> usize {
         self.inner.scan_count(start, limit)
     }
+    /// Not recorded, like `scan_count`: the per-key checker cannot judge
+    /// multi-key reads, and the differential range tests cover them. The
+    /// stream still executes — and still perturbs the schedule — when a
+    /// chaos workload drives it.
+    fn range(
+        &self,
+        start: std::ops::Bound<u64>,
+        end: std::ops::Bound<u64>,
+    ) -> optiql_index_api::RangeIter<'_> {
+        self.inner.range(start, end)
+    }
     fn len(&self) -> usize {
         self.inner.len()
     }

@@ -71,6 +71,27 @@ macro_rules! register_common {
                 .take(limit)
                 .count()
         }
+
+        fn range_items(
+            &self,
+            start: ::std::ops::Bound<u64>,
+            end: ::std::ops::Bound<u64>,
+        ) -> Vec<(u64, u64)> {
+            // Same relaxed sweep as `count_from`, materialized: registers
+            // exist to check per-key lock protocols, not scan protocols,
+            // so their "stream" is one ascending pass over the array.
+            self.slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u64, s))
+                .filter(|(k, _)| {
+                    optiql_index_api::key_above_start(k, &start)
+                        && optiql_index_api::key_below_end(k, &end)
+                })
+                .filter(|(_, s)| s.present.load(Ordering::Relaxed))
+                .map(|(k, s)| (k, s.value.load(Ordering::Relaxed)))
+                .collect()
+        }
     };
 }
 
@@ -137,6 +158,13 @@ impl<L: ExclusiveLock> ConcurrentIndex for LockRegister<L> {
     }
     fn scan_count(&self, start: u64, limit: usize) -> usize {
         self.count_from(start, limit)
+    }
+    fn range(
+        &self,
+        start: std::ops::Bound<u64>,
+        end: std::ops::Bound<u64>,
+    ) -> optiql_index_api::RangeIter<'_> {
+        optiql_index_api::RangeIter::new(self.range_items(start, end).into_iter())
     }
     fn len(&self) -> usize {
         self.count_from(0, usize::MAX)
@@ -211,6 +239,13 @@ impl<L: IndexLock> ConcurrentIndex for OptRegister<L> {
     }
     fn scan_count(&self, start: u64, limit: usize) -> usize {
         self.count_from(start, limit)
+    }
+    fn range(
+        &self,
+        start: std::ops::Bound<u64>,
+        end: std::ops::Bound<u64>,
+    ) -> optiql_index_api::RangeIter<'_> {
+        optiql_index_api::RangeIter::new(self.range_items(start, end).into_iter())
     }
     fn len(&self) -> usize {
         self.count_from(0, usize::MAX)

@@ -46,7 +46,10 @@ pub use loadgen::{LoadgenConfig, LoadgenResult};
 pub use micro::{cs_work, run_exclusive, run_mixed, Contention, MicroConfig, MicroResult};
 pub use optiql::stats;
 pub use report::{BenchJson, BenchRecord, JsonValue, LatencySummary};
-pub use workload::{preload, run, ConcurrentIndex, Mix, WorkloadConfig, WorkloadResult};
+pub use workload::{
+    preload, preload_keyed, run, run_keyed, user_key, ConcurrentIndex, Mix, ScanMode,
+    WorkloadConfig, WorkloadResult,
+};
 
 /// Environment-variable knobs for the bench binaries.
 pub mod env {

@@ -199,6 +199,14 @@ fn drive_conn(cfg: &LoadgenConfig, conn_id: usize) -> std::io::Result<LoadgenRes
                             return Err(std::io::Error::other(format!("server error: {msg}")));
                         }
                         Response::Old(_) | Response::Count(_) | Response::Ok => {}
+                        // The load generator never issues SCAN; a streamed
+                        // frame would desync the one-response-per-request
+                        // pipeline accounting, so fail loudly instead.
+                        Response::ScanPart(_) | Response::ScanEnd { .. } => {
+                            out.errors += 1;
+                            out.elapsed = started.elapsed();
+                            return Err(std::io::Error::other("unexpected SCAN stream frame"));
+                        }
                     }
                     if issued < cfg.ops_per_conn {
                         push_request(&mut wire, &mut rng, &mut out);

@@ -1,0 +1,557 @@
+//! The key abstraction: [`IndexKey`] makes every index in the workspace
+//! generic over its key type while keeping the fixed-width `u64` hot
+//! path exactly as fast as it was before the generalization.
+//!
+//! Two representations have to meet:
+//!
+//! * the B+-tree stores keys in fixed `[AtomicU64]` node arrays so its
+//!   branchless search kernel can stream them — a variable-length key
+//!   must therefore fit in a 64-bit **slot word** (the key itself when
+//!   it is a `u64`, a pointer to a heap-owned key otherwise);
+//! * the ART consumes keys as **digit strings** — `u64` keys as their 8
+//!   big-endian bytes, byte-string keys through the order-preserving,
+//!   prefix-free escape encoding in [`enc`].
+//!
+//! [`IndexKey`] carries both views plus the routing hint the sharded
+//! facade partitions by. Exactly two implementations exist: `u64`
+//! (inline slots, fixed 8-byte digits, `Relaxed` slot ordering — the
+//! monomorphized tree code is byte-for-byte the pre-generic code) and
+//! [`Bytes`] (boxed slots published with `Release`/`Acquire`, escape
+//! encoding).
+
+use std::cmp::Ordering;
+use std::sync::atomic::Ordering as MemOrd;
+
+use optiql_reclaim::Guard;
+
+/// Order-preserving, prefix-free byte-string encoding.
+///
+/// Content bytes are escaped so that `0x00` never appears inside an
+/// encoding, then a single `0x00` terminator is appended:
+///
+/// ```text
+/// 0x00 → 0x01 0x02      0x01 → 0x01 0x03      b ≥ 0x02 → b
+/// terminator: 0x00
+/// ```
+///
+/// Two properties follow, and both are load-bearing for the indexes:
+///
+/// * **prefix-free** — an encoding's only `0x00` is its final byte, so
+///   no encoding is a proper prefix of another. The ART requires this:
+///   a stored key must terminate at a leaf, never inside another key's
+///   digit path.
+/// * **order-preserving** — for raw strings `a < b` (lexicographic),
+///   `enc(a) < enc(b)`. If `a` is a proper prefix of `b`, `enc(a)`
+///   diverges with its terminator `0x00` against a content byte
+///   `≥ 0x01`. Otherwise the first differing raw pair `(x, y)` with
+///   `x < y` maps to escape pairs that preserve the order case by case
+///   (`0x00 → 01 02` and `0x01 → 01 03` both start below any unescaped
+///   `b ≥ 2`, and `01 02 < 01 03`).
+///
+/// The functions are pure and allocation-explicit so the module can run
+/// under Miri as-is.
+pub mod enc {
+    /// Escape lead byte.
+    pub const ESC: u8 = 0x01;
+    /// `ESC` followed by this encodes a raw `0x00`.
+    pub const ESC_ZERO: u8 = 0x02;
+    /// `ESC` followed by this encodes a raw `0x01`.
+    pub const ESC_ONE: u8 = 0x03;
+    /// Terminator byte; never appears inside an encoding.
+    pub const TERM: u8 = 0x00;
+
+    /// Append the encoding of `raw` (escaped content + terminator) to
+    /// `out`.
+    pub fn encode_into(raw: &[u8], out: &mut Vec<u8>) {
+        out.reserve(raw.len() + 1);
+        for &b in raw {
+            match b {
+                0x00 => out.extend_from_slice(&[ESC, ESC_ZERO]),
+                0x01 => out.extend_from_slice(&[ESC, ESC_ONE]),
+                _ => out.push(b),
+            }
+        }
+        out.push(TERM);
+    }
+
+    /// Decode one full encoding (as produced by [`encode_into`]) back to
+    /// the raw bytes. Returns `None` on malformed input: missing or
+    /// early terminator, dangling escape, unknown escape payload.
+    pub fn decode(encoded: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(encoded.len().saturating_sub(1));
+        let mut i = 0;
+        loop {
+            match *encoded.get(i)? {
+                TERM => {
+                    // The terminator must be the final byte.
+                    return (i + 1 == encoded.len()).then_some(out);
+                }
+                ESC => {
+                    match *encoded.get(i + 1)? {
+                        ESC_ZERO => out.push(0x00),
+                        ESC_ONE => out.push(0x01),
+                        _ => return None,
+                    }
+                    i += 2;
+                }
+                b => {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Encoded length of `raw` (content with escapes, plus terminator).
+    pub fn encoded_len(raw: &[u8]) -> usize {
+        raw.iter().filter(|&&b| b <= 0x01).count() + raw.len() + 1
+    }
+}
+
+/// A key type the index stack can store, search, scan and shard.
+///
+/// # Safety
+///
+/// The slot-word methods form a manual ownership protocol the B+-tree
+/// holds raw `u64` words against; implementations must uphold it or the
+/// tree dereferences garbage:
+///
+/// * [`into_slot`](Self::into_slot) transfers ownership of the key into
+///   the word; every slot produced by it (or by
+///   [`slot_clone`](Self::slot_clone)) must stay valid to read through
+///   [`slot_key`](Self::slot_key) / [`cmp_slot`](Self::cmp_slot) until
+///   released by exactly one [`slot_free`](Self::slot_free) or
+///   [`slot_retire`](Self::slot_retire);
+/// * for pointer-backed keys the pointee must never be mutated after
+///   `into_slot`, so concurrent readers racing a release (but protected
+///   by the epoch the retire went through) always observe a fully
+///   initialized, immutable key;
+/// * `SLOT_LOAD`/`SLOT_STORE` must be strong enough that a reader which
+///   loads a slot word published by another thread's store observes the
+///   pointee's initialization (`Relaxed` is only sound for inline keys).
+pub unsafe trait IndexKey:
+    Ord + Eq + Clone + Send + Sync + std::fmt::Debug + 'static
+{
+    /// True when the key lives inline in the slot word (no heap, no
+    /// pointer chase; the tree's fixed-width fast path).
+    const INLINE: bool;
+
+    /// Memory ordering for loads of key-slot words. `Relaxed` for
+    /// inline keys; `Acquire` for pointer slots so the pointee's bytes
+    /// are visible.
+    const SLOT_LOAD: MemOrd;
+
+    /// Memory ordering for stores of key-slot words. `Relaxed` for
+    /// inline keys; `Release` for pointer slots.
+    const SLOT_STORE: MemOrd;
+
+    /// The digit-string view: what [`encode`](Self::encode) yields.
+    type Enc: AsRef<[u8]>;
+
+    /// Encode into an order-preserving, prefix-free digit string (the
+    /// ART's descent alphabet). For `u64` this is the 8 big-endian
+    /// bytes on the stack; for [`Bytes`] the escape encoding in [`enc`].
+    fn encode(&self) -> Self::Enc;
+
+    /// Rebuild a key from a digit string produced by
+    /// [`encode`](Self::encode).
+    ///
+    /// # Panics
+    ///
+    /// May panic on byte strings no `encode` produced.
+    fn from_encoded(encoded: &[u8]) -> Self;
+
+    /// A 64-bit projection that preserves locality (nearby keys map to
+    /// nearby hints) for the sharded facade's block router: `u64` keys
+    /// map to themselves, byte strings to their first 8 raw bytes
+    /// big-endian — so a shared prefix keeps a key cluster on one shard.
+    fn route_hint(&self) -> u64;
+
+    /// Move the key into a slot word (see the trait-level safety
+    /// contract).
+    fn into_slot(self) -> u64;
+
+    /// Clone the key a slot holds.
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be a live slot word of this key type.
+    unsafe fn slot_key(slot: u64) -> Self;
+
+    /// Produce a new, independently-owned slot with the same key.
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be a live slot word of this key type.
+    unsafe fn slot_clone(slot: u64) -> u64;
+
+    /// Release a slot immediately (single-threaded contexts: drops,
+    /// failed publication).
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be a live slot word of this key type, and no other
+    /// thread may still read it.
+    unsafe fn slot_free(slot: u64);
+
+    /// Release a slot through the epoch-reclamation `g` (concurrent
+    /// contexts: readers pinned in earlier epochs may still dereference
+    /// it).
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be a live slot word of this key type that no new
+    /// reader can reach (unlinked under the owning node's lock).
+    unsafe fn slot_retire(slot: u64, g: &Guard);
+
+    /// Compare this key (the probe) against the key a slot holds.
+    ///
+    /// # Safety
+    ///
+    /// `slot` must be a live slot word of this key type.
+    unsafe fn cmp_slot(&self, slot: u64) -> Ordering;
+
+    /// Compare the keys two slots hold.
+    ///
+    /// # Safety
+    ///
+    /// Both must be live slot words of this key type.
+    unsafe fn slot_cmp_slot(a: u64, b: u64) -> Ordering;
+}
+
+// SAFETY: the slot word is the key itself — always valid, nothing owned,
+// `Relaxed` suffices because no pointee exists to publish.
+unsafe impl IndexKey for u64 {
+    const INLINE: bool = true;
+    const SLOT_LOAD: MemOrd = MemOrd::Relaxed;
+    const SLOT_STORE: MemOrd = MemOrd::Relaxed;
+
+    type Enc = [u8; 8];
+
+    #[inline]
+    fn encode(&self) -> [u8; 8] {
+        self.to_be_bytes()
+    }
+
+    #[inline]
+    fn from_encoded(encoded: &[u8]) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&encoded[..8]);
+        u64::from_be_bytes(b)
+    }
+
+    #[inline]
+    fn route_hint(&self) -> u64 {
+        *self
+    }
+
+    #[inline]
+    fn into_slot(self) -> u64 {
+        self
+    }
+    #[inline]
+    unsafe fn slot_key(slot: u64) -> u64 {
+        slot
+    }
+    #[inline]
+    unsafe fn slot_clone(slot: u64) -> u64 {
+        slot
+    }
+    #[inline]
+    unsafe fn slot_free(_slot: u64) {}
+    #[inline]
+    unsafe fn slot_retire(_slot: u64, _g: &Guard) {}
+    #[inline]
+    unsafe fn cmp_slot(&self, slot: u64) -> Ordering {
+        self.cmp(&slot)
+    }
+    #[inline]
+    unsafe fn slot_cmp_slot(a: u64, b: u64) -> Ordering {
+        a.cmp(&b)
+    }
+}
+
+/// An owned, immutable byte-string key.
+///
+/// Ordering is plain lexicographic byte order (the order every view of
+/// the key preserves: `Ord`, the [`enc`] digit encoding, and — for the
+/// leading 8 bytes — [`route_hint`](IndexKey::route_hint)).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(Box<[u8]>);
+
+impl Bytes {
+    /// An empty key (the smallest byte string).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// The raw bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(b: &[u8]) -> Bytes {
+        Bytes(b.into())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(b: Vec<u8>) -> Bytes {
+        Bytes(b.into_boxed_slice())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes(s.as_bytes().into())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes(s.into_bytes().into_boxed_slice())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(b: [u8; N]) -> Bytes {
+        Bytes(b.as_slice().into())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Bytes {
+    #[inline]
+    unsafe fn slot_ref<'a>(slot: u64) -> &'a Bytes {
+        debug_assert!(slot != 0, "null byte-key slot dereferenced");
+        &*(slot as usize as *const Bytes)
+    }
+}
+
+// SAFETY: the slot word is a `Box::into_raw` pointer to an immutable
+// `Bytes`; ownership moves with the word, `Release`/`Acquire` publish
+// the pointee, and epoch retirement defers the free past pinned readers.
+unsafe impl IndexKey for Bytes {
+    const INLINE: bool = false;
+    const SLOT_LOAD: MemOrd = MemOrd::Acquire;
+    const SLOT_STORE: MemOrd = MemOrd::Release;
+
+    type Enc = Vec<u8>;
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        enc::encode_into(&self.0, &mut out);
+        out
+    }
+
+    fn from_encoded(encoded: &[u8]) -> Bytes {
+        Bytes::from(enc::decode(encoded).expect("malformed byte-key encoding"))
+    }
+
+    fn route_hint(&self) -> u64 {
+        let mut b = [0u8; 8];
+        let n = self.0.len().min(8);
+        b[..n].copy_from_slice(&self.0[..n]);
+        u64::from_be_bytes(b)
+    }
+
+    fn into_slot(self) -> u64 {
+        Box::into_raw(Box::new(self)) as usize as u64
+    }
+    unsafe fn slot_key(slot: u64) -> Bytes {
+        Bytes::slot_ref(slot).clone()
+    }
+    unsafe fn slot_clone(slot: u64) -> u64 {
+        Bytes::slot_ref(slot).clone().into_slot()
+    }
+    unsafe fn slot_free(slot: u64) {
+        drop(Box::from_raw(slot as usize as *mut Bytes));
+    }
+    unsafe fn slot_retire(slot: u64, g: &Guard) {
+        g.retire_ptr(slot as usize as *mut Bytes);
+    }
+    unsafe fn cmp_slot(&self, slot: u64) -> Ordering {
+        self.cmp(Bytes::slot_ref(slot))
+    }
+    unsafe fn slot_cmp_slot(a: u64, b: u64) -> Ordering {
+        Bytes::slot_ref(a).cmp(Bytes::slot_ref(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc_of(raw: &[u8]) -> Vec<u8> {
+        let mut v = Vec::new();
+        enc::encode_into(raw, &mut v);
+        v
+    }
+
+    #[test]
+    fn encoding_round_trips() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"a",
+            b"user4823",
+            &[0x00],
+            &[0x01],
+            &[0x00, 0x00, 0x01],
+            &[0xff, 0x00, 0x7f, 0x01, 0x02],
+            &[0x01, 0x02, 0x03],
+        ];
+        for &raw in cases {
+            let e = enc_of(raw);
+            assert_eq!(e.len(), enc::encoded_len(raw), "{raw:?}");
+            assert_eq!(enc::decode(&e).as_deref(), Some(raw), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_prefix_free_and_order_preserving() {
+        // A generator dense in the hard cases: empty, terminator-like
+        // and escape-like bytes, shared prefixes of different lengths.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let alphabet = [0x00u8, 0x01, 0x02, b'a', 0xff];
+        for &a in &alphabet {
+            keys.push(vec![a]);
+            for &b in &alphabet {
+                keys.push(vec![a, b]);
+                keys.push(vec![a, b, a]);
+            }
+        }
+        keys.push(Vec::new());
+        keys.sort();
+        keys.dedup();
+        for x in &keys {
+            for y in &keys {
+                let (ex, ey) = (enc_of(x), enc_of(y));
+                assert_eq!(x.cmp(y), ex.cmp(&ey), "order broken for {x:?} vs {y:?}");
+                if x != y {
+                    assert!(!ey.starts_with(&ex), "enc({x:?}) is a prefix of enc({y:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_encodings_are_rejected() {
+        assert_eq!(enc::decode(&[]), None, "missing terminator");
+        assert_eq!(enc::decode(b"a"), None, "missing terminator");
+        assert_eq!(enc::decode(&[0x01, 0x00]), None, "dangling escape");
+        assert_eq!(enc::decode(&[0x01, 0x07, 0x00]), None, "unknown escape");
+        assert_eq!(enc::decode(&[0x00, b'a']), None, "early terminator");
+    }
+
+    #[test]
+    fn u64_digits_sort_and_round_trip() {
+        let ks = [0u64, 1, 255, 256, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        for &a in &ks {
+            assert_eq!(u64::from_encoded(&a.encode()), a);
+            assert_eq!(a.route_hint(), a);
+            for &b in &ks {
+                assert_eq!(a.cmp(&b), a.encode().cmp(&b.encode()));
+            }
+        }
+    }
+
+    #[test]
+    fn u64_slots_are_the_identity() {
+        // u64 is the inline key type (INLINE = true): slots are the
+        // keys themselves, every slot op below is the identity.
+        let s = 7u64.into_slot();
+        assert_eq!(s, 7);
+        unsafe {
+            assert_eq!(u64::slot_key(s), 7);
+            assert_eq!(u64::slot_clone(s), s);
+            assert_eq!(5u64.cmp_slot(s), Ordering::Less);
+            assert_eq!(u64::slot_cmp_slot(9, 9), Ordering::Equal);
+            u64::slot_free(s);
+        }
+    }
+
+    #[test]
+    fn bytes_slots_own_clone_and_free() {
+        const { assert!(!Bytes::INLINE) };
+        let a = Bytes::from("alpha");
+        let b = Bytes::from("beta");
+        let sa = a.clone().into_slot();
+        let sb = b.clone().into_slot();
+        unsafe {
+            assert_eq!(Bytes::slot_key(sa), a);
+            assert_eq!(a.cmp_slot(sb), Ordering::Less);
+            assert_eq!(b.cmp_slot(sb), Ordering::Equal);
+            assert_eq!(Bytes::slot_cmp_slot(sa, sb), Ordering::Less);
+            let sc = Bytes::slot_clone(sa);
+            assert_ne!(sc, sa, "clone must own fresh storage");
+            assert_eq!(Bytes::slot_cmp_slot(sc, sa), Ordering::Equal);
+            Bytes::slot_free(sa);
+            Bytes::slot_free(sb);
+            Bytes::slot_free(sc);
+        }
+    }
+
+    #[test]
+    fn bytes_encoding_matches_ord_and_routes_by_prefix() {
+        let ks = [
+            Bytes::new(),
+            Bytes::from("a"),
+            Bytes::from(&b"a\x00"[..]),
+            Bytes::from(&b"a\x00\x01"[..]),
+            Bytes::from("ab"),
+            Bytes::from("user00000001"),
+            Bytes::from("user00000002"),
+        ];
+        for a in &ks {
+            assert_eq!(Bytes::from_encoded(a.encode().as_ref()), *a);
+            for b in &ks {
+                assert_eq!(a.cmp(b), a.encode().cmp(&b.encode()), "{a:?} vs {b:?}");
+            }
+        }
+        // Keys sharing an 8-byte prefix share a routing hint (one shard).
+        assert_eq!(
+            Bytes::from("user00000001").route_hint(),
+            Bytes::from("user00000002").route_hint()
+        );
+        assert_ne!(
+            Bytes::from("user0000").route_hint(),
+            Bytes::from("item0000").route_hint()
+        );
+    }
+
+    #[test]
+    fn bytes_debug_is_readable() {
+        assert_eq!(format!("{:?}", Bytes::from(&b"a\x00z"[..])), "b\"a\\x00z\"");
+    }
+}

@@ -1,18 +1,28 @@
 //! # optiql-index-api — the index-agnostic concurrent-index surface
 //!
 //! Both paper indexes (`optiql-btree`, `optiql-art`) expose the same
-//! `u64 → u64` interface; this crate owns that interface so everything
+//! key → `u64` interface; this crate owns that interface so everything
 //! above the trees — the benchmark harness, the sharded facade, examples,
 //! tests — is written once against [`ConcurrentIndex`] and runs unmodified
 //! over any index (or composition of indexes).
+//!
+//! The trait is generic over the key type through [`IndexKey`], with
+//! `u64` as the default parameter (so `dyn ConcurrentIndex` and every
+//! pre-existing `I: ConcurrentIndex` bound still mean the fixed-width
+//! integer index) and [`Bytes`] as the variable-length byte-string key
+//! real workloads use. Range access is a **streaming** iterator
+//! ([`ConcurrentIndex::range`]): implementations snapshot one leaf (or
+//! node chunk) per refill under a validated optimistic read and re-descend
+//! through the restart ladder on version conflicts, so a scan never holds
+//! a lock while its consumer runs.
 //!
 //! The workspace layering is strictly one-directional:
 //!
 //! ```text
 //! optiql (core: locks + olc protocol)
-//!    └── optiql-index-api (this crate: the trait)
+//!    └── optiql-index-api (this crate: the trait + key abstraction)
 //!           ├── optiql-btree, optiql-art (indexes implement it)
-//!           ├── optiql-sharded (facade: ShardedIndex<I: ConcurrentIndex>)
+//!           ├── optiql-sharded (facade: ShardedIndex<I: ConcurrentIndex<K>>)
 //!           └── optiql-harness / optiql-bench (consumers)
 //! ```
 //!
@@ -24,34 +34,133 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod key;
+
+use std::ops::Bound;
+
+pub use key::{Bytes, IndexKey};
 pub use optiql::olc::IndexStats;
 pub use optiql_reclaim::Handle as ReclaimHandle;
 
-/// A concurrent `u64 → u64` index: the interface both paper indexes (and
-/// any facade over them) expose.
+/// One entry a range iterator yields.
+pub type RangeItem<K> = (K, u64);
+
+/// The boxed iterator behind [`RangeIter`] (a named alias so generic
+/// signatures stay readable).
+pub type BoxedRangeIter<'a, K> = Box<dyn Iterator<Item = RangeItem<K>> + Send + 'a>;
+
+/// A streaming range scan over an index, in ascending key order.
+///
+/// Entries are produced lazily: each implementation snapshots a bounded
+/// chunk (a B+-tree leaf, an ART subtree slice, one head per shard)
+/// under a validated optimistic read, yields it, and re-descends for the
+/// next chunk — so no lock is held while the consumer runs, and a
+/// version conflict costs one chunk's re-read, not the whole scan.
+///
+/// Consistency contract (see DESIGN.md): within one yielded chunk the
+/// entries are an atomic snapshot; across chunks the scan is a
+/// lock-free traversal — every key present for the whole scan is
+/// yielded exactly once, keys inserted or removed concurrently may or
+/// may not appear, and no key is ever yielded twice.
+pub struct RangeIter<'a, K = u64> {
+    inner: BoxedRangeIter<'a, K>,
+}
+
+impl<'a, K: 'a> RangeIter<'a, K> {
+    /// Wrap a concrete iterator.
+    pub fn new(inner: impl Iterator<Item = RangeItem<K>> + Send + 'a) -> Self {
+        RangeIter {
+            inner: Box::new(inner),
+        }
+    }
+
+    /// An iterator over nothing (degenerate bounds).
+    pub fn empty() -> Self {
+        RangeIter {
+            inner: Box::new(std::iter::empty()),
+        }
+    }
+}
+
+impl<K> Iterator for RangeIter<'_, K> {
+    type Item = RangeItem<K>;
+
+    #[inline]
+    fn next(&mut self) -> Option<RangeItem<K>> {
+        self.inner.next()
+    }
+}
+
+/// True when the interval described by `start`/`end` can contain a key
+/// (`false` lets implementations return [`RangeIter::empty`] without
+/// descending — and keeps `BTreeMap::range`'s bound panics unreachable).
+pub fn bounds_nonempty<K: Ord>(start: &Bound<K>, end: &Bound<K>) -> bool {
+    match (start, end) {
+        (Bound::Unbounded, _) | (_, Bound::Unbounded) => true,
+        (Bound::Included(s), Bound::Included(e)) => s <= e,
+        (Bound::Included(s), Bound::Excluded(e))
+        | (Bound::Excluded(s), Bound::Included(e))
+        | (Bound::Excluded(s), Bound::Excluded(e)) => s < e,
+    }
+}
+
+/// True when `k` satisfies the lower bound `start`.
+#[inline]
+pub fn key_above_start<K: Ord>(k: &K, start: &Bound<K>) -> bool {
+    match start {
+        Bound::Unbounded => true,
+        Bound::Included(s) => k >= s,
+        Bound::Excluded(s) => k > s,
+    }
+}
+
+/// True when `k` satisfies the upper bound `end`.
+#[inline]
+pub fn key_below_end<K: Ord>(k: &K, end: &Bound<K>) -> bool {
+    match end {
+        Bound::Unbounded => true,
+        Bound::Included(e) => k <= e,
+        Bound::Excluded(e) => k < e,
+    }
+}
+
+/// A concurrent ordered index from keys `K` to `u64` values: the
+/// interface both paper indexes (and any facade over them) expose. The
+/// default key type is `u64`, so `ConcurrentIndex` written without a
+/// parameter — including every pre-generic call site and trait object —
+/// is the fixed-width integer index.
 ///
 /// All methods take `&self`: implementations synchronize internally (the
 /// whole point of the lock protocols underneath). `scan_count` is
 /// **required** — an index without range support must say so explicitly
 /// instead of silently reporting zero, which previously made YCSB-E
-/// numbers look plausible while scanning nothing.
-pub trait ConcurrentIndex: Send + Sync {
+/// numbers look plausible while scanning nothing. [`range`] is the
+/// streaming successor: `scan_count` answers "how many", `range` yields
+/// the entries without materializing them.
+///
+/// [`range`]: ConcurrentIndex::range
+pub trait ConcurrentIndex<K: IndexKey = u64>: Send + Sync {
     /// Insert or overwrite a key; returns the previous value if present.
-    fn insert(&self, k: u64, v: u64) -> Option<u64>;
+    fn insert(&self, k: K, v: u64) -> Option<u64>;
 
     /// Update an existing key; returns the previous value, `None` if the
     /// key is absent (no insert happens).
-    fn update(&self, k: u64, v: u64) -> Option<u64>;
+    fn update(&self, k: K, v: u64) -> Option<u64>;
 
     /// Point lookup.
-    fn lookup(&self, k: u64) -> Option<u64>;
+    fn lookup(&self, k: K) -> Option<u64>;
 
     /// Remove a key; returns the removed value.
-    fn remove(&self, k: u64) -> Option<u64>;
+    fn remove(&self, k: K) -> Option<u64>;
 
     /// Range scan: number of entries with keys ≥ `start`, up to `limit`
     /// (YCSB-E style).
-    fn scan_count(&self, start: u64, limit: usize) -> usize;
+    fn scan_count(&self, start: K, limit: usize) -> usize;
+
+    /// Stream the entries whose keys fall within `start..end`, in
+    /// ascending key order, without materializing the result set. See
+    /// [`RangeIter`] for the concurrency contract.
+    fn range(&self, start: Bound<K>, end: Bound<K>) -> RangeIter<'_, K>;
 
     /// Number of entries (maintained counter; exact when quiescent).
     fn len(&self) -> usize;
@@ -76,8 +185,8 @@ pub trait ConcurrentIndex: Send + Sync {
     /// descent that interleaves ~8 lookups round-robin, prefetching each
     /// op's next node before switching to the others, so one batch keeps
     /// several cache misses outstanding (memory-level parallelism).
-    fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        keys.iter().map(|&k| self.lookup(k)).collect()
+    fn multi_lookup(&self, keys: &[K]) -> Vec<Option<u64>> {
+        keys.iter().map(|k| self.lookup(k.clone())).collect()
     }
 
     /// Batched inserts, equivalent to applying `pairs` **in order**:
@@ -87,8 +196,11 @@ pub trait ConcurrentIndex: Send + Sync {
     ///
     /// Default is a scalar loop; pipelined overrides must preserve the
     /// in-order semantics.
-    fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
-        pairs.iter().map(|&(k, v)| self.insert(k, v)).collect()
+    fn multi_insert(&self, pairs: &[(K, u64)]) -> Vec<Option<u64>> {
+        pairs
+            .iter()
+            .map(|(k, v)| self.insert(k.clone(), *v))
+            .collect()
     }
 
     /// The epoch-reclamation domain guarding this index's node frees, if
@@ -109,40 +221,50 @@ pub trait ConcurrentIndex: Send + Sync {
 
 /// Implement [`ConcurrentIndex`] for an index type by delegating to its
 /// inherent methods (`insert`, `update`, `lookup`, `remove`, `scan`,
-/// `len`, `index_stats`).
+/// `range`, `len`, `index_stats`).
 ///
 /// `scan_count` delegates to the inherent `scan(start, limit)` returning
-/// `Vec<(u64, u64)>` — both trees already materialize the entries, so the
-/// count is honest by construction.
+/// `Vec<(K, u64)>` — both trees materialize those entries, so the count
+/// is honest by construction. `range` delegates to the inherent
+/// streaming implementation.
 ///
 /// ```ignore
 /// optiql_index_api::impl_concurrent_index! {
-///     impl [L: optiql::IndexLock] for crate::ArtTree<L>
+///     impl [K: IndexKey, L: optiql::IndexLock] ConcurrentIndex<K>
+///         for crate::ArtTree<L, K>
 /// }
 /// ```
 #[macro_export]
 macro_rules! impl_concurrent_index {
-    (impl [$($generics:tt)*] for $ty:ty) => {
-        impl<$($generics)*> $crate::ConcurrentIndex for $ty {
+    (impl [$($generics:tt)*] ConcurrentIndex<$k:ty> for $ty:ty) => {
+        impl<$($generics)*> $crate::ConcurrentIndex<$k> for $ty {
             #[inline]
-            fn insert(&self, k: u64, v: u64) -> Option<u64> {
+            fn insert(&self, k: $k, v: u64) -> Option<u64> {
                 <$ty>::insert(self, k, v)
             }
             #[inline]
-            fn update(&self, k: u64, v: u64) -> Option<u64> {
+            fn update(&self, k: $k, v: u64) -> Option<u64> {
                 <$ty>::update(self, k, v)
             }
             #[inline]
-            fn lookup(&self, k: u64) -> Option<u64> {
+            fn lookup(&self, k: $k) -> Option<u64> {
                 <$ty>::lookup(self, k)
             }
             #[inline]
-            fn remove(&self, k: u64) -> Option<u64> {
+            fn remove(&self, k: $k) -> Option<u64> {
                 <$ty>::remove(self, k)
             }
             #[inline]
-            fn scan_count(&self, start: u64, limit: usize) -> usize {
+            fn scan_count(&self, start: $k, limit: usize) -> usize {
                 <$ty>::scan(self, start, limit).len()
+            }
+            #[inline]
+            fn range(
+                &self,
+                start: ::std::ops::Bound<$k>,
+                end: ::std::ops::Bound<$k>,
+            ) -> $crate::RangeIter<'_, $k> {
+                <$ty>::range(self, start, end)
             }
             #[inline]
             fn len(&self) -> usize {
@@ -153,11 +275,11 @@ macro_rules! impl_concurrent_index {
                 <$ty>::index_stats(self)
             }
             #[inline]
-            fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+            fn multi_lookup(&self, keys: &[$k]) -> Vec<Option<u64>> {
                 <$ty>::multi_lookup(self, keys)
             }
             #[inline]
-            fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+            fn multi_insert(&self, pairs: &[($k, u64)]) -> Vec<Option<u64>> {
                 <$ty>::multi_insert(self, pairs)
             }
             #[inline]
@@ -175,26 +297,30 @@ macro_rules! impl_concurrent_index {
 macro_rules! impl_deref_index {
     ($(#[$meta:meta])* impl [$($generics:tt)*] for $ty:ty) => {
         $(#[$meta])*
-        impl<$($generics)*> ConcurrentIndex for $ty {
+        impl<$($generics)*> ConcurrentIndex<K> for $ty {
             #[inline]
-            fn insert(&self, k: u64, v: u64) -> Option<u64> {
+            fn insert(&self, k: K, v: u64) -> Option<u64> {
                 (**self).insert(k, v)
             }
             #[inline]
-            fn update(&self, k: u64, v: u64) -> Option<u64> {
+            fn update(&self, k: K, v: u64) -> Option<u64> {
                 (**self).update(k, v)
             }
             #[inline]
-            fn lookup(&self, k: u64) -> Option<u64> {
+            fn lookup(&self, k: K) -> Option<u64> {
                 (**self).lookup(k)
             }
             #[inline]
-            fn remove(&self, k: u64) -> Option<u64> {
+            fn remove(&self, k: K) -> Option<u64> {
                 (**self).remove(k)
             }
             #[inline]
-            fn scan_count(&self, start: u64, limit: usize) -> usize {
+            fn scan_count(&self, start: K, limit: usize) -> usize {
                 (**self).scan_count(start, limit)
+            }
+            #[inline]
+            fn range(&self, start: Bound<K>, end: Bound<K>) -> RangeIter<'_, K> {
+                (**self).range(start, end)
             }
             #[inline]
             fn len(&self) -> usize {
@@ -209,11 +335,11 @@ macro_rules! impl_deref_index {
                 (**self).index_stats()
             }
             #[inline]
-            fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+            fn multi_lookup(&self, keys: &[K]) -> Vec<Option<u64>> {
                 (**self).multi_lookup(keys)
             }
             #[inline]
-            fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+            fn multi_insert(&self, pairs: &[(K, u64)]) -> Vec<Option<u64>> {
                 (**self).multi_insert(pairs)
             }
             #[inline]
@@ -226,66 +352,97 @@ macro_rules! impl_deref_index {
 
 impl_deref_index! {
     /// A shared reference to an index is an index.
-    impl ['a, T: ConcurrentIndex + ?Sized] for &'a T
+    impl ['a, K: IndexKey, T: ConcurrentIndex<K> + ?Sized] for &'a T
 }
 impl_deref_index! {
     /// An `Arc` of an index (including `Arc<dyn ConcurrentIndex>`) is an
     /// index.
-    impl [T: ConcurrentIndex + ?Sized] for std::sync::Arc<T>
+    impl [K: IndexKey, T: ConcurrentIndex<K> + ?Sized] for std::sync::Arc<T>
 }
 impl_deref_index! {
     /// A box of an index is an index.
-    impl [T: ConcurrentIndex + ?Sized] for Box<T>
+    impl [K: IndexKey, T: ConcurrentIndex<K> + ?Sized] for Box<T>
 }
 
 /// Reference implementation for models and tests: a mutex-protected
 /// `BTreeMap`. Sequentially consistent, obviously correct, slow — exactly
 /// what a differential test wants on the other side of the diff.
 pub mod model {
-    use super::ConcurrentIndex;
+    use super::{bounds_nonempty, ConcurrentIndex, IndexKey, RangeIter};
     use std::collections::BTreeMap;
+    use std::ops::Bound;
     use std::sync::Mutex;
 
-    /// `Mutex<BTreeMap>` as a [`ConcurrentIndex`].
-    #[derive(Debug, Default)]
-    pub struct ModelIndex {
-        map: Mutex<BTreeMap<u64, u64>>,
+    /// `Mutex<BTreeMap>` as a [`ConcurrentIndex`], generic over the same
+    /// key types as the real indexes.
+    #[derive(Debug)]
+    pub struct ModelIndex<K: IndexKey = u64> {
+        map: Mutex<BTreeMap<K, u64>>,
     }
 
-    impl ModelIndex {
+    impl<K: IndexKey> Default for ModelIndex<K> {
+        fn default() -> Self {
+            ModelIndex {
+                map: Mutex::new(BTreeMap::new()),
+            }
+        }
+    }
+
+    impl<K: IndexKey> ModelIndex<K> {
         /// An empty model.
         pub fn new() -> Self {
             Self::default()
         }
 
         /// Entries with keys ≥ `start`, up to `limit`, in key order.
-        pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, u64)> {
+        pub fn scan(&self, start: K, limit: usize) -> Vec<(K, u64)> {
             self.map
                 .lock()
                 .unwrap()
                 .range(start..)
                 .take(limit)
-                .map(|(k, v)| (*k, *v))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        }
+
+        /// Atomic snapshot of the entries within `start..end`, in key
+        /// order (the model-side answer `range` is diffed against).
+        pub fn scan_bounds(&self, start: Bound<K>, end: Bound<K>) -> Vec<(K, u64)> {
+            if !bounds_nonempty(&start, &end) {
+                return Vec::new();
+            }
+            self.map
+                .lock()
+                .unwrap()
+                .range((start, end))
+                .map(|(k, v)| (k.clone(), *v))
                 .collect()
         }
     }
 
-    impl ConcurrentIndex for ModelIndex {
-        fn insert(&self, k: u64, v: u64) -> Option<u64> {
+    impl<K: IndexKey> ConcurrentIndex<K> for ModelIndex<K> {
+        fn insert(&self, k: K, v: u64) -> Option<u64> {
             self.map.lock().unwrap().insert(k, v)
         }
-        fn update(&self, k: u64, v: u64) -> Option<u64> {
+        fn update(&self, k: K, v: u64) -> Option<u64> {
             let mut m = self.map.lock().unwrap();
             m.get_mut(&k).map(|slot| std::mem::replace(slot, v))
         }
-        fn lookup(&self, k: u64) -> Option<u64> {
+        fn lookup(&self, k: K) -> Option<u64> {
             self.map.lock().unwrap().get(&k).copied()
         }
-        fn remove(&self, k: u64) -> Option<u64> {
+        fn remove(&self, k: K) -> Option<u64> {
             self.map.lock().unwrap().remove(&k)
         }
-        fn scan_count(&self, start: u64, limit: usize) -> usize {
+        fn scan_count(&self, start: K, limit: usize) -> usize {
             self.scan(start, limit).len()
+        }
+        /// The model "streams" an atomic snapshot: simplest correct
+        /// behavior, and the strongest consistency the contract allows —
+        /// a real tree's chunked iteration must produce the same entries
+        /// whenever the index is quiescent.
+        fn range(&self, start: Bound<K>, end: Bound<K>) -> RangeIter<'_, K> {
+            RangeIter::new(self.scan_bounds(start, end).into_iter())
         }
         fn len(&self) -> usize {
             self.map.lock().unwrap().len()
@@ -335,6 +492,11 @@ mod tests {
         dynref.insert(7, 70);
         assert_eq!(dynref.lookup(7), Some(70));
         assert!(!dynref.is_empty());
+        assert_eq!(
+            dynref.range(Bound::Unbounded, Bound::Unbounded).count(),
+            1,
+            "range must stay object-safe"
+        );
     }
 
     #[test]
@@ -344,11 +506,71 @@ mod tests {
         assert_eq!(ConcurrentIndex::lookup(&arc, 1), Some(10));
         let by_ref: &dyn ConcurrentIndex = &arc;
         assert_eq!(by_ref.len(), 1);
+        assert_eq!(by_ref.range(Bound::Unbounded, Bound::Unbounded).count(), 1);
         let boxed: Box<dyn ConcurrentIndex> = Box::new(ModelIndex::new());
         assert_eq!(
             boxed.multi_insert(&[(2, 20), (2, 21)]),
             vec![None, Some(20)]
         );
         assert_eq!(boxed.scan_count(0, 10), 1);
+    }
+
+    #[test]
+    fn model_range_respects_every_bound_shape() {
+        let m = ModelIndex::new();
+        for k in [1u64, 3, 5, 7, 9] {
+            m.insert(k, k * 10);
+        }
+        let collect = |s, e| -> Vec<u64> { m.range(s, e).map(|(k, _)| k).collect() };
+        assert_eq!(
+            collect(Bound::Unbounded, Bound::Unbounded),
+            vec![1, 3, 5, 7, 9]
+        );
+        assert_eq!(
+            collect(Bound::Included(3), Bound::Excluded(9)),
+            vec![3, 5, 7]
+        );
+        assert_eq!(collect(Bound::Excluded(3), Bound::Included(7)), vec![5, 7]);
+        assert_eq!(collect(Bound::Included(4), Bound::Included(4)), vec![]);
+        // Degenerate bounds must not panic (BTreeMap::range would).
+        assert_eq!(collect(Bound::Included(9), Bound::Included(1)), vec![]);
+        assert_eq!(collect(Bound::Excluded(5), Bound::Excluded(5)), vec![]);
+    }
+
+    #[test]
+    fn model_index_works_over_byte_keys() {
+        let m: ModelIndex<Bytes> = ModelIndex::new();
+        m.insert(Bytes::from("b"), 2);
+        m.insert(Bytes::from("a"), 1);
+        m.insert(Bytes::from(&b"a\x00"[..]), 15);
+        let keys: Vec<Bytes> = m
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                Bytes::from("a"),
+                Bytes::from(&b"a\x00"[..]),
+                Bytes::from("b")
+            ]
+        );
+        assert_eq!(m.scan_count(Bytes::from("a\x00"), 10), 2);
+        assert_eq!(
+            m.multi_lookup(&[Bytes::from("b"), Bytes::from("c")]),
+            vec![Some(2), None]
+        );
+    }
+
+    #[test]
+    fn bound_helpers_agree_with_btreemap() {
+        assert!(bounds_nonempty(&Bound::Included(1), &Bound::Included(1)));
+        assert!(!bounds_nonempty(&Bound::Excluded(1), &Bound::Excluded(1)));
+        assert!(!bounds_nonempty(&Bound::Included(2), &Bound::Included(1)));
+        assert!(bounds_nonempty::<u64>(&Bound::Unbounded, &Bound::Unbounded));
+        assert!(key_above_start(&5, &Bound::Excluded(4)));
+        assert!(!key_above_start(&4, &Bound::Excluded(4)));
+        assert!(key_below_end(&5, &Bound::Included(5)));
+        assert!(!key_below_end(&5, &Bound::Excluded(5)));
     }
 }

@@ -16,6 +16,10 @@
 //!   MGET       0x04 | count:u32 | key:u64 × count
 //!   SCAN_COUNT 0x05 | start:u64 | limit:u32
 //!   SHUTDOWN   0x06 | (empty)
+//!   SCAN       0x07 | start:u64 | count:u32
+//!   CAS        0x08 | key:u64 | expected:u64 | new:u64   (reserved)
+//!   INCR       0x09 | key:u64 | delta:u64                (reserved)
+//!   TTL        0x0A | key:u64 | ttl_ms:u64               (reserved)
 //!
 //! response := len:u32 | opcode:u8 | body
 //!   VALUE      0x81 | found:u8 | value:u64          (GET)
@@ -23,8 +27,32 @@
 //!   MVALUES    0x84 | count:u32 | (found:u8 | value:u64) × count
 //!   COUNT      0x85 | count:u64                     (SCAN_COUNT)
 //!   OK         0x86 | (empty)                       (SHUTDOWN ack)
+//!   SCAN_PART  0x87 | count:u32 | (key:u64 | value:u64) × count   (SCAN)
+//!   SCAN_END   0x88 | total:u32                     (SCAN terminator)
 //!   ERR        0xEE | utf-8 message (rest of frame)
 //! ```
+//!
+//! ## Streaming SCAN
+//!
+//! A SCAN asks for up to `count` entries with key ≥ `start`, in
+//! ascending key order. The reply is a *stream*: zero or more SCAN_PART
+//! frames — each carrying at most [`SCAN_PART_MAX`] entries — followed
+//! by exactly one SCAN_END whose `total` equals the summed part counts.
+//! Bounding the parts is what makes the opcode safe to pipeline: the
+//! server encodes from the index's lazy `range` iterator part by part,
+//! so a 64Ki-entry scan never materializes in one allocation on either
+//! side, and a client can abandon a stream knowing the next frame
+//! boundary is at most one part away. Parts of one SCAN are contiguous
+//! and in order on the connection (workers execute a connection's
+//! requests serially), so continuation needs no sequence numbers.
+//!
+//! ## Reserved opcodes
+//!
+//! CAS, INCR and TTL have fixed body layouts (validated like any other
+//! frame) but no implementation yet. The server answers each with a
+//! clean ERR *without* closing the connection — reserving the opcode
+//! space while keeping "ERR then close" as the signature of an actual
+//! protocol violation.
 //!
 //! The codec is symmetric: [`FrameDecoder`] incrementally reassembles
 //! frames from arbitrary byte chunks (partial reads, frames split across
@@ -42,6 +70,15 @@ pub const MAX_FRAME: usize = 4 + 8 * MAX_MGET as usize + 16;
 /// server allocate unboundedly.
 pub const MAX_MGET: u32 = 64 * 1024;
 
+/// Upper bound on entries one SCAN may request. The reply streams in
+/// [`SCAN_PART_MAX`]-entry frames, so this bounds iterator work per
+/// request, not any single allocation.
+pub const MAX_SCAN: u32 = 64 * 1024;
+
+/// Most entries one SCAN_PART frame may carry (2 KiB of payload): the
+/// response-side frame bound that keeps a scan stream pipelinable.
+pub const SCAN_PART_MAX: usize = 128;
+
 /// Request opcodes (the `0x0*` space).
 pub mod op {
     /// Point lookup.
@@ -56,6 +93,16 @@ pub mod op {
     pub const SCAN_COUNT: u8 = 0x05;
     /// Ask the server to shut down cleanly (acked with OK).
     pub const SHUTDOWN: u8 = 0x06;
+    /// Stream up to count entries with key ≥ start (SCAN_PART × n,
+    /// then SCAN_END).
+    pub const SCAN: u8 = 0x07;
+    /// Reserved: compare-and-swap. Decodes; the server rejects it with
+    /// ERR without closing the connection.
+    pub const CAS: u8 = 0x08;
+    /// Reserved: atomic increment. Decodes; rejected like CAS.
+    pub const INCR: u8 = 0x09;
+    /// Reserved: per-key expiry. Decodes; rejected like CAS.
+    pub const TTL: u8 = 0x0A;
 }
 
 /// Response opcodes (the `0x8*` space, plus ERR).
@@ -70,7 +117,14 @@ pub mod resp {
     pub const COUNT: u8 = 0x85;
     /// Success without payload.
     pub const OK: u8 = 0x86;
-    /// Protocol or server error; the connection closes after this.
+    /// One bounded chunk of a SCAN stream (≤ [`super::SCAN_PART_MAX`]
+    /// entries, ascending keys).
+    pub const SCAN_PART: u8 = 0x87;
+    /// End of a SCAN stream; carries the total entry count.
+    pub const SCAN_END: u8 = 0x88;
+    /// Protocol or server error. After a *protocol violation* the
+    /// sender closes the connection; after a reserved-opcode rejection
+    /// it stays open.
     pub const ERR: u8 = 0xEE;
 }
 
@@ -108,6 +162,37 @@ pub enum Request {
     },
     /// Clean server shutdown.
     Shutdown,
+    /// Stream up to `count` entries with key ≥ `start` as bounded
+    /// SCAN_PART frames plus a SCAN_END terminator.
+    Scan {
+        /// Inclusive lower bound.
+        start: u64,
+        /// Entry cap (≤ [`MAX_SCAN`]).
+        count: u32,
+    },
+    /// Reserved (not implemented): compare-and-swap.
+    Cas {
+        /// Key to compare.
+        key: u64,
+        /// Value the swap requires.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Reserved (not implemented): atomic increment.
+    Incr {
+        /// Key to bump.
+        key: u64,
+        /// Amount to add.
+        delta: u64,
+    },
+    /// Reserved (not implemented): per-key expiry.
+    Ttl {
+        /// Key to expire.
+        key: u64,
+        /// Lifetime in milliseconds.
+        ttl_ms: u64,
+    },
 }
 
 /// One decoded server response.
@@ -123,8 +208,17 @@ pub enum Response {
     Count(u64),
     /// Success without payload.
     Ok,
-    /// Protocol or server error; the sender closes the connection after
-    /// emitting this.
+    /// One bounded chunk of a SCAN stream: ≤ [`SCAN_PART_MAX`]
+    /// `(key, value)` entries in ascending key order.
+    ScanPart(Vec<(u64, u64)>),
+    /// SCAN stream terminator carrying the total entries streamed.
+    ScanEnd {
+        /// Entries streamed across this scan's SCAN_PART frames.
+        total: u32,
+    },
+    /// Protocol or server error. The sender closes the connection after
+    /// emitting this for a protocol violation; a reserved-opcode
+    /// rejection leaves the connection open.
     Error(String),
 }
 
@@ -142,8 +236,8 @@ pub enum ProtoError {
     Truncated,
     /// Body longer than the opcode's fixed layout allows.
     TrailingBytes,
-    /// MGET key count exceeds [`MAX_MGET`] or disagrees with the body
-    /// length.
+    /// A count field (MGET keys, SCAN entries, SCAN_PART entries)
+    /// exceeds its opcode's bound or disagrees with the body length.
     BadCount(u32),
     /// ERR payload is not UTF-8.
     BadUtf8,
@@ -210,6 +304,23 @@ impl Request {
                 put_u32(b, *limit);
             }),
             Request::Shutdown => frame(out, op::SHUTDOWN, |_| {}),
+            Request::Scan { start, count } => frame(out, op::SCAN, |b| {
+                put_u64(b, *start);
+                put_u32(b, *count);
+            }),
+            Request::Cas { key, expected, new } => frame(out, op::CAS, |b| {
+                put_u64(b, *key);
+                put_u64(b, *expected);
+                put_u64(b, *new);
+            }),
+            Request::Incr { key, delta } => frame(out, op::INCR, |b| {
+                put_u64(b, *key);
+                put_u64(b, *delta);
+            }),
+            Request::Ttl { key, ttl_ms } => frame(out, op::TTL, |b| {
+                put_u64(b, *key);
+                put_u64(b, *ttl_ms);
+            }),
         }
     }
 }
@@ -235,6 +346,21 @@ impl Response {
             }),
             Response::Count(n) => frame(out, resp::COUNT, |b| put_u64(b, *n)),
             Response::Ok => frame(out, resp::OK, |_| {}),
+            Response::ScanPart(entries) => {
+                assert!(
+                    entries.len() <= SCAN_PART_MAX,
+                    "SCAN_PART overflow: {} entries",
+                    entries.len()
+                );
+                frame(out, resp::SCAN_PART, |b| {
+                    put_u32(b, entries.len() as u32);
+                    for (k, v) in entries {
+                        put_u64(b, *k);
+                        put_u64(b, *v);
+                    }
+                })
+            }
+            Response::ScanEnd { total } => frame(out, resp::SCAN_END, |b| put_u32(b, *total)),
             Response::Error(msg) => frame(out, resp::ERR, |b| b.extend_from_slice(msg.as_bytes())),
         }
     }
@@ -321,6 +447,27 @@ impl Request {
                 limit: b.u32()?,
             },
             op::SHUTDOWN => Request::Shutdown,
+            op::SCAN => {
+                let start = b.u64()?;
+                let count = b.u32()?;
+                if count > MAX_SCAN {
+                    return Err(ProtoError::BadCount(count));
+                }
+                Request::Scan { start, count }
+            }
+            op::CAS => Request::Cas {
+                key: b.u64()?,
+                expected: b.u64()?,
+                new: b.u64()?,
+            },
+            op::INCR => Request::Incr {
+                key: b.u64()?,
+                delta: b.u64()?,
+            },
+            op::TTL => Request::Ttl {
+                key: b.u64()?,
+                ttl_ms: b.u64()?,
+            },
             other => return Err(ProtoError::BadOpcode(other)),
         };
         b.finish()?;
@@ -350,6 +497,18 @@ impl Response {
             }
             resp::COUNT => Response::Count(b.u64()?),
             resp::OK => Response::Ok,
+            resp::SCAN_PART => {
+                let count = b.u32()?;
+                if count as usize > SCAN_PART_MAX {
+                    return Err(ProtoError::BadCount(count));
+                }
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    entries.push((b.u64()?, b.u64()?));
+                }
+                Response::ScanPart(entries)
+            }
+            resp::SCAN_END => Response::ScanEnd { total: b.u32()? },
             resp::ERR => {
                 let msg = std::str::from_utf8(b.buf).map_err(|_| ProtoError::BadUtf8)?;
                 return Ok(Response::Error(msg.to_string()));
@@ -484,6 +643,17 @@ mod tests {
                 limit: 100,
             },
             Request::Shutdown,
+            Request::Scan {
+                start: 3,
+                count: MAX_SCAN,
+            },
+            Request::Cas {
+                key: 1,
+                expected: 2,
+                new: 3,
+            },
+            Request::Incr { key: 4, delta: 5 },
+            Request::Ttl { key: 6, ttl_ms: 7 },
         ];
         let mut wire = Vec::new();
         for r in &reqs {
@@ -509,6 +679,10 @@ mod tests {
             Response::MValues(vec![]),
             Response::Count(12345),
             Response::Ok,
+            Response::ScanPart(vec![(1, 2), (3, 4), (u64::MAX, 0)]),
+            Response::ScanPart(vec![]),
+            Response::ScanPart((0..SCAN_PART_MAX as u64).map(|k| (k, k + 1)).collect()),
+            Response::ScanEnd { total: 300 },
             Response::Error("bad frame: unknown opcode 0x99".into()),
         ];
         let mut wire = Vec::new();
@@ -587,6 +761,39 @@ mod tests {
         dec.feed(&5u32.to_le_bytes());
         dec.feed(&[op::MGET, 2, 0, 0, 0]);
         assert_eq!(dec.next_request(), Err(ProtoError::Truncated));
+
+        // SCAN asking for more than MAX_SCAN entries.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&13u32.to_le_bytes());
+        dec.feed(&[op::SCAN]);
+        dec.feed(&0u64.to_le_bytes());
+        dec.feed(&(MAX_SCAN + 1).to_le_bytes());
+        assert_eq!(dec.next_request(), Err(ProtoError::BadCount(MAX_SCAN + 1)));
+
+        // Truncated SCAN body (count field cut short).
+        let mut dec = FrameDecoder::new();
+        dec.feed(&9u32.to_le_bytes());
+        dec.feed(&[op::SCAN]);
+        dec.feed(&0u64.to_le_bytes());
+        assert_eq!(dec.next_request(), Err(ProtoError::Truncated));
+
+        // Reserved CAS with a short body is still structurally checked.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&17u32.to_le_bytes());
+        dec.feed(&[op::CAS]);
+        dec.feed(&1u64.to_le_bytes());
+        dec.feed(&2u64.to_le_bytes());
+        assert_eq!(dec.next_request(), Err(ProtoError::Truncated));
+
+        // SCAN_PART claiming more entries than the frame bound allows.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&5u32.to_le_bytes());
+        dec.feed(&[resp::SCAN_PART]);
+        dec.feed(&(SCAN_PART_MAX as u32 + 1).to_le_bytes());
+        assert_eq!(
+            dec.next_response(),
+            Err(ProtoError::BadCount(SCAN_PART_MAX as u32 + 1))
+        );
     }
 
     #[test]

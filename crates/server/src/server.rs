@@ -34,7 +34,7 @@ use std::time::Duration;
 use optiql_index_api::{ConcurrentIndex, ReclaimHandle};
 use optiql_sharded::{ShardAffinity, ShardedIndex};
 
-use crate::proto::{FrameDecoder, Request, Response};
+use crate::proto::{FrameDecoder, Request, Response, SCAN_PART_MAX};
 
 /// Which index the server serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -580,6 +580,49 @@ impl Worker {
                 Response::Count(n as u64).encode(out);
             }
             Request::Shutdown => self.ack_shutdown(out),
+            Request::Scan { start, count } => {
+                // Stream straight off the lazy range iterator: each
+                // SCAN_PART is encoded (and its buffer retired) before
+                // the next chunk of leaves is even visited, so a 64Ki
+                // scan costs one part's allocation, not the scan's.
+                let mut total = 0u32;
+                let mut part: Vec<(u64, u64)> =
+                    Vec::with_capacity(SCAN_PART_MAX.min(*count as usize));
+                for kv in self
+                    .index
+                    .range(
+                        std::ops::Bound::Included(*start),
+                        std::ops::Bound::Unbounded,
+                    )
+                    .take(*count as usize)
+                {
+                    part.push(kv);
+                    if part.len() == SCAN_PART_MAX {
+                        total += part.len() as u32;
+                        Response::ScanPart(std::mem::take(&mut part)).encode(out);
+                    }
+                }
+                total += part.len() as u32;
+                if !part.is_empty() {
+                    Response::ScanPart(part).encode(out);
+                }
+                Response::ScanEnd { total }.encode(out);
+                self.stats
+                    .index_ops
+                    .fetch_add(u64::from(total).max(1), Ordering::Relaxed);
+            }
+            // Reserved opcodes: well-formed on the wire, unimplemented in
+            // the engine. Clean ERR, connection stays open — only actual
+            // protocol violations cost the client its connection.
+            Request::Cas { .. } => {
+                Response::Error("CAS (0x08) is reserved, not implemented".into()).encode(out);
+            }
+            Request::Incr { .. } => {
+                Response::Error("INCR (0x09) is reserved, not implemented".into()).encode(out);
+            }
+            Request::Ttl { .. } => {
+                Response::Error("TTL (0x0a) is reserved, not implemented".into()).encode(out);
+            }
         }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
     }

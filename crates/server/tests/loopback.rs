@@ -221,6 +221,154 @@ fn garbage_bytes_close_only_that_connection() {
     assert_eq!(stats.proto_errors, 2);
 }
 
+/// Drain one whole SCAN reply: parts until SCAN_END, asserting every
+/// part respects the frame bound and keys ascend across the stream.
+fn recv_scan(c: &mut C) -> (Vec<(u64, u64)>, u32) {
+    let mut entries: Vec<(u64, u64)> = Vec::new();
+    loop {
+        match c.recv().expect("scan stream ended early") {
+            Response::ScanPart(part) => {
+                assert!(
+                    part.len() <= optiql_server::proto::SCAN_PART_MAX,
+                    "oversized part: {}",
+                    part.len()
+                );
+                assert!(!part.is_empty(), "server must not emit empty parts");
+                entries.extend(part);
+            }
+            Response::ScanEnd { total } => {
+                for w in entries.windows(2) {
+                    assert!(w[0].0 < w[1].0, "scan stream must ascend");
+                }
+                return (entries, total);
+            }
+            other => panic!("expected SCAN_PART/SCAN_END, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn scan_streams_bounded_frames_in_order() {
+    let n: u64 = 1000;
+    for backend in [BackendKind::Art, BackendKind::ShardedBtree { shards: 2 }] {
+        let h = serve(backend, Dispatch::Grouped, n);
+        let mut c = C::connect(h.addr());
+
+        // 300 entries => parts of 128 + 128 + 44, then SCAN_END(300).
+        c.send(&[Request::Scan {
+            start: 5,
+            count: 300,
+        }]);
+        let (entries, total) = recv_scan(&mut c);
+        assert_eq!(total, 300);
+        let want: Vec<(u64, u64)> = (5..305).map(|k| (k, k + 1)).collect();
+        assert_eq!(entries, want);
+
+        // Starting past the preload: empty stream, just the terminator.
+        c.send(&[Request::Scan {
+            start: n + 50,
+            count: 10,
+        }]);
+        let (entries, total) = recv_scan(&mut c);
+        assert_eq!((entries.len(), total), (0, 0));
+
+        // count 0: also just the terminator.
+        c.send(&[Request::Scan { start: 0, count: 0 }]);
+        assert_eq!((recv_scan(&mut c).1), 0);
+
+        // Asking past the end caps at what exists.
+        c.send(&[Request::Scan {
+            start: n - 3,
+            count: 500,
+        }]);
+        let (entries, total) = recv_scan(&mut c);
+        assert_eq!(total, 3);
+        assert_eq!(entries, vec![(n - 3, n - 2), (n - 2, n - 1), (n - 1, n)]);
+
+        // Pipelined with point ops: replies stay in request order, the
+        // scan's parts contiguous between them.
+        c.send(&[
+            Request::Get { key: 1 },
+            Request::Scan {
+                start: 0,
+                count: 130,
+            },
+            Request::Get { key: 2 },
+        ]);
+        assert_eq!(c.recv(), Some(Response::Value(Some(2))));
+        let (entries, total) = recv_scan(&mut c);
+        assert_eq!(total, 130);
+        assert_eq!(entries.len(), 130);
+        assert_eq!(c.recv(), Some(Response::Value(Some(3))));
+
+        let stats = h.shutdown();
+        assert_eq!(stats.proto_errors, 0);
+    }
+}
+
+#[test]
+fn reserved_opcodes_reject_without_closing() {
+    let h = serve(BackendKind::Btree, Dispatch::Grouped, 10);
+    let mut c = C::connect(h.addr());
+    for (req, name) in [
+        (
+            Request::Cas {
+                key: 1,
+                expected: 2,
+                new: 3,
+            },
+            "CAS",
+        ),
+        (Request::Incr { key: 1, delta: 1 }, "INCR"),
+        (
+            Request::Ttl {
+                key: 1,
+                ttl_ms: 1000,
+            },
+            "TTL",
+        ),
+    ] {
+        match c.call(req) {
+            Response::Error(msg) => {
+                assert!(msg.contains(name) && msg.contains("reserved"), "got: {msg}");
+            }
+            other => panic!("expected ERR for {name}, got {other:?}"),
+        }
+        // Same connection keeps serving after each rejection.
+        assert_eq!(c.call(Request::Get { key: 1 }), Response::Value(Some(2)));
+    }
+    let stats = h.shutdown();
+    assert_eq!(
+        stats.proto_errors, 0,
+        "reserved opcodes are not protocol errors"
+    );
+}
+
+#[test]
+fn malformed_scan_closes_only_that_connection() {
+    let h = serve(BackendKind::Btree, Dispatch::Grouped, 100);
+    let mut good = C::connect(h.addr());
+    assert_eq!(good.call(Request::Get { key: 1 }), Response::Value(Some(2)));
+
+    // A SCAN frame whose count exceeds MAX_SCAN: structurally invalid,
+    // so this connection gets ERR-then-close.
+    let mut bad = C::connect(h.addr());
+    bad.s.write_all(&13u32.to_le_bytes()).unwrap();
+    bad.s.write_all(&[0x07]).unwrap();
+    bad.s.write_all(&0u64.to_le_bytes()).unwrap();
+    bad.s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    match bad.recv() {
+        Some(Response::Error(msg)) => assert!(msg.contains("count"), "got: {msg}"),
+        other => panic!("expected ERR frame, got {other:?}"),
+    }
+    assert_eq!(bad.recv(), None, "connection must close after ERR");
+
+    // Everyone else is unaffected.
+    assert_eq!(good.call(Request::Get { key: 2 }), Response::Value(Some(3)));
+    let stats = h.shutdown();
+    assert_eq!(stats.proto_errors, 1);
+}
+
 #[test]
 fn shutdown_opcode_acks_and_stops_the_server() {
     let h = serve(BackendKind::Art, Dispatch::Grouped, 10);

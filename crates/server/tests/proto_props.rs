@@ -4,7 +4,9 @@
 //! frames that went in. The decoder is the piece both the server and
 //! the load generator trust; this suite is why they can.
 
-use optiql_server::proto::{FrameDecoder, ProtoError, Request, Response, MAX_FRAME};
+use optiql_server::proto::{
+    FrameDecoder, ProtoError, Request, Response, MAX_FRAME, MAX_SCAN, SCAN_PART_MAX,
+};
 use proptest::prelude::*;
 
 fn any_request() -> impl Strategy<Value = Request> {
@@ -15,6 +17,14 @@ fn any_request() -> impl Strategy<Value = Request> {
         prop::collection::vec(any::<u64>(), 0..40).prop_map(|keys| Request::MGet { keys }),
         (any::<u64>(), any::<u32>()).prop_map(|(start, limit)| Request::ScanCount { start, limit }),
         Just(Request::Shutdown),
+        (any::<u64>(), 0..=MAX_SCAN).prop_map(|(start, count)| Request::Scan { start, count }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(key, expected, new)| Request::Cas {
+            key,
+            expected,
+            new
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(key, delta)| Request::Incr { key, delta }),
+        (any::<u64>(), any::<u64>()).prop_map(|(key, ttl_ms)| Request::Ttl { key, ttl_ms }),
     ]
 }
 
@@ -29,6 +39,9 @@ fn any_response() -> impl Strategy<Value = Response> {
         prop::collection::vec(opt_u64(), 0..40).prop_map(Response::MValues),
         any::<u64>().prop_map(Response::Count),
         Just(Response::Ok),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 0..SCAN_PART_MAX + 1)
+            .prop_map(Response::ScanPart),
+        any::<u32>().prop_map(|total| Response::ScanEnd { total }),
         // Messages exercise multi-byte UTF-8 and JSON-hostile characters.
         (0usize..4).prop_map(|i| {
             let msgs = ["", "bad frame", "péché → λ", "line\nbreak \"quoted\""];

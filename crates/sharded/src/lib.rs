@@ -41,7 +41,16 @@
 //! hash partitioning destroys global key order, so each shard reports
 //! its own count of keys ≥ `start` (each capped at `limit`) and the sum
 //! is capped at `limit` — equal to the count an unpartitioned index
-//! would report whenever the index is quiescent.
+//! would report whenever the index is quiescent (see the method docs for
+//! why the per-shard caps keep that equality exact). `range` restores
+//! global key order: every shard opens its own streaming iterator over
+//! the same bounds and the facade k-way-merges the heads, so consumers
+//! see one ascending, shard-transparent stream.
+//!
+//! The facade is key-generic like everything above it: routing uses
+//! [`IndexKey::route_hint`] (the key itself for `u64`, the first raw
+//! bytes for byte strings), so a `ShardedIndex<ArtTree<L, Bytes>>` works
+//! exactly like the integer one.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -52,8 +61,10 @@ mod route;
 pub use affinity::ShardAffinity;
 pub use route::{Router, DEFAULT_BLOCK_BITS};
 
+use std::ops::Bound;
+
 use crossbeam_utils::CachePadded;
-use optiql_index_api::{ConcurrentIndex, IndexStats};
+use optiql_index_api::{bounds_nonempty, ConcurrentIndex, IndexKey, IndexStats, RangeIter};
 
 /// Default shard count: enough to split hot leaves apart without
 /// multiplying memory overhead needlessly.
@@ -67,7 +78,7 @@ pub struct ShardedIndex<I> {
     router: Router,
 }
 
-impl<I: ConcurrentIndex + Default> ShardedIndex<I> {
+impl<I: Default> ShardedIndex<I> {
     /// A facade over `shards` default-constructed shards with the
     /// default block granularity. `shards` is rounded up to the next
     /// power of two (minimum 1).
@@ -83,7 +94,7 @@ impl<I: ConcurrentIndex + Default> ShardedIndex<I> {
     }
 }
 
-impl<I: ConcurrentIndex> ShardedIndex<I> {
+impl<I> ShardedIndex<I> {
     /// A facade over `shards` shards built by `make` (called with the
     /// shard number), default block granularity. `shards` is rounded up
     /// to the next power of two (minimum 1) so shard selection is a
@@ -126,6 +137,15 @@ impl<I: ConcurrentIndex> ShardedIndex<I> {
         self.router.route(key)
     }
 
+    /// The shard number a generic key maps to: routing happens on the
+    /// key's [`IndexKey::route_hint`], so for `u64` this is exactly
+    /// [`shard_of`](Self::shard_of) and for byte strings the hint's
+    /// leading raw bytes keep lexicographic neighbours in one block.
+    #[inline]
+    pub fn shard_of_key<K: IndexKey>(&self, key: &K) -> usize {
+        self.router.route(key.route_hint())
+    }
+
     /// Direct access to shard `i` (affine drivers address the shards
     /// they own; panics when out of range).
     pub fn shard_at(&self, i: usize) -> &I {
@@ -133,8 +153,8 @@ impl<I: ConcurrentIndex> ShardedIndex<I> {
     }
 
     #[inline]
-    fn shard(&self, key: u64) -> &I {
-        &self.shards[self.shard_of(key)]
+    fn shard<K: IndexKey>(&self, key: &K) -> &I {
+        &self.shards[self.shard_of_key(key)]
     }
 
     /// Visit every shard (maintenance hooks: reclamation flushes,
@@ -145,75 +165,116 @@ impl<I: ConcurrentIndex> ShardedIndex<I> {
         }
     }
 
-    /// Merged range scan driven through the shards' `scan_count`-style
-    /// fan-out; see the module docs for the quiescent-equality argument.
-    fn fanout_scan_count(&self, start: u64, limit: usize) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.scan_count(start, limit))
-            .sum::<usize>()
-            .min(limit)
-    }
-
-    /// Bucket `keys` into per-shard sub-batches using one counting pass
-    /// and flat buffers: returns `(offsets, ordered_keys, positions)`
-    /// where shard `s`'s sub-batch is `ordered_keys[offsets[s] ..
-    /// offsets[s + 1]]` and `positions` carries each ordered key's index
-    /// in the original batch. Batch order is preserved within each shard
-    /// (the scatter pass walks the batch in order), which is what keeps
-    /// duplicate-key in-order semantics intact across the partition.
-    fn partition(&self, keys: impl ExactSizeIterator<Item = u64> + Clone) -> PartitionedBatch {
+    /// Bucket a batch into per-shard sub-batches using one counting pass
+    /// and flat buffers: `hints` are the batch keys' route hints, in
+    /// batch order. Returns `(offsets, positions)` where shard `s`'s
+    /// sub-batch is described by `positions[offsets[s] .. offsets[s + 1]]`
+    /// — each entry the index of one of its keys in the original batch.
+    /// Batch order is preserved within each shard (the scatter pass walks
+    /// the batch in order), which is what keeps duplicate-key in-order
+    /// semantics intact across the partition.
+    fn partition(&self, hints: impl ExactSizeIterator<Item = u64> + Clone) -> PartitionedBatch {
         let n = self.shards.len();
         let mut offsets = vec![0usize; n + 1];
-        for k in keys.clone() {
-            offsets[self.shard_of(k) + 1] += 1;
+        for h in hints.clone() {
+            offsets[self.router.route(h) + 1] += 1;
         }
         for s in 0..n {
             offsets[s + 1] += offsets[s];
         }
         let mut cursor = offsets.clone();
-        let mut ordered = vec![0u64; keys.len()];
-        let mut positions = vec![0usize; keys.len()];
-        for (i, k) in keys.enumerate() {
-            let c = &mut cursor[self.shard_of(k)];
-            ordered[*c] = k;
+        let mut positions = vec![0usize; hints.len()];
+        for (i, h) in hints.enumerate() {
+            let c = &mut cursor[self.router.route(h)];
             positions[*c] = i;
             *c += 1;
         }
-        PartitionedBatch {
-            offsets,
-            ordered,
-            positions,
-        }
+        PartitionedBatch { offsets, positions }
     }
 }
 
 /// Output of [`ShardedIndex::partition`].
 struct PartitionedBatch {
     offsets: Vec<usize>,
-    ordered: Vec<u64>,
     positions: Vec<usize>,
 }
 
-impl<I: ConcurrentIndex> ConcurrentIndex for ShardedIndex<I> {
+/// The k-way merge behind the facade's [`ConcurrentIndex::range`]: one
+/// streaming iterator per shard (all opened over the same bounds), heads
+/// compared on demand. Shards partition the key space, so keys are
+/// globally unique and no tie-break is needed; each `next` is a linear
+/// scan over at most `N` peeked heads — `N` is small (≤ 64) and the
+/// per-shard iterators do the heavy (chunked, validated) lifting.
+struct MergeRange<'a, K> {
+    heads: Vec<std::iter::Peekable<RangeIter<'a, K>>>,
+}
+
+impl<K: Ord + Clone> Iterator for MergeRange<'_, K> {
+    type Item = (K, u64);
+
+    fn next(&mut self) -> Option<(K, u64)> {
+        let mut best: Option<(usize, K)> = None;
+        for (i, head) in self.heads.iter_mut().enumerate() {
+            if let Some((k, _)) = head.peek() {
+                if best.as_ref().map_or(true, |(_, bk)| k < bk) {
+                    best = Some((i, k.clone()));
+                }
+            }
+        }
+        self.heads[best?.0].next()
+    }
+}
+
+impl<K: IndexKey, I: ConcurrentIndex<K>> ConcurrentIndex<K> for ShardedIndex<I> {
     #[inline]
-    fn insert(&self, k: u64, v: u64) -> Option<u64> {
-        self.shard(k).insert(k, v)
+    fn insert(&self, k: K, v: u64) -> Option<u64> {
+        self.shard(&k).insert(k, v)
     }
     #[inline]
-    fn update(&self, k: u64, v: u64) -> Option<u64> {
-        self.shard(k).update(k, v)
+    fn update(&self, k: K, v: u64) -> Option<u64> {
+        self.shard(&k).update(k, v)
     }
     #[inline]
-    fn lookup(&self, k: u64) -> Option<u64> {
-        self.shard(k).lookup(k)
+    fn lookup(&self, k: K) -> Option<u64> {
+        self.shard(&k).lookup(k)
     }
     #[inline]
-    fn remove(&self, k: u64) -> Option<u64> {
-        self.shard(k).remove(k)
+    fn remove(&self, k: K) -> Option<u64> {
+        self.shard(&k).remove(k)
     }
-    fn scan_count(&self, start: u64, limit: usize) -> usize {
-        self.fanout_scan_count(start, limit)
+    /// Fan the count out and merge **as if counted in global key order**:
+    /// each shard reports how many of its keys are ≥ `start`, capped at
+    /// `limit`, and the sum is capped at `limit`. The caps cost no
+    /// precision: if the true global count `T` is below `limit` no shard
+    /// hits its cap, so the sum is exactly `T`; if `T ≥ limit` the sum of
+    /// (possibly capped) per-shard counts is still ≥ `limit` — routing
+    /// only partitions the matching keys — so the capped result is
+    /// exactly `limit`. Either way the answer equals what an
+    /// unpartitioned index would report for the first `limit` matching
+    /// keys in ascending order, whenever the index is quiescent. The
+    /// shard-boundary regression tests pin this down for starts that sit
+    /// exactly on, just below, and just above router block edges.
+    fn scan_count(&self, start: K, limit: usize) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.scan_count(start.clone(), limit))
+            .sum::<usize>()
+            .min(limit)
+    }
+    /// Open one streaming iterator per shard over the same bounds and
+    /// k-way-merge the heads, restoring the global ascending key order
+    /// that routing scattered. Each per-shard iterator keeps its own
+    /// OLC revalidation protocol; the merge holds no locks.
+    fn range(&self, start: Bound<K>, end: Bound<K>) -> RangeIter<'_, K> {
+        if !bounds_nonempty(&start, &end) {
+            return RangeIter::empty();
+        }
+        let heads = self
+            .shards
+            .iter()
+            .map(|s| s.range(start.clone(), end.clone()).peekable())
+            .collect();
+        RangeIter::new(MergeRange { heads })
     }
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()
@@ -229,24 +290,31 @@ impl<I: ConcurrentIndex> ConcurrentIndex for ShardedIndex<I> {
     /// each shard's pipelined engine sees a dense batch) under one
     /// amortized reclaim pin per shard, and scatter the results back to
     /// their original positions.
-    fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+    fn multi_lookup(&self, keys: &[K]) -> Vec<Option<u64>> {
         if self.shards.len() == 1 {
             return self.shards[0].multi_lookup(keys);
         }
-        if let [k] = *keys {
+        if let [k] = keys {
             // A one-key batch routes like a point op; the partition's
             // flat buffers would cost more than the lookup.
-            return vec![self.shard(k).lookup(k)];
+            return vec![self.shard(k).lookup(k.clone())];
         }
-        let part = self.partition(keys.iter().copied());
+        let part = self.partition(keys.iter().map(|k| k.route_hint()));
         let mut out = vec![None; keys.len()];
+        let mut sub: Vec<K> = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {
             let range = part.offsets[s]..part.offsets[s + 1];
             if range.is_empty() {
                 continue;
             }
+            sub.clear();
+            sub.extend(
+                part.positions[range.clone()]
+                    .iter()
+                    .map(|&i| keys[i].clone()),
+            );
             let _pin = shard.reclaim_handle().map(|h| h.pin());
-            let res = shard.multi_lookup(&part.ordered[range.clone()]);
+            let res = shard.multi_lookup(&sub);
             for (&i, r) in part.positions[range].iter().zip(res) {
                 out[i] = r;
             }
@@ -257,23 +325,27 @@ impl<I: ConcurrentIndex> ConcurrentIndex for ShardedIndex<I> {
     /// Order within each shard's sub-batch follows batch order, and equal
     /// keys always route to the same shard, so the in-order semantics of
     /// duplicate keys are preserved across the partition.
-    fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+    fn multi_insert(&self, pairs: &[(K, u64)]) -> Vec<Option<u64>> {
         if self.shards.len() == 1 {
             return self.shards[0].multi_insert(pairs);
         }
-        if let [(k, v)] = *pairs {
-            return vec![self.shard(k).insert(k, v)];
+        if let [(k, v)] = pairs {
+            return vec![self.shard(k).insert(k.clone(), *v)];
         }
-        let part = self.partition(pairs.iter().map(|&(k, _)| k));
+        let part = self.partition(pairs.iter().map(|(k, _)| k.route_hint()));
         let mut out = vec![None; pairs.len()];
-        let mut sub: Vec<(u64, u64)> = Vec::new();
+        let mut sub: Vec<(K, u64)> = Vec::new();
         for (s, shard) in self.shards.iter().enumerate() {
             let range = part.offsets[s]..part.offsets[s + 1];
             if range.is_empty() {
                 continue;
             }
             sub.clear();
-            sub.extend(part.positions[range.clone()].iter().map(|&i| pairs[i]));
+            sub.extend(
+                part.positions[range.clone()]
+                    .iter()
+                    .map(|&i| pairs[i].clone()),
+            );
             let _pin = shard.reclaim_handle().map(|h| h.pin());
             let res = shard.multi_insert(&sub);
             for (&i, r) in part.positions[range].iter().zip(res) {
@@ -413,6 +485,79 @@ mod tests {
             vec![Some(100), Some(71), Some(1), Some(71), None, Some(1)]
         );
         assert_eq!(s.len(), 101);
+    }
+
+    #[test]
+    fn scan_count_matches_global_order_at_shard_boundaries() {
+        // Regression: starts sitting exactly on, one below, and one above
+        // a router block edge. The block edge is where a key and its
+        // successor route to *different* shards, so an off-by-one in the
+        // per-shard `>= start` comparison (e.g. a shard counting from its
+        // own smallest key instead of the caller's start) shows up as a
+        // merged count that disagrees with an unpartitioned index.
+        let s: ShardedIndex<ModelIndex> = ShardedIndex::new(4);
+        let flat = ModelIndex::new();
+        let block = 1u64 << s.router().block_bits();
+        // Populate a band straddling three block edges.
+        for k in (block - 20)..(4 * block + 20) {
+            s.insert(k, k);
+            flat.insert(k, k);
+        }
+        for edge in 1..=4u64 {
+            let e = edge * block;
+            for start in [e - 1, e, e + 1] {
+                for limit in [1usize, 2, 7, 10_000] {
+                    assert_eq!(
+                        s.scan_count(start, limit),
+                        flat.scan_count(start, limit),
+                        "start={start} limit={limit} (block edge {e})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_merges_shards_in_global_key_order() {
+        let s: ShardedIndex<ModelIndex> = ShardedIndex::with_block_bits(8, 2);
+        // Fine blocks (4 keys) so consecutive keys genuinely interleave
+        // across shards and the merge has to reorder them.
+        for k in 0..1_000u64 {
+            s.insert(k, k + 1);
+        }
+        let got: Vec<(u64, u64)> = s.range(Bound::Included(37), Bound::Excluded(911)).collect();
+        let want: Vec<(u64, u64)> = (37..911).map(|k| (k, k + 1)).collect();
+        assert_eq!(got, want);
+        // Degenerate and empty bounds.
+        assert_eq!(s.range(Bound::Excluded(5), Bound::Included(5)).count(), 0);
+        assert_eq!(s.range(Bound::Included(2_000), Bound::Unbounded).count(), 0);
+    }
+
+    #[test]
+    fn byte_keys_route_and_merge() {
+        use optiql_index_api::Bytes;
+        let s: ShardedIndex<ModelIndex<Bytes>> = ShardedIndex::new(4);
+        let keys: Vec<Bytes> = (0..200u32)
+            .map(|i| Bytes::from(format!("user{i:04}").as_bytes()))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(s.insert(k.clone(), i as u64), None);
+        }
+        assert_eq!(s.len(), 200);
+        assert_eq!(s.lookup(Bytes::from("user0042")), Some(42));
+        // Merged stream comes back in lexicographic order regardless of
+        // which shard owns which key.
+        let got: Vec<Bytes> = s
+            .range(Bound::Included(Bytes::from("user0100")), Bound::Unbounded)
+            .map(|(k, _)| k)
+            .collect();
+        let want: Vec<Bytes> = (100..200u32)
+            .map(|i| Bytes::from(format!("user{i:04}").as_bytes()))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(s.scan_count(Bytes::from("user0150"), 1_000), 50);
+        let got = s.multi_lookup(&[Bytes::from("user0007"), Bytes::from("nope")]);
+        assert_eq!(got, vec![Some(7), None]);
     }
 
     #[test]
