@@ -21,9 +21,13 @@
 //! bypass pipelining: their reads hold real shared locks, which must not
 //! be parked across turns.
 //!
-//! The engine is key-generic like the scalar paths; radix digits come from
-//! `K::encode()`, re-derived per turn (for the default `u64` key this is a
-//! register-width byte swap, not an allocation).
+//! The engine is key-generic like the scalar paths. Radix digits are
+//! encoded once per group into a flat reusable buffer (one `encode_into`
+//! per key, zero steady-state allocation) and each turn slices its own
+//! digits out of it. Byte-string keys get one more pipeline stage than
+//! `u64`: their KV-leaf key payload lives behind a pointer, so the `Kv`
+//! turn prefetches that payload line and yields (`KvWarm`) before the
+//! compare-and-validate turn touches it.
 
 use std::sync::atomic::Ordering;
 
@@ -45,6 +49,8 @@ const PIPELINE_ATTEMPTS: u32 = 3;
 /// One in-flight operation. `Enter`: `child` (an inner node) was chosen
 /// under `parent` and prefetched; next turn guards it. `Kv`: `child` (a
 /// tagged KV leaf) was chosen and its line prefetched; next turn reads it.
+/// `KvWarm` (pointer-slot keys only): the leaf header has been read far
+/// enough to prefetch the out-of-line key payload; next turn compares.
 enum OpSt<'t, L: IndexLock> {
     Start,
     Enter {
@@ -53,6 +59,13 @@ enum OpSt<'t, L: IndexLock> {
         depth: usize,
     },
     Kv {
+        node: &'t ArtNode<L>,
+        guard: OptimisticGuard<'t, L>,
+        child: *mut ArtNode<L>,
+        byte: u8,
+        depth: usize,
+    },
+    KvWarm {
         node: &'t ArtNode<L>,
         guard: OptimisticGuard<'t, L>,
         child: *mut ArtNode<L>,
@@ -79,7 +92,16 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
         let _g = self.collector.pin();
         let mut out = Vec::with_capacity(keys.len());
         let mut restarts = 0u64;
+        // Flat per-group digit buffer: one `encode_into` per key up front,
+        // every turn slices its digits instead of re-encoding.
+        let mut digits: Vec<u8> = Vec::new();
         for group in keys.chunks(GROUP) {
+            digits.clear();
+            let mut offs = [0usize; GROUP + 1];
+            for (j, key) in group.iter().enumerate() {
+                key.encode_into(&mut digits);
+                offs[j + 1] = digits.len();
+            }
             let mut st: [OpSt<'_, L>; GROUP] = std::array::from_fn(|_| OpSt::Start);
             let mut attempts = [0u32; GROUP];
             let mut pending = group.len();
@@ -89,20 +111,41 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
                     if let OpSt::Done(_) = st[i] {
                         continue;
                     }
+                    let kb = &digits[offs[i]..offs[i + 1]];
                     let turn = match std::mem::replace(&mut st[i], OpSt::Start) {
                         OpSt::Start => {
                             if attempts[i] >= PIPELINE_ATTEMPTS {
                                 Turn::Next(OpSt::Done(self.lookup_impl(key)))
                             } else {
-                                self.lk_start(key)
+                                self.lk_start(kb)
                             }
                         }
                         OpSt::Enter {
                             parent,
                             child,
                             depth,
-                        } => self.lk_enter(key, parent, child, depth),
-                        OpSt::Kv { guard, child, .. } => self.lk_kv(key, guard, child),
+                        } => self.lk_enter(kb, parent, child, depth),
+                        OpSt::Kv {
+                            node,
+                            guard,
+                            child,
+                            byte,
+                            depth,
+                        } => {
+                            if K::INLINE {
+                                self.lk_kv(key, guard, child)
+                            } else {
+                                unsafe { as_kv::<L, K>(child) }.key.prefetch_payload();
+                                Turn::Next(OpSt::KvWarm {
+                                    node,
+                                    guard,
+                                    child,
+                                    byte,
+                                    depth,
+                                })
+                            }
+                        }
+                        OpSt::KvWarm { guard, child, .. } => self.lk_kv(key, guard, child),
                         OpSt::Done(_) => unreachable!(),
                     };
                     match turn {
@@ -145,7 +188,14 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
         let _g = self.collector.pin();
         let mut out = Vec::with_capacity(pairs.len());
         let mut restarts = 0u64;
+        let mut digits: Vec<u8> = Vec::new();
         for group in pairs.chunks(GROUP) {
+            digits.clear();
+            let mut offs = [0usize; GROUP + 1];
+            for (j, (key, _)) in group.iter().enumerate() {
+                key.encode_into(&mut digits);
+                offs[j + 1] = digits.len();
+            }
             let mut st: [OpSt<'_, L>; GROUP] = std::array::from_fn(|_| OpSt::Start);
             let mut attempts = [0u32; GROUP];
             // Ops whose key already occurs earlier in this group run
@@ -168,26 +218,47 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
                     if let OpSt::Done(_) = st[i] {
                         continue;
                     }
+                    let kb = &digits[offs[i]..offs[i + 1]];
                     let turn = match std::mem::replace(&mut st[i], OpSt::Start) {
                         OpSt::Start => {
                             if attempts[i] >= PIPELINE_ATTEMPTS {
                                 Turn::Next(OpSt::Done(self.insert_optimistic(key.clone(), val)))
                             } else {
-                                self.in_start(key, val)
+                                self.in_start(key, kb, val)
                             }
                         }
                         OpSt::Enter {
                             parent,
                             child,
                             depth,
-                        } => self.in_enter(key, val, parent, child, depth),
+                        } => self.in_enter(key, kb, val, parent, child, depth),
                         OpSt::Kv {
                             node,
                             guard,
                             child,
                             byte,
                             depth,
-                        } => self.in_kv(key, val, node, guard, child, byte, depth),
+                        } => {
+                            if K::INLINE {
+                                self.in_kv(key, kb, val, node, guard, child, byte, depth)
+                            } else {
+                                unsafe { as_kv::<L, K>(child) }.key.prefetch_payload();
+                                Turn::Next(OpSt::KvWarm {
+                                    node,
+                                    guard,
+                                    child,
+                                    byte,
+                                    depth,
+                                })
+                            }
+                        }
+                        OpSt::KvWarm {
+                            node,
+                            guard,
+                            child,
+                            byte,
+                            depth,
+                        } => self.in_kv(key, kb, val, node, guard, child, byte, depth),
                         OpSt::Done(_) => unreachable!(),
                     };
                     match turn {
@@ -231,12 +302,12 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     /// First turn: guard the root (never replaced, always cache-hot) and
     /// advance one level.
     #[inline]
-    fn lk_start(&self, key: &K) -> Turn<'_, L> {
+    fn lk_start(&self, kb: &[u8]) -> Turn<'_, L> {
         let node = self.root();
         let Some(g) = OptimisticGuard::read(&node.lock) else {
             return Turn::Restart;
         };
-        self.lk_advance(key, node, g, 0)
+        self.lk_advance(kb, node, g, 0)
     }
 
     /// Later turns: guard the prefetched child, validate the parent guard
@@ -244,7 +315,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     #[inline]
     fn lk_enter<'t>(
         &'t self,
-        key: &K,
+        kb: &[u8],
         parent: OptimisticGuard<'t, L>,
         child: *mut ArtNode<L>,
         depth: usize,
@@ -258,7 +329,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
             cg.abandon();
             return Turn::Restart;
         }
-        self.lk_advance(key, ci, cg, depth)
+        self.lk_advance(kb, ci, cg, depth)
     }
 
     /// KV turn: the leaf line was prefetched last turn; read it and
@@ -284,13 +355,11 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     #[inline]
     fn lk_advance<'t>(
         &self,
-        key: &K,
+        kb: &[u8],
         node: &'t ArtNode<L>,
         g: OptimisticGuard<'t, L>,
         mut depth: usize,
     ) -> Turn<'t, L> {
-        let enc = key.encode();
-        let kb = enc.as_ref();
         let pl = node.prefix_len();
         if pl > 0 {
             let m = node.prefix_match_len(kb, depth);
@@ -335,12 +404,12 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
 
     /// First insert turn: guard the root and advance.
     #[inline]
-    fn in_start(&self, key: &K, val: u64) -> Turn<'_, L> {
+    fn in_start(&self, key: &K, kb: &[u8], val: u64) -> Turn<'_, L> {
         let node = self.root();
         let Some(g) = OptimisticGuard::read(&node.lock) else {
             return Turn::Restart;
         };
-        self.in_advance(key, val, node, g, 0)
+        self.in_advance(key, kb, val, node, g, 0)
     }
 
     /// Later insert turns: guard the prefetched inner child, validate the
@@ -352,9 +421,11 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     /// the now-stale `depth`. Validating the parent pins the child's
     /// position as of the moment its guard was acquired.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn in_enter<'t>(
         &'t self,
         key: &K,
+        kb: &[u8],
         val: u64,
         parent: OptimisticGuard<'t, L>,
         child: *mut ArtNode<L>,
@@ -369,7 +440,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
             cg.abandon();
             return Turn::Restart;
         }
-        self.in_advance(key, val, ci, cg, depth)
+        self.in_advance(key, kb, val, ci, cg, depth)
     }
 
     /// KV turn of an insert: overwrite on a key match, otherwise perform
@@ -380,6 +451,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     fn in_kv<'t>(
         &self,
         key: &K,
+        kb: &[u8],
         val: u64,
         node: &'t ArtNode<L>,
         guard: OptimisticGuard<'t, L>,
@@ -397,8 +469,6 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
             return Turn::Next(OpSt::Done(Some(old)));
         }
         // Lazy-expansion split: push both keys below a fresh chain.
-        let enc = key.encode();
-        let kb = enc.as_ref();
         let oenc = kv.key.encode();
         let okb = oenc.as_ref();
         let mut d = depth + 1;
@@ -430,16 +500,16 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     /// (prefix split, node growth) complete on the scalar path; the
     /// empty-slot insert happens inline on this already-prefetched node.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn in_advance<'t>(
         &self,
         key: &K,
+        kb: &[u8],
         val: u64,
         node: &'t ArtNode<L>,
         g: OptimisticGuard<'t, L>,
         mut depth: usize,
     ) -> Turn<'t, L> {
-        let enc = key.encode();
-        let kb = enc.as_ref();
         let pl = node.prefix_len();
         if pl > 0 {
             let m = node.prefix_match_len(kb, depth);

@@ -85,6 +85,48 @@ pub struct ArtStats {
 
 thread_local! {
     static RNG: Cell<u64> = const { Cell::new(0x9E3779B97F4A7C15) };
+    /// Reusable digit buffer for pointer-slot keys: without it every
+    /// byte-key operation allocates (and frees) a fresh escape-coded
+    /// `Vec` just to walk the radix levels.
+    static ENC_SCRATCH: Cell<Vec<u8>> = const { Cell::new(Vec::new()) };
+}
+
+/// RAII holder for a key's encoded radix digits. Inline keys encode into
+/// the stack array their `Enc` type already is; pointer-slot keys borrow
+/// the thread-local scratch buffer and hand it back on drop.
+pub(crate) enum EncodedDigits<K: IndexKey> {
+    Stack(K::Enc),
+    Scratch(Vec<u8>),
+}
+
+impl<K: IndexKey> EncodedDigits<K> {
+    #[inline]
+    pub(crate) fn new(key: &K) -> Self {
+        if K::INLINE {
+            EncodedDigits::Stack(key.encode())
+        } else {
+            let mut buf = ENC_SCRATCH.take();
+            buf.clear();
+            key.encode_into(&mut buf);
+            EncodedDigits::Scratch(buf)
+        }
+    }
+
+    #[inline]
+    pub(crate) fn as_ref(&self) -> &[u8] {
+        match self {
+            EncodedDigits::Stack(e) => e.as_ref(),
+            EncodedDigits::Scratch(v) => v,
+        }
+    }
+}
+
+impl<K: IndexKey> Drop for EncodedDigits<K> {
+    fn drop(&mut self) {
+        if let EncodedDigits::Scratch(v) = self {
+            ENC_SCRATCH.set(std::mem::take(v));
+        }
+    }
 }
 
 /// Cheap thread-local xorshift for contention sampling.
@@ -270,7 +312,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     /// entry point and the batched engine's fallback path (which accounts
     /// once per batch).
     pub(crate) fn lookup_impl(&self, key: &K) -> Option<u64> {
-        let enc = key.encode();
+        let enc = EncodedDigits::new(key);
         let kb = enc.as_ref();
         let _g = self.collector.pin();
         let mut rs = self.restart_loop();
@@ -336,7 +378,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
         if L::PESSIMISTIC {
             return self.update_pessimistic(&key, val);
         }
-        let enc = key.encode();
+        let enc = EncodedDigits::new(&key);
         let kb = enc.as_ref();
         let g = self.collector.pin();
         let mut rs = self.restart_loop();
@@ -480,7 +522,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     }
 
     fn update_pessimistic(&self, key: &K, val: u64) -> Option<u64> {
-        let enc = key.encode();
+        let enc = EncodedDigits::new(key);
         let kb = enc.as_ref();
         let _g = self.collector.pin();
         let mut node = self.root();
@@ -533,7 +575,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     }
 
     pub(crate) fn insert_optimistic(&self, key: K, val: u64) -> Option<u64> {
-        let enc = key.encode();
+        let enc = EncodedDigits::new(&key);
         let kb = enc.as_ref();
         let g = self.collector.pin();
         let mut rs = self.restart_loop();
@@ -681,7 +723,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     }
 
     fn insert_pessimistic(&self, key: K, val: u64) -> Option<u64> {
-        let enc = key.encode();
+        let enc = EncodedDigits::new(&key);
         let kb = enc.as_ref();
         let g = self.collector.pin();
         // Couple exclusively, holding (parent, node) so any SMO has both.
@@ -790,7 +832,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     }
 
     fn remove_optimistic(&self, key: &K) -> Option<u64> {
-        let enc = key.encode();
+        let enc = EncodedDigits::new(key);
         let kb = enc.as_ref();
         let g = self.collector.pin();
         let mut rs = self.restart_loop();
@@ -893,7 +935,7 @@ impl<L: IndexLock, K: IndexKey> ArtTree<L, K> {
     }
 
     fn remove_pessimistic(&self, key: &K) -> Option<u64> {
-        let enc = key.encode();
+        let enc = EncodedDigits::new(key);
         let kb = enc.as_ref();
         let g = self.collector.pin();
         let mut pstate: Option<(&ArtNode<L>, optiql::WriteToken, u8)> = None;

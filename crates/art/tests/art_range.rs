@@ -13,7 +13,7 @@ use proptest::prelude::*;
 
 use optiql::IndexLock;
 use optiql_art::{ArtMcsRw, ArtOptLock, ArtOptiQL, ArtTree};
-use optiql_index_api::{key_above_start, key_below_end, Bytes};
+use optiql_index_api::{key_above_start, key_below_end, BoxedBytes, Bytes};
 
 fn bound_strategy(key_space: u64) -> impl Strategy<Value = Bound<u64>> {
     prop_oneof![
@@ -90,6 +90,70 @@ proptest! {
         let got: Vec<(Bytes, u64)> = art.range(Bound::Unbounded, Bound::Unbounded).collect();
         let want: Vec<(Bytes, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
         prop_assert_eq!(got, want);
+    }
+}
+
+/// Key strategy pinning the inline/pointer slot boundary: lengths
+/// clustered at 6/7/8 bytes, escape bytes `0x00`/`0x01` overweighted,
+/// and the empty key.
+fn boundary_key() -> impl Strategy<Value = Vec<u8>> {
+    fn escape_byte() -> impl Strategy<Value = u8> {
+        prop_oneof![
+            2 => Just(0x00u8),
+            2 => Just(0x01u8),
+            1 => Just(0xFFu8),
+            3 => any::<u8>(),
+        ]
+    }
+    prop_oneof![
+        1 => Just(Vec::new()),
+        6 => proptest::collection::vec(escape_byte(), 6..9),
+        3 => proptest::collection::vec(escape_byte(), 0..13),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential over the inline/pointer boundary on the ART: the
+    /// same key set through `Bytes` (inline slot words) and the
+    /// `BoxedBytes` baseline (pointer slots) must both match the model —
+    /// identical digits, different slot representations.
+    #[test]
+    fn inline_and_pointer_representations_agree(
+        raw_list in proptest::collection::vec(boundary_key(), 0..100),
+    ) {
+        let fast: ArtTree<optiql::OptiQL, Bytes> = ArtTree::new();
+        let base: ArtTree<optiql::OptiQL, BoxedBytes> = ArtTree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (i, r) in raw_list.iter().enumerate() {
+            let v = i as u64;
+            prop_assert_eq!(fast.insert(Bytes::from(&r[..]), v), model.get(r).copied());
+            prop_assert_eq!(base.insert(BoxedBytes::from(&r[..]), v), model.insert(r.clone(), v));
+        }
+        for r in &raw_list {
+            let want = model.get(r).copied();
+            prop_assert_eq!(fast.lookup(Bytes::from(&r[..])), want);
+            prop_assert_eq!(base.lookup(BoxedBytes::from(&r[..])), want);
+        }
+        let want: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let got_fast: Vec<(Vec<u8>, u64)> = fast
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, v)| (k.as_bytes().to_vec(), v))
+            .collect();
+        let got_base: Vec<(Vec<u8>, u64)> = base
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .map(|(k, v)| (k.0.as_bytes().to_vec(), v))
+            .collect();
+        prop_assert_eq!(&got_fast, &want, "fast path stream order");
+        prop_assert_eq!(&got_base, &want, "baseline stream order");
+        for r in raw_list.iter().step_by(2) {
+            let want = model.remove(r);
+            prop_assert_eq!(fast.remove(Bytes::from(&r[..])), want);
+            prop_assert_eq!(base.remove(BoxedBytes::from(&r[..])), want);
+        }
+        prop_assert_eq!(fast.check_invariants(), model.len());
+        prop_assert_eq!(base.check_invariants(), model.len());
     }
 }
 

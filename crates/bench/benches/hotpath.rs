@@ -27,6 +27,7 @@ use optiql::{
 };
 use optiql_btree::node::{as_inner, as_leaf, Inner, Leaf};
 use optiql_harness::{BenchJson, BenchRecord, Histogram};
+use optiql_reclaim::Collector;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::hint::black_box;
 
@@ -197,8 +198,10 @@ fn bench_node_search<const IC: usize>(rep: &mut Reporter, dur: Duration) {
     // Safety: `ip` was just allocated by `Inner::<OptLock, IC>::alloc`.
     let inner = unsafe { as_inner::<OptLock, IC, u64>(ip) };
     inner.init_root(8, child, child);
+    let col = Collector::new();
+    let g = col.pin();
     for i in 1..(IC - 1) as u64 {
-        inner.insert_child((i + 1) * 8, child);
+        inner.insert_child(&((i + 1) * 8), child, &g);
     }
     // 64Ki probe keys: long enough that the branch predictor cannot
     // memorize the probe sequence, which would flatter branchy searches.
@@ -217,7 +220,7 @@ fn bench_node_search<const IC: usize>(rep: &mut Reporter, dur: Duration) {
     // Safety: `lp` was just allocated by `Leaf::<OptLock, IC>::alloc`.
     let leaf = unsafe { as_leaf::<OptLock, IC, u64>(lp) };
     for k in 0..IC as u64 {
-        leaf.insert(&(k * 8), k);
+        leaf.insert(&(k * 8), k, &g);
     }
     let t = time_loop(dur, || {
         i = (i + 1) & 0xFFFF;

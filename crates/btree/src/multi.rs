@@ -45,10 +45,31 @@ const PIPELINE_ATTEMPTS: u32 = 3;
 /// One in-flight operation. `Enter` means: the parent was searched and
 /// validated at version `pv`, `child` was chosen and prefetched; the next
 /// turn locks `child` and advances one level.
+///
+/// The `Warm*` states exist only for pointer-slot keys (`!K::INLINE`):
+/// after a node's cache lines arrive, its slot *words* are readable, but
+/// the search still chases each compared slot's heap blob. Warming reads
+/// the cheap words and prefetches the blobs of the node prefix and the
+/// first binary probes, then yields a turn so those fetches overlap the
+/// rest of the group instead of stalling the search.
 #[derive(Clone, Copy)]
 enum OpSt {
     Start,
     Enter {
+        parent: *mut NodeBase,
+        pv: u64,
+        child: *mut NodeBase,
+    },
+    /// `node` is read-locked at `v`, its probe blobs are in flight; the
+    /// next turn runs the search (lookup descent, or insert inner step).
+    WarmRead {
+        node: *mut NodeBase,
+        v: u64,
+    },
+    /// Insert only: `child` is the chosen leaf (not yet locked, parent
+    /// validation pending), its probe blobs are in flight; the next turn
+    /// performs the leaf write protocol.
+    WarmLeaf {
         parent: *mut NodeBase,
         pv: u64,
         child: *mut NodeBase,
@@ -94,6 +115,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                             }
                         }
                         OpSt::Enter { parent, pv, child } => self.lk_enter(key, parent, pv, child),
+                        OpSt::WarmRead { node, v } => self.lk_advance(key, node, v),
+                        OpSt::WarmLeaf { .. } => unreachable!("lookups never warm a leaf write"),
                         OpSt::Done(_) => unreachable!(),
                     };
                     match turn {
@@ -171,6 +194,10 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                         OpSt::Enter { parent, pv, child } => {
                             self.in_enter(key, val, parent, pv, child)
                         }
+                        OpSt::WarmRead { node, v } => self.in_step(key, val, node, v),
+                        OpSt::WarmLeaf { parent, pv, child } => {
+                            self.in_leaf(key, val, unsafe { as_inner(parent) }, pv, child)
+                        }
                         OpSt::Done(_) => unreachable!(),
                     };
                     match turn {
@@ -239,7 +266,23 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
             unsafe { self.node_abandon(child, cv) };
             return Turn::Restart;
         }
+        if !K::INLINE {
+            self.warm_node(child);
+            return Turn::Next(OpSt::WarmRead { node: child, v: cv });
+        }
         self.lk_advance(key, child, cv)
+    }
+
+    /// Issue the probe-blob prefetches for `node` (either kind).
+    #[inline]
+    fn warm_node(&self, node: *mut NodeBase) {
+        unsafe {
+            if is_leaf(node) {
+                as_leaf::<LL, LC, K>(node).prefetch_probe_slots();
+            } else {
+                as_inner::<IL, IC, K>(node).prefetch_probe_slots();
+            }
+        }
     }
 
     /// One descent step at `(node, v)`: answer from a leaf, or choose and
@@ -258,7 +301,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
         let inner = unsafe { as_inner::<IL, IC, K>(node) };
         // `find_child` prefetches the chosen child's first two lines; the
         // batched path can afford the rest of the node too.
-        let (child, _) = inner.find_child(key);
+        let child = inner.find_child(key);
         if child.is_null() {
             unsafe { self.node_abandon(node, v) };
             return Turn::Restart;
@@ -304,7 +347,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
         if inner.is_full() {
             return Turn::Next(OpSt::Done(self.insert_optimistic(key, val)));
         }
-        let (child, _) = inner.find_child(key);
+        let child = inner.find_child(key);
         if child.is_null() {
             return Turn::Restart;
         }
@@ -332,6 +375,10 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
     ) -> Turn {
         let inner = unsafe { as_inner::<IL, IC, K>(parent) };
         if unsafe { is_leaf(child) } {
+            if !K::INLINE {
+                self.warm_node(child);
+                return Turn::Next(OpSt::WarmLeaf { parent, pv, child });
+            }
             return self.in_leaf(key, val, inner, pv, child);
         }
         let ci = unsafe { as_inner::<IL, IC, K>(child) };
@@ -348,6 +395,10 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
         if !inner.lock.r_unlock(pv) {
             return Turn::Restart;
         }
+        if !K::INLINE {
+            self.warm_node(child);
+            return Turn::Next(OpSt::WarmRead { node: child, v: cv });
+        }
         self.in_step(key, val, child, cv)
     }
 
@@ -363,6 +414,9 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
         child: *mut NodeBase,
     ) -> Turn {
         let leaf = unsafe { as_leaf::<LL, LC, K>(child) };
+        // Nested pin (the batch entry point holds the outer one): cheap,
+        // and gives the slot writes below their epoch guard.
+        let g = self.collector.pin();
         match LL::STRATEGY {
             WriteStrategy::Upgrade => {
                 let Some(lv) = leaf.lock.r_lock() else {
@@ -377,7 +431,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                 let Some(lt) = leaf.lock.try_upgrade(lv) else {
                     return Turn::Restart;
                 };
-                let old = leaf.insert(key, val);
+                let old = leaf.insert(key, val, &g);
                 leaf.lock.x_unlock(lt);
                 Turn::Next(OpSt::Done(old))
             }
@@ -392,7 +446,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                     return Turn::Next(OpSt::Done(self.insert_optimistic(key, val)));
                 }
                 leaf.lock.x_finish_adjustable(lt);
-                let old = leaf.insert(key, val);
+                let old = leaf.insert(key, val, &g);
                 leaf.lock.x_unlock(lt);
                 Turn::Next(OpSt::Done(old))
             }

@@ -281,7 +281,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                     return res;
                 }
                 let inner = unsafe { as_inner::<IL, IC, K>(node) };
-                let (child, _) = inner.find_child(key);
+                let child = inner.find_child(key);
                 if child.is_null() {
                     unsafe { self.node_abandon(node, v) };
                     continue 'restart;
@@ -371,7 +371,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
             // Drill down until the child is a leaf (Alg 4 lines 9-26).
             loop {
                 let inner = unsafe { as_inner::<IL, IC, K>(node) };
-                let (child, _) = inner.find_child(key);
+                let child = inner.find_child(key);
                 if child.is_null() {
                     unsafe { self.node_abandon(node, v) };
                     continue 'restart;
@@ -503,10 +503,11 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
             let st = sib.lock.x_lock();
             if leaf.count() + sib.count() <= LC {
                 self.count_stat(&self.stats.leaf_merges);
-                // `absorb` moves the sibling's key slots into `leaf`, so
-                // retiring the sibling node never touches them; the
-                // dropped separator is the only slot released here.
-                leaf.absorb(sib);
+                // `absorb` moves (or, under prefix truncation, re-expresses
+                // and retires) the sibling's key slots, so retiring the
+                // sibling node never touches live slots; the dropped
+                // separator is released here.
+                leaf.absorb(sib, g);
                 let sep = parent.remove_child(idx + 1);
                 sib.lock.x_unlock(st);
                 unsafe {
@@ -565,7 +566,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
 
     pub(crate) fn insert_optimistic(&self, key: &K, val: u64) -> Option<u64> {
         let mut rs = self.restart_loop();
-        let _g = self.collector.pin();
+        let g = self.collector.pin();
         'restart: loop {
             rs.pause();
             let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
@@ -582,23 +583,21 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                     // Upgrade ⇒ unchanged ⇒ still root.
                     if leaf.is_full() {
                         self.count_stat(&self.stats.root_splits);
-                        let (sep, right) = leaf.split();
-                        // Safety: `sep` is live (owned by this thread until
-                        // `init_root` takes it over just below).
-                        let go_right = unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
+                        let (sep, right) = leaf.split(&g);
+                        let go_right = *key >= sep;
                         let new_root = Inner::<IL, IC, K>::alloc();
                         unsafe { as_inner::<IL, IC, K>(new_root) }.init_root(sep, node, right);
                         // Insert into the proper half before publishing.
                         let old = if go_right {
-                            unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val)
+                            unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val, &g)
                         } else {
-                            leaf.insert(key, val)
+                            leaf.insert(key, val, &g)
                         };
                         self.root.store(new_root, Ordering::Release);
                         leaf.lock.x_unlock(t);
                         return old;
                     }
-                    let old = leaf.insert(key, val);
+                    let old = leaf.insert(key, val, &g);
                     leaf.lock.x_unlock(t);
                     return old;
                 }
@@ -617,8 +616,8 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                                 continue 'restart;
                             };
                             self.count_stat(&self.stats.inner_splits);
-                            let (sep, right) = inner.split();
-                            pi.insert_child(sep, right);
+                            let (sep, right) = inner.split(&g);
+                            pi.insert_child(&sep, right, &g);
                             inner.lock.x_unlock(nt);
                             pi.lock.x_unlock(pt);
                         }
@@ -629,7 +628,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                             // Upgrade ⇒ still root (root replacement bumps
                             // the old root's version first).
                             self.count_stat(&self.stats.root_splits);
-                            let (sep, right) = inner.split();
+                            let (sep, right) = inner.split(&g);
                             let new_root = Inner::<IL, IC, K>::alloc();
                             unsafe { as_inner::<IL, IC, K>(new_root) }.init_root(sep, node, right);
                             self.root.store(new_root, Ordering::Release);
@@ -647,7 +646,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                     }
                 }
 
-                let (child, _) = inner.find_child(key);
+                let child = inner.find_child(key);
                 if child.is_null() {
                     continue 'restart;
                 }
@@ -672,16 +671,13 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                                     continue 'restart;
                                 };
                                 self.count_stat(&self.stats.leaf_splits);
-                                let (sep, right) = leaf.split();
-                                // Safety: `sep` stays live through the
-                                // parent that owns it after insert_child.
-                                let go_right =
-                                    unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
-                                inner.insert_child(sep, right);
+                                let (sep, right) = leaf.split(&g);
+                                let go_right = *key >= sep;
+                                inner.insert_child(&sep, right, &g);
                                 let old = if go_right {
-                                    unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val)
+                                    unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val, &g)
                                 } else {
-                                    leaf.insert(key, val)
+                                    leaf.insert(key, val, &g)
                                 };
                                 leaf.lock.x_unlock(lt);
                                 inner.lock.x_unlock(pt);
@@ -693,7 +689,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                             let Some(lt) = leaf.lock.try_upgrade(lv) else {
                                 continue 'restart;
                             };
-                            let old = leaf.insert(key, val);
+                            let old = leaf.insert(key, val, &g);
                             leaf.lock.x_unlock(lt);
                             return old;
                         }
@@ -713,22 +709,20 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                                 };
                                 leaf.lock.x_finish_adjustable(lt);
                                 self.count_stat(&self.stats.leaf_splits);
-                                let (sep, right) = leaf.split();
-                                // Safety: as above — the parent owns `sep`.
-                                let go_right =
-                                    unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
-                                inner.insert_child(sep, right);
+                                let (sep, right) = leaf.split(&g);
+                                let go_right = *key >= sep;
+                                inner.insert_child(&sep, right, &g);
                                 let old = if go_right {
-                                    unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val)
+                                    unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val, &g)
                                 } else {
-                                    leaf.insert(key, val)
+                                    leaf.insert(key, val, &g)
                                 };
                                 leaf.lock.x_unlock(lt);
                                 inner.lock.x_unlock(pt);
                                 return old;
                             }
                             leaf.lock.x_finish_adjustable(lt);
-                            let old = leaf.insert(key, val);
+                            let old = leaf.insert(key, val, &g);
                             leaf.lock.x_unlock(lt);
                             return old;
                         }
@@ -750,7 +744,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
 
     fn insert_pessimistic(&self, key: &K, val: u64) -> Option<u64> {
         let mut rs = self.restart_loop();
-        let _g = self.collector.pin();
+        let g = self.collector.pin();
         'restart: loop {
             rs.pause();
             // Lock the root exclusively (type-dispatched), re-verifying.
@@ -764,21 +758,20 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                 }
                 if leaf.is_full() {
                     self.count_stat(&self.stats.root_splits);
-                    let (sep, right) = leaf.split();
-                    // Safety: `sep` is owned here, then by the new root.
-                    let go_right = unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
+                    let (sep, right) = leaf.split(&g);
+                    let go_right = *key >= sep;
                     let new_root = Inner::<IL, IC, K>::alloc();
                     unsafe { as_inner::<IL, IC, K>(new_root) }.init_root(sep, node, right);
                     let old = if go_right {
-                        unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val)
+                        unsafe { as_leaf::<LL, LC, K>(right) }.insert(key, val, &g)
                     } else {
-                        leaf.insert(key, val)
+                        leaf.insert(key, val, &g)
                     };
                     self.root.store(new_root, Ordering::Release);
                     leaf.lock.x_unlock(t);
                     return old;
                 }
-                let old = leaf.insert(key, val);
+                let old = leaf.insert(key, val, &g);
                 leaf.lock.x_unlock(t);
                 return old;
             }
@@ -791,7 +784,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
             }
             if inner.is_full() {
                 self.count_stat(&self.stats.root_splits);
-                let (sep, right) = inner.split();
+                let (sep, right) = inner.split(&g);
                 let new_root = Inner::<IL, IC, K>::alloc();
                 unsafe { as_inner::<IL, IC, K>(new_root) }.init_root(sep, node, right);
                 self.root.store(new_root, Ordering::Release);
@@ -804,17 +797,16 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
             let mut parent = inner;
             let mut ptoken = t;
             loop {
-                let (mut child, _) = parent.find_child(key);
+                let mut child = parent.find_child(key);
                 debug_assert!(!child.is_null());
                 if unsafe { is_leaf(child) } {
                     let mut leaf = unsafe { as_leaf::<LL, LC, K>(child) };
                     let mut lt = leaf.lock.x_lock();
                     if leaf.is_full() {
                         self.count_stat(&self.stats.leaf_splits);
-                        let (sep, right) = leaf.split();
-                        // Safety: `sep` is owned here, then by the parent.
-                        let go_right = unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
-                        parent.insert_child(sep, right);
+                        let (sep, right) = leaf.split(&g);
+                        let go_right = *key >= sep;
+                        parent.insert_child(&sep, right, &g);
                         if go_right {
                             let rl = unsafe { as_leaf::<LL, LC, K>(right) };
                             let rt = rl.lock.x_lock();
@@ -823,12 +815,12 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                             lt = rt;
                         }
                         parent.lock.x_unlock(ptoken);
-                        let old = leaf.insert(key, val);
+                        let old = leaf.insert(key, val, &g);
                         leaf.lock.x_unlock(lt);
                         return old;
                     }
                     parent.lock.x_unlock(ptoken);
-                    let old = leaf.insert(key, val);
+                    let old = leaf.insert(key, val, &g);
                     leaf.lock.x_unlock(lt);
                     return old;
                 }
@@ -837,10 +829,9 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                 let mut ct = ci.lock.x_lock();
                 if ci.is_full() {
                     self.count_stat(&self.stats.inner_splits);
-                    let (sep, right) = ci.split();
-                    // Safety: `sep` is owned here, then by the parent.
-                    let go_right = unsafe { key.cmp_slot(sep) } != std::cmp::Ordering::Less;
-                    parent.insert_child(sep, right);
+                    let (sep, right) = ci.split(&g);
+                    let go_right = *key >= sep;
+                    parent.insert_child(&sep, right, &g);
                     if go_right {
                         let ri = unsafe { as_inner::<IL, IC, K>(right) };
                         let rt = ri.lock.x_lock();
@@ -881,7 +872,7 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
             rs.pause();
             out.clear();
             let (mut node, mut v) = unsafe { self.lock_root_shared(&mut rs) };
-            let mut upper: Option<u64> = None;
+            let mut upper: Option<K> = None;
             loop {
                 if unsafe { is_leaf(node) } {
                     let leaf = unsafe { as_leaf::<LL, LC, K>(node) };
@@ -889,10 +880,9 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                     if !leaf.lock.r_unlock(v) {
                         continue 'restart;
                     }
-                    // Safety: the separator slot was read while pinned;
-                    // even if it was retired since, the epoch keeps the
-                    // pointee alive until the pin drops.
-                    return upper.map(|s| unsafe { K::slot_key(s) });
+                    // `upper` is an owned reconstruction of the tightest
+                    // separator, captured only after its node revalidated.
+                    return upper;
                 }
                 let inner = unsafe { as_inner::<IL, IC, K>(node) };
                 let (child, up) = inner.find_child_from(from);
@@ -965,16 +955,16 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
     /// Walk the tree single-threadedly and assert every structural
     /// invariant; returns the entry count. Panics on violation.
     pub fn check_invariants(&self) -> usize {
-        // Fences are borrowed key slots; the walk is single-threaded, so
-        // every slot it sees is live.
+        // Keys are reconstructed through the node's own prefix (identity
+        // under `!K::TRUNCATE`): the walk is single-threaded, so every
+        // slot and prefix it sees is live and coherent.
         fn walk<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey>(
             p: *mut NodeBase,
-            lo: Option<u64>,
-            hi: Option<u64>,
+            lo: Option<&K>,
+            hi: Option<&K>,
             depth: usize,
             leaf_depth: &mut Option<usize>,
         ) -> usize {
-            let lt = |a: u64, b: u64| unsafe { K::slot_cmp_slot(a, b) } == std::cmp::Ordering::Less;
             unsafe {
                 if is_leaf(p) {
                     match leaf_depth {
@@ -983,42 +973,40 @@ impl<IL: IndexLock, LL: IndexLock, const IC: usize, const LC: usize, K: IndexKey
                     }
                     let l = as_leaf::<LL, LC, K>(p);
                     let n = l.count();
+                    let mut prev: Option<K> = None;
                     for i in 0..n {
-                        let k = l.key_slot(i);
-                        if i > 0 {
-                            assert!(lt(l.key_slot(i - 1), k), "leaf keys out of order");
+                        let k = l.key_at(i);
+                        if let Some(prev) = &prev {
+                            assert!(*prev < k, "leaf keys out of order");
                         }
                         if let Some(lo) = lo {
-                            assert!(!lt(k, lo), "leaf key below lower fence");
+                            assert!(k >= *lo, "leaf key below lower fence");
                         }
                         if let Some(hi) = hi {
-                            assert!(lt(k, hi), "leaf key above upper fence");
+                            assert!(k < *hi, "leaf key above upper fence");
                         }
+                        prev = Some(k);
                     }
                     n
                 } else {
                     let node = as_inner::<IL, IC, K>(p);
                     let n = node.count();
                     let mut total = 0;
-                    for i in 0..n {
-                        let k = node.key_slot(i);
+                    let seps: Vec<K> = (0..n).map(|i| node.sep_key_at(i)).collect();
+                    for (i, k) in seps.iter().enumerate() {
                         if i > 0 {
-                            assert!(lt(node.key_slot(i - 1), k), "separators out of order");
+                            assert!(seps[i - 1] < *k, "separators out of order");
                         }
                         if let Some(lo) = lo {
-                            assert!(!lt(k, lo), "separator below lower fence");
+                            assert!(k >= lo, "separator below lower fence");
                         }
                         if let Some(hi) = hi {
-                            assert!(lt(k, hi), "separator above upper fence");
+                            assert!(k < hi, "separator above upper fence");
                         }
                     }
                     for i in 0..=n {
-                        let c_lo = if i == 0 {
-                            lo
-                        } else {
-                            Some(node.key_slot(i - 1))
-                        };
-                        let c_hi = if i == n { hi } else { Some(node.key_slot(i)) };
+                        let c_lo = if i == 0 { lo } else { Some(&seps[i - 1]) };
+                        let c_hi = if i == n { hi } else { Some(&seps[i]) };
                         let child = node.child(i);
                         assert!(!child.is_null(), "null child in inner node");
                         total +=

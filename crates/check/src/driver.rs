@@ -13,7 +13,9 @@
 //! * streaming-scan cells (`stream-*`) whose scan arm drives the lazy
 //!   [`ConcurrentIndex::range`] iterator instead of `scan_count`, so
 //!   per-leaf/per-chunk OLC revalidation races structural churn under
-//!   the same seeded perturbation.
+//!   the same seeded perturbation — including two byte-keyed cells
+//!   (`stream-keyed-*`) that drop live iterators over [`Bytes`] trees
+//!   whose keys straddle the inline/pointer slot boundary.
 //!
 //! [`run_target`] runs one `(target, seed)` cell: workers execute
 //! deterministic op scripts derived from `(seed, worker slot)` through a
@@ -23,9 +25,10 @@
 //! its seed — [`Failure`] carries exactly that, and [`sweep`] re-runs a
 //! failing seed verbatim to demonstrate replay.
 
+use std::ops::Bound;
 use std::sync::{Arc, Barrier, Mutex};
 
-use optiql_index_api::ConcurrentIndex;
+use optiql_index_api::{Bytes, ConcurrentIndex, RangeIter};
 
 use crate::chaos::ChaosIndex;
 use crate::history::{Recorder, ThreadRecorder};
@@ -119,6 +122,99 @@ fn mk_optreg<L: optiql::IndexLock>() -> Arc<dyn ConcurrentIndex> {
 fn mk_lockreg<L: optiql::ExclusiveLock>() -> Arc<dyn ConcurrentIndex> {
     Arc::new(LockRegister::<L>::new(REGISTER_CAP))
 }
+/// Order-preserving injection of the checker's `u64` keyspace into byte
+/// strings, shaped to land on both sides of the inline/pointer slot
+/// boundary: `[len][big-endian bytes, leading zeros trimmed]` is 1–3
+/// bytes for the small chaos keyspaces (inline-eligible), and every
+/// third key grows a long tail that forces a heap pointer slot. The
+/// length byte keeps numeric order (fewer bytes ⇒ smaller value) and
+/// makes the short forms prefix-free, so appending the tail preserves
+/// strict order too.
+fn byte_key(k: u64) -> Bytes {
+    const TAIL: &[u8] = b"-0123456789abcdef";
+    let be = k.to_be_bytes();
+    let skip = (k.leading_zeros() / 8) as usize;
+    let n = 8 - skip.min(8);
+    let mut buf = [0u8; 9 + TAIL.len()];
+    buf[0] = n as u8;
+    buf[1..1 + n].copy_from_slice(&be[8 - n..]);
+    let mut len = 1 + n;
+    if k % 3 == 0 {
+        buf[len..len + TAIL.len()].copy_from_slice(TAIL);
+        len += TAIL.len();
+    }
+    Bytes::from(&buf[..len])
+}
+
+/// Invert [`byte_key`] (the tail, when present, is simply ignored).
+fn decode_byte_key(b: &Bytes) -> u64 {
+    let raw = b.as_bytes();
+    let n = raw[0] as usize;
+    raw[1..1 + n].iter().fold(0u64, |v, &x| v << 8 | x as u64)
+}
+
+/// `u64`-keyed view of a byte-keyed index through [`byte_key`]: the
+/// recorder and checker keep speaking integers while every operation
+/// underneath exercises the byte-key fast path (inline slots, prefix
+/// truncation, escape-coded radix digits) against the same scripts and
+/// chaos schedules as the integer cells.
+struct ByteKeyed<I>(I);
+
+impl<I: ConcurrentIndex<Bytes>> ConcurrentIndex for ByteKeyed<I> {
+    fn insert(&self, k: u64, v: u64) -> Option<u64> {
+        self.0.insert(byte_key(k), v)
+    }
+    fn update(&self, k: u64, v: u64) -> Option<u64> {
+        self.0.update(byte_key(k), v)
+    }
+    fn lookup(&self, k: u64) -> Option<u64> {
+        self.0.lookup(byte_key(k))
+    }
+    fn remove(&self, k: u64) -> Option<u64> {
+        self.0.remove(byte_key(k))
+    }
+    fn scan_count(&self, start: u64, limit: usize) -> usize {
+        self.0.scan_count(byte_key(start), limit)
+    }
+    fn range(&self, start: Bound<u64>, end: Bound<u64>) -> RangeIter<'_, u64> {
+        let m = |b: Bound<u64>| match b {
+            Bound::Included(k) => Bound::Included(byte_key(k)),
+            Bound::Excluded(k) => Bound::Excluded(byte_key(k)),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        RangeIter::new(
+            self.0
+                .range(m(start), m(end))
+                .map(|(k, v)| (decode_byte_key(&k), v)),
+        )
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn index_stats(&self) -> optiql::olc::IndexStats {
+        self.0.index_stats()
+    }
+    fn multi_lookup(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        let keys: Vec<Bytes> = keys.iter().map(|&k| byte_key(k)).collect();
+        self.0.multi_lookup(&keys)
+    }
+    fn multi_insert(&self, pairs: &[(u64, u64)]) -> Vec<Option<u64>> {
+        let pairs: Vec<(Bytes, u64)> = pairs.iter().map(|&(k, v)| (byte_key(k), v)).collect();
+        self.0.multi_insert(&pairs)
+    }
+}
+
+type TinyTreeBytes = optiql_btree::BPlusTree<optiql::OptLock, optiql::OptiQL, 4, 4, Bytes>;
+
+fn mk_keyed_btree() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(ByteKeyed(TinyTreeBytes::new()))
+}
+fn mk_keyed_art() -> Arc<dyn ConcurrentIndex> {
+    Arc::new(ByteKeyed(
+        optiql_art::ArtTree::<optiql::OptiQL, Bytes>::new(),
+    ))
+}
+
 // 4-key blocks: the default block granularity (64Ki keys, sized for
 // bench keyspaces) would drop the checker's whole 128-key space into one
 // shard; 2 block bits stripe it as 32 blocks over all four shards.
@@ -284,6 +380,19 @@ pub fn targets() -> Vec<Target> {
             false,
             true
         ),
+        // Byte-key streaming cells: the same iterator lifecycle (opened,
+        // partially drained, dropped mid-stream) over [`Bytes`]-keyed
+        // trees, so prefix-truncation maintenance and inline/pointer slot
+        // reclamation race live iterators under chaos.
+        t!(
+            "stream-keyed-btree",
+            "stream",
+            1,
+            mk_keyed_btree,
+            false,
+            true
+        ),
+        t!("stream-keyed-art", "stream", 1, mk_keyed_art, false, true),
     ]
 }
 
@@ -639,8 +748,9 @@ mod tests {
             );
         }
         // Streaming-scan cells: both trees, both pessimistic baselines,
-        // both sharded fan-outs; every one named for what it does.
-        assert_eq!(ts.iter().filter(|t| t.group == "stream").count(), 6);
+        // both sharded fan-outs, and the byte-keyed pair; every one
+        // named for what it does.
+        assert_eq!(ts.iter().filter(|t| t.group == "stream").count(), 8);
         for t in &ts {
             assert_eq!(
                 t.stream_scans,
@@ -652,6 +762,25 @@ mod tests {
                 assert!(t.name.starts_with("stream-"));
             }
         }
+    }
+
+    #[test]
+    fn byte_key_injection_is_order_preserving_and_invertible() {
+        let mut prev = byte_key(0);
+        assert_eq!(decode_byte_key(&prev), 0);
+        for k in 1..2_000u64 {
+            let b = byte_key(k);
+            assert!(prev < b, "order broken at {k}");
+            assert_eq!(decode_byte_key(&b), k);
+            prev = b;
+        }
+        for ks in [255, 256, 65_535, 65_536, u32::MAX as u64, u64::MAX].windows(2) {
+            assert!(byte_key(ks[0]) < byte_key(ks[1]));
+        }
+        // Both slot representations appear: short keys inline, the
+        // tailed ones spill to heap pointer slots.
+        assert!(byte_key(1).as_bytes().len() <= 7);
+        assert!(byte_key(3).as_bytes().len() > 7);
     }
 
     #[test]

@@ -48,8 +48,9 @@
 //! see one ascending, shard-transparent stream.
 //!
 //! The facade is key-generic like everything above it: routing uses
-//! [`IndexKey::route_hint`] (the key itself for `u64`, the first raw
-//! bytes for byte strings), so a `ShardedIndex<ArtTree<L, Bytes>>` works
+//! [`IndexKey::route_hint`] (the key itself for `u64`; for byte strings
+//! the precomputed inline/sort word — a field load, no byte shuffling on
+//! the routing path), so a `ShardedIndex<ArtTree<L, Bytes>>` works
 //! exactly like the integer one.
 
 #![warn(missing_docs)]
