@@ -73,6 +73,7 @@ fn main() {
                 dispatch,
                 preload: keys,
                 max_group: 256,
+                ..ServerConfig::default()
             })
             .expect("server start");
             let addr = h.addr().to_string();

@@ -15,7 +15,14 @@
 //!   per-leaf/per-chunk OLC revalidation races structural churn under
 //!   the same seeded perturbation — including two byte-keyed cells
 //!   (`stream-keyed-*`) that drop live iterators over [`Bytes`] trees
-//!   whose keys straddle the inline/pointer slot boundary.
+//!   whose keys straddle the inline/pointer slot boundary,
+//! * crash-replay cells (`crash-*`): phase one runs through a
+//!   wal-logged wrapper and is stopped at a seeded tick (with a
+//!   checkpoint-by-scan fired mid-churn at half that tick), the wal is
+//!   recovered into a fresh instance, and phase two plus a full-keyspace
+//!   lookup sweep extend the *same* recorded history — the Wing–Gong
+//!   checker over the stitched pre-crash + post-recovery history
+//!   certifies recovery lost nothing and invented nothing.
 //!
 //! [`run_target`] runs one `(target, seed)` cell: workers execute
 //! deterministic op scripts derived from `(seed, worker slot)` through a
@@ -26,9 +33,11 @@
 //! failing seed verbatim to demonstrate replay.
 
 use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
 use optiql_index_api::{Bytes, ConcurrentIndex, RangeIter};
+use optiql_wal::{DurableIndex, FsyncPolicy, Wal, WalConfig};
 
 use crate::chaos::ChaosIndex;
 use crate::history::{Recorder, ThreadRecorder};
@@ -92,6 +101,10 @@ pub struct Target {
     /// dropped mid-stream half the time — the lifecycle a server-side
     /// paginated SCAN produces.
     pub stream_scans: bool,
+    /// Run the crash-replay schedule (see [`run_crash_target`]): log
+    /// phase one through a wal, stop it at a seeded tick, recover into a
+    /// fresh instance, and check the stitched two-phase history.
+    pub crash: bool,
     make: fn() -> Arc<dyn ConcurrentIndex>,
 }
 
@@ -245,12 +258,16 @@ pub fn targets() -> Vec<Target> {
             t!($name, $group, $batch, $make, $pin, false)
         };
         ($name:literal, $group:literal, $batch:expr, $make:expr, $pin:expr, $stream:expr) => {
+            t!($name, $group, $batch, $make, $pin, $stream, false)
+        };
+        ($name:literal, $group:literal, $batch:expr, $make:expr, $pin:expr, $stream:expr, $crash:expr) => {
             Target {
                 name: $name,
                 group: $group,
                 batch: $batch,
                 pin_workers: $pin,
                 stream_scans: $stream,
+                crash: $crash,
                 make: $make,
             }
         };
@@ -393,6 +410,50 @@ pub fn targets() -> Vec<Target> {
             true
         ),
         t!("stream-keyed-art", "stream", 1, mk_keyed_art, false, true),
+        // Crash-replay cells: phase one is wal-logged and stopped at a
+        // seeded tick with a checkpoint racing the churn; recovery
+        // replays into a fresh instance, phase two and a full-keyspace
+        // sweep extend the same history, and the checker certifies the
+        // stitched pre-crash + post-recovery run. Both trees, the
+        // sharded facade (wal shards mirror index shards), and the
+        // byte-keyed tree (recovery re-enters keys through the
+        // `from_encoded` path the server uses).
+        t!(
+            "crash-btree-optiql",
+            "crash",
+            1,
+            mk_btree::<OptiQL>,
+            false,
+            false,
+            true
+        ),
+        t!(
+            "crash-art-optiql",
+            "crash",
+            1,
+            mk_art::<OptiQL>,
+            false,
+            false,
+            true
+        ),
+        t!(
+            "crash-sharded-btree",
+            "crash",
+            1,
+            mk_sharded_btree,
+            false,
+            false,
+            true
+        ),
+        t!(
+            "crash-keyed-btree",
+            "crash",
+            1,
+            mk_keyed_btree,
+            false,
+            false,
+            true
+        ),
     ]
 }
 
@@ -489,6 +550,9 @@ fn splitmix(state: &mut u64) -> u64 {
 /// the checker can distinguish every write. With `stream` set, the scan
 /// arm opens the lazy `range` iterator instead of calling `scan_count`,
 /// draining 1–8 entries and dropping the iterator early half the time.
+/// A set `stop` flag ends the script between ops — the crash driver's
+/// simulated power cut, always on an operation boundary so every
+/// recorded event also finished its wal append.
 fn run_script<I: ConcurrentIndex>(
     ix: &I,
     slot: usize,
@@ -496,12 +560,18 @@ fn run_script<I: ConcurrentIndex>(
     batch: usize,
     stream: bool,
     cfg: &CheckConfig,
+    stop: Option<&AtomicBool>,
 ) {
     let mut state =
         seed ^ (slot as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
     let mut lookups: Vec<u64> = Vec::new();
     let mut inserts: Vec<(u64, u64)> = Vec::new();
     for i in 0..cfg.ops_per_thread {
+        if let Some(flag) = stop {
+            if flag.load(Ordering::Acquire) {
+                break;
+            }
+        }
         let r = splitmix(&mut state);
         let mut key = (r >> 32) % cfg.key_space;
         if cfg.clustered {
@@ -579,6 +649,9 @@ pub fn run_target(t: &Target, seed: u64, cfg: &CheckConfig) -> Result<RunReport,
         !cfg.clustered || cfg.key_space <= 1 << 16,
         "spread_key covers 16 index bits"
     );
+    if t.crash {
+        return run_crash_target(t, seed, cfg);
+    }
     let _gate = RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
     if cfg.chaos {
         crate::chaos::configure(seed);
@@ -621,7 +694,7 @@ pub fn run_target(t: &Target, seed: u64, cfg: &CheckConfig) -> Result<RunReport,
                     }
                     let tr = ThreadRecorder::new(chaosed, recorder, slot as u32);
                     barrier.wait();
-                    run_script(&tr, slot, seed, batch, stream, cfg);
+                    run_script(&tr, slot, seed, batch, stream, cfg, None);
                     tr.into_log()
                 })
             })
@@ -633,6 +706,195 @@ pub fn run_target(t: &Target, seed: u64, cfg: &CheckConfig) -> Result<RunReport,
     });
 
     crate::chaos::disable();
+    let ticks = recorder.now();
+    match check_logs(logs) {
+        Ok(summary) => Ok(RunReport { summary, ticks }),
+        Err(violation) => Err(Failure {
+            target: t.name,
+            seed,
+            cfg: cfg.clone(),
+            violation,
+        }),
+    }
+}
+
+/// Run one crash-replay cell: the `CrashReplay` schedule for targets
+/// with [`Target::crash`] set (dispatched from [`run_target`]).
+///
+/// 1. **Phase one (pre-crash)**: workers run their chaos-perturbed
+///    scripts through `ThreadRecorder → ChaosIndex → DurableIndex →
+///    index`, so every mutation is redo-logged exactly as the server
+///    stack logs it. A controller thread watches the recorder's tick
+///    clock: at a seeded *checkpoint tick* it runs checkpoint-by-scan
+///    against the live churn, and at a seeded *crash tick* (in the
+///    middle half of the run) it raises the stop flag. Workers stop on
+///    operation boundaries — the recorded history and the log agree at
+///    the cut, which is exactly what fsync-before-ack guarantees a real
+///    crash (the subprocess SIGKILL test covers mid-append cuts).
+/// 2. **Recovery**: the wal directory is reopened and replayed into a
+///    *fresh* instance of the same target, checkpoint first, log tail
+///    on top.
+/// 3. **Phase two (post-recovery)**: new workers (distinct recorder
+///    thread ids and chaos slots, half-length scripts) hammer the
+///    recovered index under the same seed's chaos schedule, then a
+///    final sweep thread looks up every key in the keyspace so each
+///    key's recovered value is certified, not just the ones phase two
+///    happened to touch.
+///
+/// The stitched phase-one + phase-two + sweep history goes through the
+/// same Wing–Gong checker as every other cell. A write recovery lost
+/// surfaces as a stale lookup no linearization can explain; a phantom
+/// surfaces as a value nobody wrote.
+fn run_crash_target(t: &Target, seed: u64, cfg: &CheckConfig) -> Result<RunReport, Failure> {
+    let _gate = RUN_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    if cfg.chaos {
+        crate::chaos::configure(seed);
+    } else {
+        crate::chaos::disable();
+    }
+
+    let dir = std::env::temp_dir().join(format!(
+        "optiql-check-crash-{}-{seed:x}-{}",
+        t.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal_cfg = || WalConfig {
+        shards: 4,
+        block_bits: SHARD_BLOCK_BITS,
+        policy: FsyncPolicy::Group,
+        ..WalConfig::new(&dir)
+    };
+
+    // Both crash points are pure functions of the seed. Two ticks per
+    // recorded op bounds the run's tick budget; the crash lands in its
+    // middle half, the checkpoint halfway to the crash.
+    let mut rng = seed ^ 0xC4A5_4C4A_5C4A_54C4;
+    let est_ticks = (cfg.threads * cfg.ops_per_thread * 2) as u64;
+    let crash_tick = est_ticks / 4 + splitmix(&mut rng) % (est_ticks / 2).max(1);
+    let ckpt_tick = crash_tick / 2;
+
+    let recorder = Recorder::new();
+    let stop = AtomicBool::new(false);
+    let done = AtomicUsize::new(0);
+
+    // Phase one: chaos over the wal-logged wrapper over the index.
+    let wal = Arc::new(Wal::open(wal_cfg()).expect("open wal for crash cell"));
+    let raw = t.build();
+    let chaosed = Arc::new(ChaosIndex::new(DurableIndex::new(
+        Arc::clone(&raw),
+        Arc::clone(&wal),
+    )));
+    let barrier = Arc::new(Barrier::new(cfg.threads));
+    let mut logs: Vec<Vec<crate::history::HistEvent>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|slot| {
+                let chaosed = Arc::clone(&chaosed);
+                let recorder = Arc::clone(&recorder);
+                let barrier = Arc::clone(&barrier);
+                let batch = t.batch;
+                let (stop, done) = (&stop, &done);
+                s.spawn(move || {
+                    crate::chaos::register_thread(slot as u64);
+                    let tr = ThreadRecorder::new(chaosed, recorder, slot as u32);
+                    barrier.wait();
+                    run_script(&tr, slot, seed, batch, false, cfg, Some(stop));
+                    done.fetch_add(1, Ordering::Release);
+                    tr.into_log()
+                })
+            })
+            .collect();
+        // The controller: checkpoint mid-churn, then pull the plug.
+        s.spawn(|| {
+            let mut ckpt_done = false;
+            loop {
+                if done.load(Ordering::Acquire) == cfg.threads {
+                    break;
+                }
+                let now = recorder.now();
+                if !ckpt_done && now >= ckpt_tick {
+                    wal.checkpoint::<u64, _>(&*raw)
+                        .expect("checkpoint under churn");
+                    ckpt_done = true;
+                }
+                if now >= crash_tick {
+                    stop.store(true, Ordering::Release);
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    drop(chaosed);
+    drop(raw);
+    drop(wal);
+
+    // Recovery: reopen the logs, replay into a fresh instance. Nothing
+    // here may be torn — phase one cut on op boundaries only (the
+    // subprocess kill test owns mid-append tails).
+    let wal2 = Arc::new(Wal::open(wal_cfg()).expect("reopen wal after crash"));
+    assert!(
+        wal2.mount_report().iter().all(|m| m.torn.is_none()),
+        "op-boundary crash left a torn frame: wal append is buggy"
+    );
+    let fresh = t.build();
+    wal2.recover_into::<u64, _>(&*fresh)
+        .expect("recover crash cell");
+    drop(wal2);
+
+    // Phase two: fresh workers (new recorder threads, new chaos slots,
+    // half-length scripts) extend the same history over the recovered
+    // index — no wal this time; recovery fidelity is the property.
+    let cfg2 = CheckConfig {
+        ops_per_thread: (cfg.ops_per_thread / 2).max(1),
+        ..cfg.clone()
+    };
+    let chaosed2 = Arc::new(ChaosIndex::new(fresh));
+    let barrier2 = Arc::new(Barrier::new(cfg.threads));
+    logs.extend(std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|slot| {
+                let chaosed2 = Arc::clone(&chaosed2);
+                let recorder = Arc::clone(&recorder);
+                let barrier2 = Arc::clone(&barrier2);
+                let batch = t.batch;
+                let cfg2 = &cfg2;
+                s.spawn(move || {
+                    let slot = cfg2.threads + slot;
+                    crate::chaos::register_thread(slot as u64);
+                    let tr = ThreadRecorder::new(chaosed2, recorder, slot as u32);
+                    barrier2.wait();
+                    run_script(&tr, slot, seed, batch, false, cfg2, None);
+                    tr.into_log()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    }));
+
+    // Final sweep: one recorded lookup per key, so *every* key's
+    // recovered value must be explainable by the stitched history, not
+    // only the keys phase two happened to revisit.
+    let sweeper = ThreadRecorder::new(
+        Arc::clone(&chaosed2),
+        Arc::clone(&recorder),
+        (2 * cfg.threads) as u32,
+    );
+    for k in 0..cfg.key_space {
+        let key = if cfg.clustered { spread_key(k) } else { k };
+        sweeper.lookup(key);
+    }
+    logs.push(sweeper.into_log());
+
+    crate::chaos::disable();
+    let _ = std::fs::remove_dir_all(&dir);
     let ticks = recorder.now();
     match check_logs(logs) {
         Ok(summary) => Ok(RunReport { summary, ticks }),
@@ -722,7 +984,7 @@ mod tests {
         assert_eq!(names.len(), ts.len(), "duplicate target name");
         for t in &ts {
             assert!(
-                ["btree", "art", "optreg", "lockreg", "sharded", "batched", "stream"]
+                ["btree", "art", "optreg", "lockreg", "sharded", "batched", "stream", "crash"]
                     .contains(&t.group),
                 "unknown group {} on {}",
                 t.group,
@@ -762,6 +1024,22 @@ mod tests {
                 assert!(t.name.starts_with("stream-"));
             }
         }
+        // Crash-replay cells: both trees, the sharded facade, and the
+        // byte-keyed recovery path — and the whole matrix clears the
+        // 50-cell bar the recovery tier calls for.
+        assert_eq!(ts.iter().filter(|t| t.group == "crash").count(), 4);
+        for t in &ts {
+            assert_eq!(
+                t.crash,
+                t.group == "crash",
+                "crash out of sync with group on {}",
+                t.name
+            );
+            if t.crash {
+                assert!(t.name.starts_with("crash-"));
+            }
+        }
+        assert!(ts.len() >= 50, "chaos matrix shrank below 50 cells");
     }
 
     #[test]
@@ -801,7 +1079,7 @@ mod tests {
                 Arc::clone(&rec),
                 0,
             );
-            run_script(&tr, 0, 99, 1, false, &cfg);
+            run_script(&tr, 0, 99, 1, false, &cfg, None);
             tr.into_log()
         };
         let (a, b) = (run(), run());
@@ -820,6 +1098,7 @@ mod tests {
             batch: 1,
             pin_workers: false,
             stream_scans: true,
+            crash: false,
             make: || Arc::new(optiql_index_api::model::ModelIndex::new()),
         };
         let cfg = CheckConfig {
@@ -833,5 +1112,25 @@ mod tests {
         assert!(report.summary.events > 0);
         assert!(report.summary.keys > 0);
         assert!(report.summary.max_ops_per_key <= crate::linearize::MAX_OPS_PER_KEY);
+    }
+
+    #[test]
+    fn crash_replay_cell_recovers_and_passes() {
+        let ts = targets();
+        let t = ts
+            .iter()
+            .find(|t| t.name == "crash-btree-optiql")
+            .expect("crash cell exists");
+        let cfg = CheckConfig {
+            threads: 3,
+            ops_per_thread: 400,
+            key_space: 64,
+            clustered: false,
+            chaos: true,
+        };
+        let report = run_target(t, 11, &cfg).expect("recovery history is linearizable");
+        // Phase one + phase two + the full-keyspace sweep all recorded.
+        assert!(report.summary.events as u64 > cfg.key_space);
+        assert_eq!(report.summary.keys as u64, cfg.key_space);
     }
 }

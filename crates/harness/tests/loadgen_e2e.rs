@@ -14,6 +14,7 @@ fn serve(dispatch: Dispatch, preload: u64) -> ServerHandle {
         dispatch,
         preload,
         max_group: 64,
+        ..ServerConfig::default()
     })
     .expect("server start")
 }

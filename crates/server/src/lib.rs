@@ -31,3 +31,6 @@ pub mod server;
 
 pub use proto::{FrameDecoder, ProtoError, Request, Response};
 pub use server::{start, BackendKind, Dispatch, ServerConfig, ServerHandle, StatsSnapshot};
+// Re-exported so server embedders configure durability without naming
+// the wal crate themselves.
+pub use optiql_wal::{FsyncPolicy, RecoveryReport, Wal, WalStatsSnapshot};

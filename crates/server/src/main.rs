@@ -4,20 +4,27 @@
 //! optiql-server [--addr 127.0.0.1:7878] [--backend sharded-btree]
 //!               [--shards 8] [--workers 0] [--dispatch grouped]
 //!               [--preload 0] [--max-group 256]
+//!               [--wal-dir DIR] [--fsync always|group|none]
 //! ```
+//!
+//! With `--wal-dir` the server recovers the directory's logs before
+//! binding (a `# recovery: ...` line reports what replayed), serves a
+//! write-ahead-logged index, and acknowledges SET/DEL only after the
+//! covering fsync (per `--fsync`; default `group`).
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for that
 //! line), then serves until a client sends the SHUTDOWN opcode (the
 //! `optiql-loadgen --shutdown` flag), and exits 0 after printing a
 //! stats summary.
 
-use optiql_server::{start, BackendKind, Dispatch, ServerConfig};
+use optiql_server::{start, BackendKind, Dispatch, FsyncPolicy, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: optiql-server [--addr HOST:PORT] [--backend btree|art|sharded-btree|sharded-art]\n\
          \x20                    [--shards N] [--workers N] [--dispatch grouped|per-op]\n\
-         \x20                    [--preload N] [--max-group N]"
+         \x20                    [--preload N] [--max-group N]\n\
+         \x20                    [--wal-dir DIR] [--fsync always|group|none]"
     );
     std::process::exit(2);
 }
@@ -45,6 +52,10 @@ fn main() {
             }
             "--preload" => cfg.preload = val().parse().unwrap_or_else(|_| usage()),
             "--max-group" => cfg.max_group = val().parse().unwrap_or_else(|_| usage()),
+            "--wal-dir" => cfg.wal_dir = Some(val().into()),
+            "--fsync" => {
+                cfg.fsync = FsyncPolicy::parse(&val()).unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -58,17 +69,27 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Recovery summary before the banner: anything polling for
+    // "listening on" sees the replay outcome first.
+    if let Some(rep) = handle.recovery() {
+        println!("# recovery: {rep}");
+    }
     println!("listening on {}", handle.addr());
     println!(
         "# backend={backend_name} shards={shards} workers={} dispatch={:?} preload={}",
         cfg.workers, cfg.dispatch, cfg.preload
     );
+    if let Some(dir) = &cfg.wal_dir {
+        println!("# wal: dir={} fsync={}", dir.display(), cfg.fsync.as_str());
+    }
     // Line-buffered stdout may sit on the banner when piped; scripts
     // poll for it.
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
+    let wal = handle.wal().cloned();
     let stats = handle.join();
+    let wal_stats = wal.map(|w| w.stats());
     println!(
         "# shutdown: conns={} requests={} index_ops={} groups={} batched_ops={} proto_errors={}",
         stats.connections,
@@ -78,4 +99,10 @@ fn main() {
         stats.batched_ops,
         stats.proto_errors
     );
+    if let Some(w) = wal_stats {
+        println!(
+            "# wal: records={} bytes={} fsyncs={}",
+            w.records, w.bytes, w.fsyncs
+        );
+    }
 }

@@ -27,12 +27,14 @@
 
 use std::io::{ErrorKind, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use optiql_index_api::{ConcurrentIndex, ReclaimHandle};
 use optiql_sharded::{ShardAffinity, ShardedIndex};
+use optiql_wal::{DurableIndex, FsyncPolicy, RecoveryReport, Wal, WalConfig, WalStatsSnapshot};
 
 use crate::proto::{FrameDecoder, Request, Response, SCAN_PART_MAX};
 
@@ -66,6 +68,19 @@ impl BackendKind {
             "sharded-art" => BackendKind::ShardedArt { shards },
             _ => return None,
         })
+    }
+
+    /// The number of wal shards matching this backend's routing: the
+    /// sharded facades get one log per index shard (same power-of-two
+    /// rounding `ShardedIndex::new` applies, same block bits), plain
+    /// trees get a single log.
+    fn wal_shards(&self) -> usize {
+        match *self {
+            BackendKind::Btree | BackendKind::Art => 1,
+            BackendKind::ShardedBtree { shards } | BackendKind::ShardedArt { shards } => {
+                shards.max(1).next_power_of_two()
+            }
+        }
     }
 }
 
@@ -110,6 +125,17 @@ pub struct ServerConfig {
     pub preload: u64,
     /// Largest burst executed under one pin (and one `multi_*` call).
     pub max_group: usize,
+    /// Write-ahead-log directory. `None` (the default) serves the
+    /// in-memory index exactly as before; `Some` mounts a
+    /// [`DurableIndex`] on top — recovery runs before the listener
+    /// opens, and every SET/DEL is logged (and, per `fsync`, synced)
+    /// before its ack reaches the wire.
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync discipline when `wal_dir` is set: `Always` syncs inside
+    /// every mutation, `Group` amortizes one sync per worker round over
+    /// the whole pipelined burst, `None` never syncs (measurement
+    /// baseline).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +147,8 @@ impl Default for ServerConfig {
             dispatch: Dispatch::Grouped,
             preload: 0,
             max_group: 256,
+            wal_dir: None,
+            fsync: FsyncPolicy::Group,
         }
     }
 }
@@ -241,6 +269,8 @@ pub struct ServerHandle {
     threads: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<ServerStats>,
     index: Arc<dyn ConcurrentIndex>,
+    wal: Option<Arc<Wal>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl ServerHandle {
@@ -255,9 +285,29 @@ impl ServerHandle {
         self.stats.snapshot()
     }
 
-    /// The served index (tests inspect it directly).
+    /// The served index (tests inspect it directly). With a wal mounted
+    /// this is the [`DurableIndex`] wrapper: direct mutations through it
+    /// are logged too.
     pub fn index(&self) -> &Arc<dyn ConcurrentIndex> {
         &self.index
+    }
+
+    /// What recovery replayed at startup (`None` when no wal is
+    /// mounted).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The mounted wal (`None` without `--wal-dir`). Benches clone the
+    /// `Arc` to snapshot counters after the handle is consumed by
+    /// [`join`](Self::join)/[`shutdown`](Self::shutdown).
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Wal counter snapshot (`None` when no wal is mounted).
+    pub fn wal_stats(&self) -> Option<WalStatsSnapshot> {
+        self.wal.as_ref().map(|w| w.stats())
     }
 
     /// True once the server has begun stopping (a client sent SHUTDOWN
@@ -297,12 +347,41 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Build the backend, preload it, bind the listener and spawn the
-/// acceptor + worker threads.
+/// Build the backend, recover + mount the wal (if configured), preload,
+/// bind the listener and spawn the acceptor + worker threads.
 pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     let backend = Arc::new(Backend::build(cfg.backend));
+
+    // Mount durability first: recovery must finish before the listener
+    // opens, so no client ever reads pre-recovery state. Recovery
+    // replays into the *plain* index (appending nothing); the wrapper
+    // only sees post-recovery traffic.
+    let (serve_index, wal, recovery) = match &cfg.wal_dir {
+        Some(dir) => {
+            let wal = Arc::new(Wal::open(WalConfig {
+                dir: dir.clone(),
+                shards: cfg.backend.wal_shards(),
+                block_bits: optiql_sharded::DEFAULT_BLOCK_BITS,
+                policy: cfg.fsync,
+            })?);
+            let report = wal.recover_into::<u64, _>(&*backend.index)?;
+            let durable: Arc<dyn ConcurrentIndex> = Arc::new(DurableIndex::new(
+                Arc::clone(&backend.index),
+                Arc::clone(&wal),
+            ));
+            (durable, Some(wal), Some(report))
+        }
+        None => (Arc::clone(&backend.index), None, None),
+    };
+
+    // Preload through the serving index: with a wal mounted the dense
+    // keys are logged like any client write, so a later recovery
+    // reproduces preload + traffic together.
     for i in 0..cfg.preload {
-        backend.index.insert(i, i.wrapping_add(1));
+        serve_index.insert(i, i.wrapping_add(1));
+    }
+    if let Some(w) = &wal {
+        w.commit_dirty();
     }
 
     let listener = TcpListener::bind(&cfg.addr)?;
@@ -328,10 +407,16 @@ pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         let w = Worker {
             tid,
             rx,
-            index: Arc::clone(&backend.index),
+            index: Arc::clone(&serve_index),
             owned: backend.owned_domains(tid, workers),
             dispatch: cfg.dispatch,
             max_group: cfg.max_group.max(1),
+            // Only group commit needs the worker-round flush point:
+            // Always syncs inside each op, None never syncs.
+            group_wal: wal
+                .as_ref()
+                .filter(|w| w.policy() == FsyncPolicy::Group)
+                .map(Arc::clone),
             stop: Arc::clone(&stop),
             stats: Arc::clone(&stats),
         };
@@ -361,7 +446,9 @@ pub fn start(cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
         stop,
         threads,
         stats,
-        index: backend.index.clone(),
+        index: serve_index,
+        wal,
+        recovery,
     })
 }
 
@@ -431,6 +518,11 @@ struct Worker {
     owned: Vec<ReclaimHandle>,
     dispatch: Dispatch,
     max_group: usize,
+    /// Present iff a wal with [`FsyncPolicy::Group`] is mounted: the
+    /// worker round becomes two-phase (execute everything, one
+    /// `commit_dirty`, then flush responses) so a single fsync per
+    /// dirty shard covers every ack the round releases.
+    group_wal: Option<Arc<Wal>>,
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
 }
@@ -446,8 +538,28 @@ impl Worker {
                 conns.push(Conn::new(s));
                 progressed = true;
             }
-            for conn in conns.iter_mut() {
-                progressed |= self.pump(conn, &mut scratch);
+            match &self.group_wal {
+                // Group commit: run every connection's read → decode →
+                // execute first (responses pile up in outbufs), make the
+                // whole round durable with one fsync per dirty shard,
+                // and only then let any response reach a socket. An ack
+                // a client can observe is therefore always covered by a
+                // completed fsync — the durable-prefix property the
+                // crash tests assert.
+                Some(wal) => {
+                    for conn in conns.iter_mut() {
+                        progressed |= self.pump_ingest(conn, &mut scratch);
+                    }
+                    wal.commit_dirty();
+                    for conn in conns.iter_mut() {
+                        progressed |= self.pump_flush(conn);
+                    }
+                }
+                None => {
+                    for conn in conns.iter_mut() {
+                        progressed |= self.pump(conn, &mut scratch);
+                    }
+                }
             }
             conns.retain(|c| !c.closed);
             if progressed {
@@ -469,6 +581,16 @@ impl Worker {
     /// Run one read → decode → execute → flush cycle on a connection.
     /// Returns true if any byte or request moved.
     fn pump(&self, conn: &mut Conn, scratch: &mut [u8]) -> bool {
+        let a = self.pump_ingest(conn, scratch);
+        let b = self.pump_flush(conn);
+        a || b
+    }
+
+    /// The front half of [`pump`](Self::pump): read, decode, execute —
+    /// responses land in `conn.outbuf` but nothing touches the socket's
+    /// write side. Under group commit the worker runs this over every
+    /// connection, fsyncs, then flushes.
+    fn pump_ingest(&self, conn: &mut Conn, scratch: &mut [u8]) -> bool {
         let mut progressed = false;
 
         // Read everything the socket has.
@@ -523,8 +645,16 @@ impl Worker {
             }
             conn.pending.clear();
         }
+        progressed
+    }
 
-        // Flush.
+    /// The back half of [`pump`](Self::pump): write buffered responses
+    /// out, handle close-after-flush.
+    fn pump_flush(&self, conn: &mut Conn) -> bool {
+        if conn.closed {
+            return false;
+        }
+        let mut progressed = false;
         while conn.outpos < conn.outbuf.len() {
             match conn.stream.write(&conn.outbuf[conn.outpos..]) {
                 Ok(0) => {

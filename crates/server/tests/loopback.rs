@@ -67,6 +67,7 @@ fn serve(backend: BackendKind, dispatch: Dispatch, preload: u64) -> ServerHandle
         dispatch,
         preload,
         max_group: 64,
+        ..ServerConfig::default()
     })
     .expect("server start")
 }

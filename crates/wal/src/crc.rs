@@ -1,0 +1,79 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the frame
+//! checksum of the redo log.
+//!
+//! Hand-rolled because the workspace builds without crates.io access;
+//! table-driven one-byte-at-a-time is plenty for log framing (the log
+//! write path is fsync-bound, not checksum-bound). The constants match
+//! zlib's `crc32()`, so frames are verifiable with any standard tool.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial,
+/// computed at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (init `!0`, final xor `!0` — zlib-compatible).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic zlib/PNG check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn every_byte_position_matters() {
+        let base = b"hello wal frame".to_vec();
+        let crc = crc32(&base);
+        for i in 0..base.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut corrupt = base.clone();
+                corrupt[i] ^= flip;
+                assert_ne!(crc32(&corrupt), crc, "flip at byte {i} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_equals_whole() {
+        // Sanity that the table is self-consistent: crc of concatenation
+        // differs from crc of parts unless recombined properly — here we
+        // just pin a longer vector against an independently computed
+        // value (python zlib.crc32).
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(crc32(&data), 0x2905_8C73);
+    }
+}

@@ -1,0 +1,376 @@
+//! Per-shard write-ahead (redo) logging for the OptiQL index stack.
+//!
+//! The stack's indexes are memory-optimized: nodes live on the heap,
+//! protected by OptiQL optimistic locks, and nothing survives a restart.
+//! This crate adds the classic main-memory-database recovery recipe
+//! (Larson et al., see PAPERS.md) on top, without touching the trees:
+//!
+//! * **Redo-only logging.** Every successful mutation appends one
+//!   CRC32-framed record ([`record`]) to a per-shard log. Log order
+//!   equals apply order per shard ([`shard`]), so replaying a log start
+//!   to finish reproduces the shard's final state.
+//! * **Group commit.** Appends land in the OS immediately; `fdatasync`
+//!   is deferred and amortized. Under [`FsyncPolicy::Group`] the server
+//!   issues one `commit_dirty` per worker round — one fsync covers an
+//!   entire pipelined burst, and acks are released only after it.
+//! * **Checkpoint-by-scan.** A checkpoint is one streaming `range()`
+//!   scan of the live index written to per-shard sidecar files
+//!   ([`checkpoint`]); it bounds replay without stalling writers.
+//! * **Recovery.** [`Wal::open`] truncates torn tails; `recover_into`
+//!   loads the newest valid checkpoint per shard and replays the log
+//!   tail, in parallel across shards ([`recover`]).
+//!
+//! [`DurableIndex`] wraps any [`ConcurrentIndex`] with the logging
+//! discipline; the server mounts it when `--wal-dir` is given.
+
+use std::fs::{File, OpenOptions};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use optiql_index_api::{ConcurrentIndex, IndexKey};
+use optiql_sharded::Router;
+
+pub mod checkpoint;
+pub mod crc;
+pub mod durable;
+pub mod record;
+pub mod recover;
+pub mod shard;
+pub mod stats;
+
+pub use checkpoint::{CheckpointReport, ShardCheckpoint};
+pub use durable::DurableIndex;
+pub use record::{FrameCursor, Record, TornTail};
+pub use recover::{RecoveryReport, ShardRecovery};
+pub use shard::LogShard;
+pub use stats::{WalStats, WalStatsSnapshot};
+
+/// When acknowledged writes reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync inside every mutating operation before it returns. The
+    /// naive durable baseline: correct, and pays one `fdatasync` per op.
+    Always,
+    /// Group commit: appends are buffered in the OS; the mount point
+    /// (server worker round, or an explicit [`DurableIndex::commit`])
+    /// issues one fsync covering the whole batch before acks go out.
+    #[default]
+    Group,
+    /// Never fsync. The log still exists and recovery still works up to
+    /// whatever the OS wrote back — a measurement baseline, not a
+    /// durability contract.
+    None,
+}
+
+impl FsyncPolicy {
+    /// Parse a CLI spelling (`always` / `group` / `none`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "group" => Some(FsyncPolicy::Group),
+            "none" => Some(FsyncPolicy::None),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Group => "group",
+            FsyncPolicy::None => "none",
+        }
+    }
+}
+
+/// How to open a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding `shard-<i>.log` / `shard-<i>.ckpt` files
+    /// (created if absent).
+    pub dir: PathBuf,
+    /// Number of log shards; must be a power of two. Match the index's
+    /// shard count so a wal shard mutex only ever serializes writers
+    /// that already contend on the same index shard.
+    pub shards: usize,
+    /// Router block bits — use the same value as the index router so
+    /// wal shard == index shard for every key.
+    pub block_bits: u32,
+    /// Fsync discipline for [`DurableIndex`] mounts.
+    pub policy: FsyncPolicy,
+}
+
+impl WalConfig {
+    /// Single-shard log in `dir` with the default group-commit policy.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            shards: 1,
+            block_bits: optiql_sharded::DEFAULT_BLOCK_BITS,
+            policy: FsyncPolicy::Group,
+        }
+    }
+}
+
+/// What [`Wal::open`] found in one shard's log file.
+#[derive(Debug, Clone)]
+pub struct ShardMount {
+    /// Shard index.
+    pub shard: usize,
+    /// Valid log bytes after torn-tail truncation.
+    pub log_bytes: u64,
+    /// Last LSN in the valid prefix (0 if the log is empty).
+    pub last_lsn: u64,
+    /// The torn tail that was truncated away, if any.
+    pub torn: Option<TornTail>,
+}
+
+/// A set of per-shard redo logs plus their checkpoint sidecars.
+pub struct Wal {
+    shards: Vec<Arc<LogShard>>,
+    router: Router,
+    policy: FsyncPolicy,
+    stats: Arc<WalStats>,
+    dir: PathBuf,
+    mount: Vec<ShardMount>,
+}
+
+pub(crate) fn log_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.log"))
+}
+
+pub(crate) fn ckpt_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.ckpt"))
+}
+
+/// Scan an opened log file: return (valid byte length, last LSN seen,
+/// torn tail if the file does not end on a frame boundary).
+fn scan_log(file: &mut File) -> std::io::Result<(u64, u64, Option<TornTail>)> {
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let mut cur = FrameCursor::new(&bytes);
+    let mut last_lsn = 0u64;
+    loop {
+        match cur.next_frame() {
+            Ok(Some(rec)) => {
+                if let Some(lsn) = rec.lsn() {
+                    last_lsn = lsn;
+                }
+            }
+            Ok(None) => return Ok((cur.offset(), last_lsn, None)),
+            Err(torn) => return Ok((torn.offset, last_lsn, Some(torn))),
+        }
+    }
+}
+
+impl Wal {
+    /// Open (creating as needed) the per-shard logs under `cfg.dir`,
+    /// truncating any torn tail found in each. Does **not** replay —
+    /// call [`Wal::recover_into`] before mounting an index on top.
+    pub fn open(cfg: WalConfig) -> std::io::Result<Wal> {
+        assert!(
+            cfg.shards.is_power_of_two(),
+            "wal shard count must be a power of two, got {}",
+            cfg.shards
+        );
+        std::fs::create_dir_all(&cfg.dir)?;
+        let stats = Arc::new(WalStats::default());
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut mount = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let path = log_path(&cfg.dir, i);
+            let mut file = OpenOptions::new()
+                .create(true)
+                .read(true)
+                .append(true)
+                .open(&path)?;
+            let (valid_len, last_lsn, torn) = scan_log(&mut file)?;
+            if torn.is_some() {
+                // Drop the torn tail so future appends extend a valid
+                // prefix. (With O_APPEND the next write lands at the new
+                // EOF regardless of the read cursor.)
+                file.set_len(valid_len)?;
+            }
+            mount.push(ShardMount {
+                shard: i,
+                log_bytes: valid_len,
+                last_lsn,
+                torn,
+            });
+            shards.push(Arc::new(LogShard::new(
+                i,
+                path,
+                file,
+                last_lsn + 1,
+                Arc::clone(&stats),
+            )?));
+        }
+        Ok(Wal {
+            shards,
+            router: Router::new(cfg.shards, cfg.block_bits),
+            policy: cfg.policy,
+            stats,
+            dir: cfg.dir,
+            mount,
+        })
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The wal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of log shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a route hint maps to (identical to the index router's
+    /// mapping when `shards`/`block_bits` match).
+    pub fn shard_for_hint(&self, hint: u64) -> usize {
+        self.router.route(hint)
+    }
+
+    /// Access one shard's log.
+    pub fn shard(&self, i: usize) -> &LogShard {
+        &self.shards[i]
+    }
+
+    /// Fsync every shard with appends not yet covered by one. The
+    /// group-commit flush point: one call, at most one fsync per dirty
+    /// shard, covering everything appended before it.
+    pub fn commit_dirty(&self) {
+        for s in &self.shards {
+            s.commit();
+        }
+    }
+
+    /// Per-shard findings from [`Wal::open`] (torn tails, last LSNs).
+    pub fn mount_report(&self) -> &[ShardMount] {
+        &self.mount
+    }
+
+    /// Counter snapshot (records/bytes/fsyncs across all shards).
+    pub fn stats(&self) -> WalStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Rebuild index state: per shard, load the newest valid checkpoint
+    /// (if any) and replay the log tail. `index` must be *empty* and
+    /// must **not** be a [`DurableIndex`] over this wal (recovery must
+    /// not re-log). Shards recover in parallel. `K` must match the key
+    /// type that produced the log.
+    pub fn recover_into<K, I>(&self, index: &I) -> std::io::Result<RecoveryReport>
+    where
+        K: IndexKey,
+        I: ConcurrentIndex<K> + ?Sized,
+    {
+        recover::recover_into(self, index)
+    }
+
+    /// Checkpoint-by-scan: stream the live index into per-shard
+    /// checkpoint sidecars, bounding future replay to the log tail.
+    /// Safe under concurrent writers (see `checkpoint` module docs).
+    pub fn checkpoint<K, I>(&self, index: &I) -> std::io::Result<CheckpointReport>
+    where
+        K: IndexKey,
+        I: ConcurrentIndex<K> + ?Sized,
+    {
+        checkpoint::checkpoint(self, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optiql_index_api::model::ModelIndex;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("optiql-wal-lib-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [FsyncPolicy::Always, FsyncPolicy::Group, FsyncPolicy::None] {
+            assert_eq!(FsyncPolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn open_append_reopen_preserves_lsns() {
+        let dir = tempdir("reopen");
+        {
+            let wal = Wal::open(WalConfig::new(&dir)).unwrap();
+            let shard = wal.shard(0);
+            let ((), last) = shard.append_with(|txn| {
+                txn.set(&1u64.to_be_bytes(), 10);
+                txn.set(&2u64.to_be_bytes(), 20);
+            });
+            shard.ensure_durable(last);
+        }
+        {
+            let wal = Wal::open(WalConfig::new(&dir)).unwrap();
+            assert_eq!(wal.mount_report()[0].last_lsn, 2);
+            assert!(wal.mount_report()[0].torn.is_none());
+            // New appends continue the dense LSN sequence.
+            let ((), last) = wal.shard(0).append_with(|txn| {
+                txn.del(&1u64.to_be_bytes());
+            });
+            assert_eq!(last, 3);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tempdir("torn");
+        {
+            let wal = Wal::open(WalConfig::new(&dir)).unwrap();
+            wal.shard(0).append_with(|txn| {
+                txn.set(&1u64.to_be_bytes(), 10);
+            });
+            wal.commit_dirty();
+        }
+        // Tear the tail: append garbage that is not a valid frame.
+        let path = log_path(&dir, 0);
+        let valid_len = std::fs::metadata(&path).unwrap().len();
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]).unwrap();
+        }
+        {
+            let wal = Wal::open(WalConfig::new(&dir)).unwrap();
+            let m = &wal.mount_report()[0];
+            assert_eq!(m.last_lsn, 1);
+            assert_eq!(m.log_bytes, valid_len);
+            assert!(m.torn.is_some(), "torn tail must be reported");
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), valid_len);
+            // Recovery sees exactly the valid prefix.
+            let model = ModelIndex::new();
+            let rep = wal.recover_into::<u64, _>(&model).unwrap();
+            assert_eq!(rep.applied(), 1);
+            assert_eq!(model.lookup(1), Some(10));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_shards_rejected() {
+        let dir = tempdir("pow2");
+        let _ = Wal::open(WalConfig {
+            shards: 3,
+            ..WalConfig::new(&dir)
+        });
+    }
+}

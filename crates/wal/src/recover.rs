@@ -1,0 +1,226 @@
+//! Crash recovery: checkpoint load + log-tail replay, per shard.
+//!
+//! Per shard, recovery is strictly sequential and idempotent:
+//!
+//! 1. Read `shard-<i>.ckpt` if present. The checkpoint is accepted only
+//!    when *fully* valid — `CkptBegin` header, every entry frame, a
+//!    `CkptEnd` footer whose count matches, and a clean EOF. Anything
+//!    less (a crash mid-checkpoint leaves a `.tmp`, never a partial
+//!    `.ckpt`, but torn bytes can still happen) rejects the whole file:
+//!    the shard falls back to full log replay and the report flags it.
+//! 2. Apply the checkpoint entries (plain inserts into an empty index).
+//! 3. Replay the log in file order, applying `Set`→`insert` and
+//!    `Del`→`remove` for records with `lsn >= start_lsn`; older records
+//!    are already reflected in the checkpoint and are skipped. Replay
+//!    is last-writer-wins, so re-running recovery is harmless.
+//!
+//! Shards are independent (disjoint key sets by routing), so they
+//! recover in parallel — one thread per shard, the same layout the
+//! sharded index uses for its own construction.
+//!
+//! The index being recovered into must be plain (NOT a
+//! [`DurableIndex`](crate::DurableIndex) over the same wal): recovery
+//! must not append to the log it is reading.
+
+use std::io::Read;
+
+use optiql_index_api::{ConcurrentIndex, IndexKey};
+
+use crate::record::{FrameCursor, Record, TornTail};
+use crate::Wal;
+
+/// Per-shard recovery outcome.
+#[derive(Debug, Clone)]
+pub struct ShardRecovery {
+    /// Shard index.
+    pub shard: usize,
+    /// Entries applied from the checkpoint (0 if none/invalid).
+    pub checkpoint_entries: u64,
+    /// The checkpoint's `start_lsn` (1 when no checkpoint was usable —
+    /// i.e. full log replay).
+    pub checkpoint_start_lsn: u64,
+    /// True when a checkpoint file existed but failed validation.
+    pub checkpoint_invalid: bool,
+    /// Log records applied (`lsn >= start_lsn`).
+    pub replayed: u64,
+    /// Log records skipped as already covered by the checkpoint.
+    pub skipped: u64,
+    /// Highest LSN seen in the log.
+    pub last_lsn: u64,
+    /// Torn tail encountered while reading the log (only possible when
+    /// reading a directory not opened through [`Wal::open`], which
+    /// truncates tails first).
+    pub torn: Option<TornTail>,
+}
+
+/// What recovery did, shard by shard.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl RecoveryReport {
+    /// Total records applied (checkpoint entries + replayed log records).
+    pub fn applied(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.checkpoint_entries + s.replayed)
+            .sum()
+    }
+
+    /// True if any shard's log had a torn tail.
+    pub fn any_torn(&self) -> bool {
+        self.shards.iter().any(|s| s.torn.is_some())
+    }
+
+    /// True if any shard rejected an existing checkpoint file.
+    pub fn any_checkpoint_invalid(&self) -> bool {
+        self.shards.iter().any(|s| s.checkpoint_invalid)
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ckpt: u64 = self.shards.iter().map(|s| s.checkpoint_entries).sum();
+        let replayed: u64 = self.shards.iter().map(|s| s.replayed).sum();
+        let skipped: u64 = self.shards.iter().map(|s| s.skipped).sum();
+        write!(
+            f,
+            "recovered {} shards: {ckpt} checkpoint entries + {replayed} log records ({skipped} skipped)",
+            self.shards.len()
+        )?;
+        if self.any_checkpoint_invalid() {
+            write!(f, ", invalid checkpoint(s) ignored")?;
+        }
+        if self.any_torn() {
+            write!(f, ", torn tail(s) truncated")?;
+        }
+        Ok(())
+    }
+}
+
+/// A fully validated checkpoint image.
+struct LoadedCkpt {
+    start_lsn: u64,
+    entries: Vec<(Vec<u8>, u64)>,
+}
+
+/// Read and validate `shard-<i>.ckpt`. `Ok(None)` when the file does not
+/// exist; `Err(())` when it exists but is not fully valid.
+fn load_ckpt(path: &std::path::Path) -> std::io::Result<Result<Option<LoadedCkpt>, ()>> {
+    let mut bytes = Vec::new();
+    match std::fs::File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut bytes)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Ok(None)),
+        Err(e) => return Err(e),
+    };
+    let mut cur = FrameCursor::new(&bytes);
+    let start_lsn = match cur.next_frame() {
+        Ok(Some(Record::CkptBegin { start_lsn })) => start_lsn,
+        _ => return Ok(Err(())),
+    };
+    let mut entries = Vec::new();
+    loop {
+        match cur.next_frame() {
+            Ok(Some(Record::CkptEntry { key, value })) => entries.push((key, value)),
+            Ok(Some(Record::CkptEnd { entries: n })) => {
+                // Footer count must match, and nothing may follow it.
+                if n != entries.len() as u64 || !matches!(cur.next_frame(), Ok(None)) {
+                    return Ok(Err(()));
+                }
+                return Ok(Ok(Some(LoadedCkpt { start_lsn, entries })));
+            }
+            _ => return Ok(Err(())), // foreign record, torn frame, or EOF before footer
+        }
+    }
+}
+
+fn recover_shard<K, I>(wal: &Wal, shard: usize, index: &I) -> std::io::Result<ShardRecovery>
+where
+    K: IndexKey,
+    I: ConcurrentIndex<K> + ?Sized,
+{
+    let mut rep = ShardRecovery {
+        shard,
+        checkpoint_entries: 0,
+        checkpoint_start_lsn: 1,
+        checkpoint_invalid: false,
+        replayed: 0,
+        skipped: 0,
+        last_lsn: 0,
+        torn: None,
+    };
+
+    match load_ckpt(&crate::ckpt_path(wal.dir(), shard))? {
+        Ok(Some(ckpt)) => {
+            rep.checkpoint_start_lsn = ckpt.start_lsn;
+            for (key, value) in &ckpt.entries {
+                index.insert(K::from_encoded(key), *value);
+            }
+            rep.checkpoint_entries = ckpt.entries.len() as u64;
+        }
+        Ok(None) => {}
+        Err(()) => rep.checkpoint_invalid = true,
+    }
+
+    let mut bytes = Vec::new();
+    std::fs::File::open(crate::log_path(wal.dir(), shard))?.read_to_end(&mut bytes)?;
+    let mut cur = FrameCursor::new(&bytes);
+    loop {
+        match cur.next_frame() {
+            Ok(Some(rec)) => {
+                let lsn = match rec.lsn() {
+                    Some(lsn) => lsn,
+                    None => continue, // checkpoint record in a log: ignore
+                };
+                rep.last_lsn = lsn;
+                if lsn < rep.checkpoint_start_lsn {
+                    rep.skipped += 1;
+                    continue;
+                }
+                rep.replayed += 1;
+                match rec {
+                    Record::Set { key, value, .. } => {
+                        index.insert(K::from_encoded(&key), value);
+                    }
+                    Record::Del { key, .. } => {
+                        index.remove(K::from_encoded(&key));
+                    }
+                    _ => unreachable!("lsn() filtered non-redo records"),
+                }
+            }
+            Ok(None) => break,
+            Err(torn) => {
+                rep.torn = Some(torn);
+                break;
+            }
+        }
+    }
+    Ok(rep)
+}
+
+/// See [`Wal::recover_into`].
+pub fn recover_into<K, I>(wal: &Wal, index: &I) -> std::io::Result<RecoveryReport>
+where
+    K: IndexKey,
+    I: ConcurrentIndex<K> + ?Sized,
+{
+    let n = wal.shard_count();
+    if n == 1 {
+        return Ok(RecoveryReport {
+            shards: vec![recover_shard(wal, 0, index)?],
+        });
+    }
+    let results: Vec<std::io::Result<ShardRecovery>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| s.spawn(move || recover_shard(wal, i, index)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut shards = Vec::with_capacity(n);
+    for r in results {
+        shards.push(r?);
+    }
+    Ok(RecoveryReport { shards })
+}

@@ -1,0 +1,286 @@
+//! One redo log: an append-only file with dense per-shard LSNs and a
+//! leader/follower fsync gate for group commit.
+//!
+//! Log order must equal apply order for records touching the same key,
+//! or replay could resurrect an overwritten value. [`LogShard::append_with`]
+//! enforces that the cheap way: the caller applies the mutation to the
+//! index *inside* the append closure, so the shard's append mutex
+//! serializes apply+log as one unit for everything routed to this shard
+//! (same key → same route hint → same shard). Different shards never
+//! contend, preserving the cross-shard concurrency the router buys.
+//! (DESIGN §10 discusses the finer-grained alternative — stamping LSNs
+//! under the OptiQL x-lock — and why it isn't needed at this node count.)
+//!
+//! Durability is decoupled from appending: `appended` is the highest LSN
+//! written to the OS, `durable` the highest covered by an fsync. Any
+//! thread needing `lsn` durable calls [`LogShard::ensure_durable`]; the
+//! fsync gate makes the first comer the leader whose single
+//! `fdatasync` covers every append before it, and late arrivals observe
+//! the advanced watermark and return without syncing — group commit.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::stats::WalStats;
+
+struct Appender {
+    file: File,
+    /// LSN the next record will carry (LSNs are 1-based and dense).
+    next_lsn: u64,
+    /// Frame staging buffer, reused across appends.
+    buf: Vec<u8>,
+}
+
+/// A single shard's redo log.
+pub struct LogShard {
+    path: PathBuf,
+    /// Independent handle used only for `fdatasync`, so the gate never
+    /// blocks appenders.
+    sync_handle: File,
+    inner: Mutex<Appender>,
+    /// Highest LSN written to the file (visible to the OS).
+    appended: AtomicU64,
+    /// Highest LSN covered by an fsync.
+    durable: AtomicU64,
+    /// Group-commit gate: whoever holds it performs the fsync that
+    /// covers everyone queued behind.
+    gate: Mutex<()>,
+    stats: Arc<WalStats>,
+    id: usize,
+}
+
+/// Handed to [`LogShard::append_with`] closures: stages redo records
+/// with freshly assigned LSNs while the caller mutates the index.
+pub struct Txn<'a> {
+    next_lsn: &'a mut u64,
+    buf: &'a mut Vec<u8>,
+    records: u64,
+}
+
+impl Txn<'_> {
+    /// Stage a `Set key := value` redo record; returns its LSN.
+    pub fn set(&mut self, key_enc: &[u8], value: u64) -> u64 {
+        let lsn = *self.next_lsn;
+        *self.next_lsn += 1;
+        self.records += 1;
+        crate::record::frame_set(self.buf, lsn, key_enc, value);
+        lsn
+    }
+
+    /// Stage a `Del key` redo record; returns its LSN.
+    pub fn del(&mut self, key_enc: &[u8]) -> u64 {
+        let lsn = *self.next_lsn;
+        *self.next_lsn += 1;
+        self.records += 1;
+        crate::record::frame_del(self.buf, lsn, key_enc);
+        lsn
+    }
+}
+
+impl LogShard {
+    /// Wrap an opened, already-recovered log file. `next_lsn` is one past
+    /// the last LSN found in the valid prefix; the file cursor must sit
+    /// at the truncation point (end of the valid prefix).
+    pub(crate) fn new(
+        id: usize,
+        path: PathBuf,
+        file: File,
+        next_lsn: u64,
+        stats: Arc<WalStats>,
+    ) -> std::io::Result<Self> {
+        let sync_handle = file.try_clone()?;
+        Ok(LogShard {
+            path,
+            sync_handle,
+            inner: Mutex::new(Appender {
+                file,
+                next_lsn,
+                buf: Vec::with_capacity(4096),
+            }),
+            appended: AtomicU64::new(next_lsn - 1),
+            durable: AtomicU64::new(next_lsn - 1),
+            gate: Mutex::new(()),
+            stats,
+            id,
+        })
+    }
+
+    /// This shard's index within the WAL.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Path of the backing log file.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Highest LSN written to the OS.
+    pub fn appended_lsn(&self) -> u64 {
+        self.appended.load(Ordering::Acquire)
+    }
+
+    /// Highest LSN covered by an fsync.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Apply-and-log as one serialized unit: the closure mutates the
+    /// index and stages matching redo records on `txn`; the staged
+    /// frames are written to the OS before the lock is released.
+    /// Returns the closure's result and the last LSN this call appended
+    /// (0 when the closure staged nothing — e.g. a no-op update).
+    ///
+    /// I/O errors are fail-stop (panic): a redo log we cannot write to
+    /// is a durability contract we can no longer honor, and limping on
+    /// would hand out acks backed by nothing.
+    pub fn append_with<T>(&self, f: impl FnOnce(&mut Txn<'_>) -> T) -> (T, u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        inner.buf.clear();
+        let mut txn = Txn {
+            next_lsn: &mut inner.next_lsn,
+            buf: &mut inner.buf,
+            records: 0,
+        };
+        let out = f(&mut txn);
+        let records = txn.records;
+        if records == 0 {
+            return (out, 0);
+        }
+        inner
+            .file
+            .write_all(&inner.buf)
+            .unwrap_or_else(|e| panic!("wal shard {}: append failed: {e}", self.id));
+        let last = inner.next_lsn - 1;
+        self.appended.store(last, Ordering::Release);
+        self.stats.on_append(records, inner.buf.len() as u64);
+        (out, last)
+    }
+
+    /// Block until every append up to `lsn` is on stable storage.
+    /// Group commit: one fsync covers every caller queued at the gate.
+    pub fn ensure_durable(&self, lsn: u64) {
+        if lsn == 0 || self.durable.load(Ordering::Acquire) >= lsn {
+            return;
+        }
+        let _gate = self.gate.lock().unwrap();
+        if self.durable.load(Ordering::Acquire) >= lsn {
+            return; // a leader that ran while we queued covered us
+        }
+        // Cover everything appended so far, not just `lsn` — followers
+        // that queued behind us ride this fsync for free.
+        let cover = self.appended.load(Ordering::Acquire);
+        self.sync_handle
+            .sync_data()
+            .unwrap_or_else(|e| panic!("wal shard {}: fsync failed: {e}", self.id));
+        self.durable.store(cover, Ordering::Release);
+        self.stats.on_fsync();
+    }
+
+    /// Fsync iff there are appends not yet covered by one.
+    pub fn commit(&self) {
+        let appended = self.appended.load(Ordering::Acquire);
+        if appended > self.durable.load(Ordering::Acquire) {
+            self.ensure_durable(appended);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FrameCursor, Record};
+    use std::io::Read;
+
+    fn scratch_shard(dir: &std::path::Path) -> LogShard {
+        let path = dir.join("shard-0.log");
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        LogShard::new(0, path, file, 1, Arc::new(WalStats::default())).unwrap()
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("optiql-wal-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn lsns_are_dense_and_frames_decode() {
+        let dir = tempdir("dense");
+        let shard = scratch_shard(&dir);
+        let ((), last) = shard.append_with(|txn| {
+            assert_eq!(txn.set(&7u64.to_be_bytes(), 70), 1);
+            assert_eq!(txn.set(&8u64.to_be_bytes(), 80), 2);
+            txn.del(&7u64.to_be_bytes());
+        });
+        assert_eq!(last, 3);
+        assert_eq!(shard.appended_lsn(), 3);
+        assert_eq!(shard.durable_lsn(), 0);
+        shard.ensure_durable(3);
+        assert_eq!(shard.durable_lsn(), 3);
+
+        let mut bytes = Vec::new();
+        std::fs::File::open(shard.path())
+            .unwrap()
+            .read_to_end(&mut bytes)
+            .unwrap();
+        let mut cur = FrameCursor::new(&bytes);
+        let mut lsns = Vec::new();
+        while let Some(r) = cur.next_frame().unwrap() {
+            lsns.push(r.lsn().unwrap());
+            if let Record::Del { key, .. } = r {
+                assert_eq!(key, 7u64.to_be_bytes());
+            }
+        }
+        assert_eq!(lsns, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_append_neither_logs_nor_syncs() {
+        let dir = tempdir("empty");
+        let shard = scratch_shard(&dir);
+        let (v, last) = shard.append_with(|_txn| 42);
+        assert_eq!((v, last), (42, 0));
+        assert_eq!(shard.appended_lsn(), 0);
+        shard.commit(); // nothing to cover — must not fsync
+        assert_eq!(std::fs::metadata(shard.path()).unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn one_fsync_covers_concurrent_appenders() {
+        let dir = tempdir("group");
+        let shard = Arc::new(scratch_shard(&dir));
+        let threads = 4;
+        let per = 50;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let shard = Arc::clone(&shard);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let k = ((t as u64) << 32 | i as u64).to_be_bytes();
+                        let ((), lsn) = shard.append_with(|txn| {
+                            txn.set(&k, i as u64);
+                        });
+                        shard.ensure_durable(lsn);
+                    }
+                });
+            }
+        });
+        let total = (threads * per) as u64;
+        assert_eq!(shard.appended_lsn(), total);
+        assert_eq!(shard.durable_lsn(), total);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

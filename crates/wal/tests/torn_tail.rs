@@ -1,0 +1,290 @@
+//! Torn-tail and corruption properties of the record codec and the
+//! recovery path: random record streams, truncated at every byte offset
+//! and peppered with byte flips, must decode to exactly the valid
+//! prefix — reporting where it ends, never panicking, never inventing
+//! records.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use proptest::prelude::*;
+
+use optiql_index_api::model::ModelIndex;
+use optiql_index_api::{ConcurrentIndex, IndexKey};
+use optiql_wal::record::{self, FrameCursor, Record, FRAME_HEADER};
+use optiql_wal::{FsyncPolicy, Wal, WalConfig};
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..32)
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        (any::<u64>(), key_strategy(), any::<u64>()).prop_map(|(lsn, key, value)| Record::Set {
+            lsn,
+            key,
+            value
+        }),
+        (any::<u64>(), key_strategy()).prop_map(|(lsn, key)| Record::Del { lsn, key }),
+        any::<u64>().prop_map(|start_lsn| Record::CkptBegin { start_lsn }),
+        (key_strategy(), any::<u64>()).prop_map(|(key, value)| Record::CkptEntry { key, value }),
+        any::<u64>().prop_map(|entries| Record::CkptEnd { entries }),
+    ]
+}
+
+/// Encode `recs` back to back; returns (buffer, frame boundaries
+/// including 0 and the final length).
+fn encode_stream(recs: &[Record]) -> (Vec<u8>, Vec<usize>) {
+    let mut buf = Vec::new();
+    let mut bounds = vec![0usize];
+    for r in recs {
+        r.encode_frame(&mut buf);
+        bounds.push(buf.len());
+    }
+    (buf, bounds)
+}
+
+/// Decode as much of `buf` as possible; returns the records and the
+/// offset where decoding stopped (== buf.len() on a clean end).
+fn decode_prefix(buf: &[u8]) -> (Vec<Record>, u64) {
+    let mut cur = FrameCursor::new(buf);
+    let mut out = Vec::new();
+    loop {
+        match cur.next_frame() {
+            Ok(Some(r)) => out.push(r),
+            Ok(None) => return (out, cur.offset()),
+            Err(torn) => {
+                assert_eq!(torn.offset, cur.offset(), "torn offset matches cursor");
+                return (out, torn.offset);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_record_type_round_trips(recs in prop::collection::vec(record_strategy(), 1..24)) {
+        let (buf, _) = encode_stream(&recs);
+        let (got, end) = decode_prefix(&buf);
+        prop_assert_eq!(&got, &recs);
+        prop_assert_eq!(end, buf.len() as u64);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_yields_the_whole_frame_prefix(
+        recs in prop::collection::vec(record_strategy(), 1..12),
+    ) {
+        let (buf, bounds) = encode_stream(&recs);
+        for cut in 0..=buf.len() {
+            let (got, end) = decode_prefix(&buf[..cut]);
+            // Exactly the frames that fit wholly below the cut decode;
+            // the reported stop offset is that frame boundary.
+            let whole = bounds.iter().filter(|&&b| b <= cut).count() - 1;
+            prop_assert_eq!(got.len(), whole, "cut at {}", cut);
+            prop_assert_eq!(end as usize, bounds[whole], "cut at {}", cut);
+            prop_assert_eq!(&got[..], &recs[..whole], "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic_and_never_corrupt_earlier_frames(
+        recs in prop::collection::vec(record_strategy(), 1..12),
+        flip_pos in any::<u64>(),
+        flip_mask in 1..=255u8,
+    ) {
+        let (mut buf, bounds) = encode_stream(&recs);
+        let pos = (flip_pos % buf.len() as u64) as usize;
+        buf[pos] ^= flip_mask;
+        let (got, end) = decode_prefix(&buf);
+        // Frames wholly before the flipped byte are untouched bytes and
+        // must decode identically.
+        let intact = bounds.iter().filter(|&&b| b <= pos).count() - 1;
+        prop_assert!(got.len() >= intact, "flip at {} lost intact frames", pos);
+        prop_assert_eq!(&got[..intact], &recs[..intact], "flip at {}", pos);
+        prop_assert!(end <= buf.len() as u64);
+        // No decoded stream can be longer than what was written: a flip
+        // can only merge/destroy frames, never mint extras.
+        prop_assert!(got.len() <= recs.len(), "flip at {} minted records", pos);
+    }
+}
+
+/// Build a single-shard wal with a deterministic op history; returns
+/// the wal dir and the shard-0 log bytes.
+fn build_log(tag: &str, seed: u64, ops: usize) -> (std::path::PathBuf, Vec<u8>) {
+    let dir = std::env::temp_dir().join(format!(
+        "optiql-wal-torn-{tag}-{seed}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let wal = std::sync::Arc::new(
+            Wal::open(WalConfig {
+                policy: FsyncPolicy::None,
+                ..WalConfig::new(&dir)
+            })
+            .unwrap(),
+        );
+        let ix = optiql_wal::DurableIndex::new(ModelIndex::new(), wal);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..ops {
+            let r = next();
+            let k = r % 64;
+            match (r >> 8) % 4 {
+                0 | 1 => {
+                    ix.insert(k, next());
+                }
+                2 => {
+                    ix.update(k, next());
+                }
+                _ => {
+                    ix.remove(k);
+                }
+            }
+        }
+    }
+    let bytes = std::fs::read(dir.join("shard-0.log")).unwrap();
+    (dir, bytes)
+}
+
+/// Replay a raw log image into a map (the oracle recovery must match).
+fn oracle_of(buf: &[u8]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    let mut cur = FrameCursor::new(buf);
+    while let Ok(Some(rec)) = cur.next_frame() {
+        match rec {
+            Record::Set { key, value, .. } => {
+                m.insert(u64::from_encoded(&key), value);
+            }
+            Record::Del { key, .. } => {
+                m.remove(&u64::from_encoded(&key));
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+#[test]
+fn recovery_of_a_log_cut_at_any_offset_matches_the_valid_prefix() {
+    let (dir, full) = build_log("cut", 0x7E57, 400);
+    let log_path = dir.join("shard-0.log");
+    // Every offset is too slow end-to-end (each runs a full Wal::open);
+    // sweep a coarse stride plus every offset in the torn last frames.
+    let mut cuts: Vec<usize> = (0..full.len()).step_by(97).collect();
+    cuts.extend(full.len().saturating_sub(64)..=full.len());
+    for cut in cuts {
+        std::fs::write(&log_path, &full[..cut]).unwrap();
+        let wal = Wal::open(WalConfig {
+            policy: FsyncPolicy::None,
+            ..WalConfig::new(&dir)
+        })
+        .expect("open never fails on torn input");
+        let fresh = ModelIndex::new();
+        let rep = wal.recover_into::<u64, _>(&fresh).expect("recover");
+        let oracle = oracle_of(&full[..cut]);
+        let got: BTreeMap<u64, u64> = fresh.range(Bound::Unbounded, Bound::Unbounded).collect();
+        assert_eq!(got, oracle, "cut at {cut}: recovered state diverges");
+        // The mount report points at the truncation boundary.
+        let m = &wal.mount_report()[0];
+        assert!(m.log_bytes <= cut as u64);
+        assert_eq!(
+            m.torn.is_some(),
+            m.log_bytes < cut as u64,
+            "cut at {cut}: torn flag must mean bytes were dropped"
+        );
+        assert_eq!(rep.shards[0].torn, None, "open already truncated");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_full_log_replay() {
+    let (dir, full) = build_log("ckpt", 0xBADC_0DE5, 300);
+    // Write a checkpoint, then corrupt one byte of it.
+    {
+        let wal = Wal::open(WalConfig {
+            policy: FsyncPolicy::None,
+            ..WalConfig::new(&dir)
+        })
+        .unwrap();
+        let staging = ModelIndex::new();
+        wal.recover_into::<u64, _>(&staging).unwrap();
+        let ck = wal.checkpoint::<u64, _>(&staging).unwrap();
+        assert!(ck.entries() > 0, "checkpoint should have content");
+    }
+    let ckpt_path = dir.join("shard-0.ckpt");
+    let mut ckpt = std::fs::read(&ckpt_path).unwrap();
+    let mid = FRAME_HEADER + 1 + (ckpt.len() - FRAME_HEADER - 2) / 2;
+    ckpt[mid] ^= 0x20;
+    std::fs::write(&ckpt_path, &ckpt).unwrap();
+
+    let wal = Wal::open(WalConfig {
+        policy: FsyncPolicy::None,
+        ..WalConfig::new(&dir)
+    })
+    .unwrap();
+    let fresh = ModelIndex::new();
+    let rep = wal.recover_into::<u64, _>(&fresh).expect("recover");
+    assert!(
+        rep.any_checkpoint_invalid(),
+        "corrupt checkpoint must be flagged"
+    );
+    assert_eq!(rep.shards[0].checkpoint_entries, 0);
+    assert_eq!(rep.shards[0].checkpoint_start_lsn, 1, "full replay");
+    let got: BTreeMap<u64, u64> = fresh.range(Bound::Unbounded, Bound::Unbounded).collect();
+    assert_eq!(got, oracle_of(&full), "fallback replay diverges");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_and_header_only_logs_recover_to_nothing() {
+    let dir = std::env::temp_dir().join(format!("optiql-wal-torn-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // A log of pure garbage shorter than one header.
+    std::fs::write(dir.join("shard-0.log"), [0xFFu8; 5]).unwrap();
+    let wal = Wal::open(WalConfig {
+        policy: FsyncPolicy::None,
+        ..WalConfig::new(&dir)
+    })
+    .unwrap();
+    assert!(wal.mount_report()[0].torn.is_some());
+    let fresh = ModelIndex::new();
+    let rep = wal.recover_into::<u64, _>(&fresh).unwrap();
+    assert_eq!(rep.applied(), 0);
+    assert!(fresh.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seal_frame_then_flip_any_header_byte_is_detected_or_truncates() {
+    // Header flips (len/crc words) must never yield a *different*
+    // record: either the frame is rejected or (flipping a len byte to a
+    // larger value) the stream ends early.
+    let mut buf = Vec::new();
+    record::frame_set(&mut buf, 42, &7u64.to_be_bytes(), 4242);
+    let original = {
+        let (recs, _) = decode_prefix(&buf);
+        recs
+    };
+    for i in 0..FRAME_HEADER {
+        for mask in [0x01u8, 0x10, 0x80] {
+            let mut evil = buf.clone();
+            evil[i] ^= mask;
+            let (got, _) = decode_prefix(&evil);
+            assert!(
+                got.is_empty() || got == original,
+                "header flip at {i} produced a forged record"
+            );
+        }
+    }
+}
